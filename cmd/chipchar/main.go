@@ -1,0 +1,201 @@
+// Command chipchar regenerates the paper's chip-level characterization
+// figures (6, 9, 10, 11b, 12) from the calibrated Vth model and prints
+// them as aligned tables (default) or CSV.
+//
+// Usage:
+//
+//	chipchar [-fig 6|9|10|11|12|all] [-wls N] [-seed S] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/chipchar"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 9, 10, 11, 12 or all")
+	wls := flag.Int("wls", 20000, "wordlines sampled per scenario")
+	seed := flag.Int64("seed", 1, "model RNG seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	cfg := chipchar.Config{WLs: *wls, Seed: *seed}
+	run := map[string]func(chipchar.Config, bool){
+		"6":  printFig6,
+		"9":  printFig9,
+		"10": printFig10,
+		"11": printFig11,
+		"12": printFig12,
+	}
+	if *fig == "all" {
+		for _, k := range []string{"6", "9", "10", "11", "12"} {
+			run[k](cfg, *csv)
+			fmt.Println()
+		}
+		printOverhead()
+		fmt.Println()
+		printTempExtension()
+		return
+	}
+	fn, ok := run[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chipchar: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	fn(cfg, *csv)
+}
+
+func printFig6(cfg chipchar.Config, csv bool) {
+	r := chipchar.Figure6(cfg)
+	fmt.Println("=== Figure 6: normalized MSB RBER under one-shot reprogram (OSR) ===")
+	fmt.Printf("(%d wordlines per box; 1.0 = ECC limit)\n", cfg.WLs)
+	emit := func(tech string, boxes []chipchar.Fig6Box) {
+		for _, b := range boxes {
+			if csv {
+				fmt.Printf("fig6,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+					tech, b.Label, b.Box.Min, b.Box.Q1, b.Box.Median, b.Box.Q3, b.Box.Max, b.FracAboveLimit)
+			} else {
+				fmt.Printf("  %-4s %-16s median=%6.3f  [q1=%6.3f q3=%6.3f max=%6.3f]  >limit: %5.1f%%\n",
+					tech, b.Label, b.Box.Median, b.Box.Q1, b.Box.Q3, b.Box.Max, 100*b.FracAboveLimit)
+			}
+		}
+	}
+	emit("MLC", r.MLC)
+	emit("TLC", r.TLC)
+	fmt.Println("  paper: MLC after-OSR 7.4% beyond limit; TLC all unreadable;")
+	fmt.Println("         after 1y retention most MLC pages fail, worst > 1.5x")
+}
+
+func printFig9(cfg chipchar.Config, csv bool) {
+	r := chipchar.Figure9(cfg)
+	fmt.Println("=== Figure 9: pLock design-space exploration ===")
+	fmt.Println("(a)-(c) grid: disturb ratio (Fig 9b), flag program success (Fig 9c)")
+	for _, c := range r.Combos {
+		if csv {
+			fmt.Printf("fig9,%g,%g,%.4f,%.4f,%.3f,%.3f,%s\n",
+				c.V, c.T, c.DisturbRatio, c.FlagSuccess, c.RetErrors1y, c.RetErrors5y, c.Region)
+		} else {
+			fmt.Printf("  V=%4.1fV t=%3.0fµs  disturb=%.3f  success=%6.2f%%  errs@5y=%4.1f/9  -> %s\n",
+				c.V, c.T, c.DisturbRatio, 100*c.FlagSuccess, c.RetErrors5y, c.Region)
+		}
+	}
+	fmt.Println("(d) candidate retention error curves (expected failed cells of k=9):")
+	fmt.Printf("  %-14s", "days:")
+	for _, d := range r.RetentionDays {
+		fmt.Printf("%8.0f", d)
+	}
+	fmt.Println()
+	for key, curve := range r.RetentionErrs {
+		fmt.Printf("  %-14s", key)
+		for _, e := range curve {
+			fmt.Printf("%8.2f", e)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("chosen operating point: (%.1fV, %.0fµs)  — paper selects (Vp4, 100µs)\n",
+		r.Chosen.V, r.Chosen.T)
+}
+
+func printFig10(cfg chipchar.Config, csv bool) {
+	r := chipchar.Figure10(cfg)
+	fmt.Println("=== Figure 10: normalized RBER vs. open-interval length ===")
+	labels := make([]string, len(r.Buckets))
+	for i, b := range r.Buckets {
+		labels[i] = b.Label
+	}
+	if csv {
+		for i, b := range r.Buckets {
+			fmt.Printf("fig10,%s,%.4f,%.4f,%.4f\n", b.Label, r.NoPE[i], r.PE[i], r.PERet[i])
+		}
+		return
+	}
+	fmt.Printf("  %-22s %s\n", "condition", strings.Join(pad(labels, 12), ""))
+	row := func(name string, xs []float64) {
+		fmt.Printf("  %-22s", name)
+		for _, x := range xs {
+			fmt.Printf("%12.3f", x)
+		}
+		fmt.Println()
+	}
+	row("no P/E cycling", r.NoPE)
+	row("after P/E cycling", r.PE)
+	row("after P/E + retention", r.PERet)
+	growth := r.NoPE[len(r.NoPE)-1]/r.NoPE[0] - 1
+	fmt.Printf("  zero -> very-long growth: %.0f%% (paper reports ~30%%)\n", 100*growth)
+}
+
+func printFig11(cfg chipchar.Config, csv bool) {
+	r := chipchar.Figure11(cfg)
+	fmt.Println("=== Figure 11(b): block read RBER vs. SSL center Vth ===")
+	for i, c := range r.Centers {
+		if csv {
+			fmt.Printf("fig11,%.2f,%.4f,%.4f\n", c, r.Fresh[i], r.Cycled[i])
+		} else if i%2 == 0 {
+			fmt.Printf("  center=%.2fV  fresh=%8.3f  1K-P/E=%8.3f\n", c, r.Fresh[i], r.Cycled[i])
+		}
+	}
+	fmt.Printf("  read-failure cutoff: %.2fV (paper: 3V)\n", r.Cutoff)
+}
+
+func printFig12(cfg chipchar.Config, csv bool) {
+	r := chipchar.Figure12(cfg)
+	fmt.Println("=== Figure 12: bLock design-space exploration ===")
+	for _, c := range r.Combos {
+		if csv {
+			fmt.Printf("fig12,%g,%g,%.3f,%.3f,%.3f,%s,%v\n",
+				c.V, c.T, c.ProgrammedCenter, c.Center1y, c.Center5y, c.Region, c.Reliable)
+			continue
+		}
+		status := string("region-I")
+		if c.Region == chipchar.RegionCandidate {
+			if c.Reliable {
+				status = "candidate (reliable 5y)"
+			} else {
+				status = "candidate (fails retention)"
+			}
+		}
+		fmt.Printf("  V=%2.0fV t=%3.0fµs  prog=%5.2fV  1y=%5.2fV  5y=%5.2fV  -> %s\n",
+			c.V, c.T, c.ProgrammedCenter, c.Center1y, c.Center5y, status)
+	}
+	fmt.Printf("chosen operating point: (%.0fV, %.0fµs)  — paper selects (Vb6, 300µs)\n",
+		r.Chosen.V, r.Chosen.T)
+}
+
+func pad(xs []string, w int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		for len(x) < w {
+			x = " " + x
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func printOverhead() {
+	o := chipchar.ComputeOverhead(9)
+	fmt.Println("=== §5.5 implementation overhead ===")
+	fmt.Printf("  pAP flags: %d spare cells/WL (%.2f%% of the spare area)\n",
+		o.FlagCellsPerWL, 100*o.SpareFraction)
+	fmt.Printf("  circuits:  ~%d transistors (9-bit majority) + %d bridge transistors\n",
+		o.MajorityTransistors, o.BridgeTransistors)
+	fmt.Printf("  latency:   tpLock/tPROG = %.1f%% (paper < 14.3%%), tbLock/tBERS = %.1f%% (paper < 8.6%%)\n",
+		100*o.TpLockOverTprog, 100*o.TbLockOverTbers)
+}
+
+func printTempExtension() {
+	fmt.Println("=== Extension: lock durability vs. storage temperature ===")
+	fmt.Println("(Arrhenius-accelerated retention; the paper qualifies at 30°C)")
+	for _, p := range chipchar.LockDurabilityVsTemperature(nil) {
+		hold := "holds"
+		if !p.SSLHolds {
+			hold = "FAILS"
+		}
+		fmt.Printf("  %3.0f°C: pAP majority-flip(5y) = %.2e, SSL center(5y) = %.2fV -> bLock %s\n",
+			p.TempC, p.PAPMajorityFail5y, p.SSLCenter5y, hold)
+	}
+}

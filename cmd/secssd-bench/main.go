@@ -1,0 +1,173 @@
+// Command secssd-bench regenerates the paper's system-level evaluation:
+// Figure 14(a) (normalized IOPS), Figure 14(b) (normalized WAF),
+// Figure 14(c) (IOPS vs. secured-data fraction), and the §1 headline
+// aggregates.
+//
+// Usage:
+//
+//	secssd-bench [-fig 14a|14b|14c|headline|all]
+//	             [-scale small|default|paper]
+//	             [-workloads MailServer,DBServer,FileServer,Mobile]
+//	             [-csv]
+//
+// Absolute IOPS values come from the emulated timing model; the paper's
+// claims are about the normalized shape, which is what the tables print.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "14a, 14b, 14c, headline, or all")
+	scaleName := flag.String("scale", "default", "small, default, or paper")
+	workloads := flag.String("workloads", "", "comma-separated subset of workloads (default all four)")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	var sc experiment.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiment.SmallScale()
+	case "default":
+		sc = experiment.DefaultScale()
+	case "paper":
+		sc = experiment.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "secssd-bench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	var profiles []workload.Profile
+	if *workloads != "" {
+		for _, name := range strings.Split(*workloads, ",") {
+			p, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "secssd-bench:", err)
+				os.Exit(2)
+			}
+			profiles = append(profiles, p)
+		}
+	}
+
+	needAB := *fig == "all" || *fig == "14a" || *fig == "14b" || *fig == "headline"
+	var rows []experiment.Fig14Row
+	if needAB {
+		var err error
+		rows, err = experiment.Figure14(sc, profiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secssd-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *fig == "all" || *fig == "14a" {
+		printFig14a(rows, *csv)
+	}
+	if *fig == "all" || *fig == "14b" {
+		printFig14b(rows, *csv)
+	}
+	if *fig == "all" || *fig == "14c" {
+		pts, err := experiment.Figure14c(sc, profiles, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secssd-bench:", err)
+			os.Exit(1)
+		}
+		printFig14c(pts, *csv)
+	}
+	if *fig == "all" || *fig == "headline" {
+		printHeadline(experiment.ComputeHeadline(rows))
+	}
+}
+
+var policyOrder = []string{"erSSD", "scrSSD", "secSSD_nobLock", "secSSD"}
+
+func printFig14a(rows []experiment.Fig14Row, csv bool) {
+	fmt.Println("=== Figure 14(a): IOPS normalized to the no-sanitization SSD ===")
+	printNormTable(rows, csv, "fig14a", func(r experiment.Fig14Row, p string) float64 { return r.IOPS[p] })
+	fmt.Println("  paper: erSSD <= 0.04, scrSSD ~0.34 avg, secSSD ~0.945 avg")
+	if !csv {
+		fmt.Println("  request latency p50/p99 (ms), baseline vs secSSD:")
+		for _, r := range rows {
+			base, sec := r.Runs["baseline"].Report, r.Runs["secSSD"].Report
+			fmt.Printf("  %-12s base %6.1f/%6.1f   secSSD %6.1f/%6.1f\n",
+				r.Workload, base.LatencyP50/1000, base.LatencyP99/1000,
+				sec.LatencyP50/1000, sec.LatencyP99/1000)
+		}
+	}
+	fmt.Println()
+}
+
+func printFig14b(rows []experiment.Fig14Row, csv bool) {
+	fmt.Println("=== Figure 14(b): WAF normalized to the no-sanitization SSD ===")
+	printNormTable(rows, csv, "fig14b", func(r experiment.Fig14Row, p string) float64 { return r.WAF[p] })
+	fmt.Println("  paper: erSSD up to 320x, scrSSD up to 4.41x, secSSD ~1.0x")
+	fmt.Println()
+}
+
+func printNormTable(rows []experiment.Fig14Row, csv bool, tag string, get func(experiment.Fig14Row, string) float64) {
+	if csv {
+		for _, r := range rows {
+			for _, p := range policyOrder {
+				fmt.Printf("%s,%s,%s,%.4f\n", tag, r.Workload, p, get(r, p))
+			}
+		}
+		return
+	}
+	fmt.Printf("  %-12s", "workload")
+	for _, p := range policyOrder {
+		fmt.Printf("%16s", p)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("  %-12s", r.Workload)
+		for _, p := range policyOrder {
+			fmt.Printf("%16.3f", get(r, p))
+		}
+		fmt.Println()
+	}
+}
+
+func printFig14c(pts []experiment.Fig14cPoint, csv bool) {
+	fmt.Println("=== Figure 14(c): secSSD IOPS vs. fraction of securely-managed data ===")
+	byWorkload := map[string][]experiment.Fig14cPoint{}
+	var order []string
+	for _, p := range pts {
+		if _, seen := byWorkload[p.Workload]; !seen {
+			order = append(order, p.Workload)
+		}
+		byWorkload[p.Workload] = append(byWorkload[p.Workload], p)
+	}
+	for _, w := range order {
+		if csv {
+			for _, p := range byWorkload[w] {
+				fmt.Printf("fig14c,%s,%.2f,%.4f\n", w, p.Fraction, p.NormIOPS)
+			}
+			continue
+		}
+		fmt.Printf("  %-12s", w)
+		for _, p := range byWorkload[w] {
+			fmt.Printf("  %3.0f%%: %.3f", 100*p.Fraction, p.NormIOPS)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  paper: at 60% secured data, secSSD within 6.2% of baseline (2.8% avg)")
+	fmt.Println()
+}
+
+func printHeadline(h experiment.Headline) {
+	fmt.Println("=== Headline (§1): secSSD vs. reprogram-based sanitization ===")
+	fmt.Printf("  IOPS speedup over scrSSD:      max %.1fx, avg %.1fx   (paper: 4.8x / 2.9x)\n",
+		h.IOPSSpeedupMax, h.IOPSSpeedupAvg)
+	fmt.Printf("  block-erase reduction:         max %.0f%%, avg %.0f%%     (paper: 79%% / 62%%)\n",
+		100*h.EraseReductionMax, 100*h.EraseReductionAvg)
+	fmt.Printf("  pLock reduction from bLock:    max %.0f%%, avg %.0f%%     (paper: 57%% / 28%%)\n",
+		100*h.PLockReductionMax, 100*h.PLockReductionAvg)
+	fmt.Printf("  IOPS gain from bLock:          max %.1f%%, avg %.1f%%   (paper: 5.4%% / 3.1%%)\n",
+		100*h.BLockIOPSGainMax, 100*h.BLockIOPSGainAvg)
+}

@@ -1,0 +1,59 @@
+// Chipexplore: replays §5.3's design-space methodology on the cell
+// model the way a flash vendor would qualify the pLock command for a new
+// chip: sweep (program voltage, pulse length), eliminate the corners
+// that disturb data (Region I) or cannot program the flag (Region II),
+// then pick the surviving candidate that holds a 9-cell majority vote
+// for five years with the shortest latency. Ends with the equivalent
+// bLock qualification.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/chipchar"
+	"repro/internal/nand/vth"
+)
+
+func main() {
+	cfg := chipchar.Config{WLs: 5000, Seed: 3}
+
+	fmt.Println("=== Qualifying pLock on the 48-layer 3D TLC model ===")
+	r9 := chipchar.Figure9(cfg)
+	fmt.Println("grid after both elimination passes:")
+	for _, c := range r9.Combos {
+		marker := " "
+		if c.V == r9.Chosen.V && c.T == r9.Chosen.T {
+			marker = "*"
+		}
+		fmt.Printf(" %s V=%4.1fV t=%3.0fµs  disturb×%.3f  program %6.2f%%  5y-errors %.1f/9  %s\n",
+			marker, c.V, c.T, c.DisturbRatio, 100*c.FlagSuccess, c.RetErrors5y, c.Region)
+	}
+	fmt.Printf("\nselected pLock operating point: (%.1f V, %.0f µs)\n", r9.Chosen.V, r9.Chosen.T)
+	fmt.Printf("  majority-flip probability within 5 years: %.2g\n", r9.Chosen.MajorityFail5y)
+	fmt.Printf("  tpLock/tPROG = %.0f%% (paper: <14.3%%)\n\n", 100*r9.Chosen.T/700)
+
+	// How much redundancy does the majority circuit need? (ablation of
+	// the paper's k = 9 choice)
+	fm := vth.DefaultFlagModel()
+	fmt.Println("flag-cell redundancy k vs. 5-year majority failure at the chosen point:")
+	for _, k := range []int{1, 3, 5, 7, 9, 11} {
+		p := fm.MajorityFailureProb(k, r9.Chosen.V, r9.Chosen.T, 5*365, 1000)
+		fmt.Printf("  k=%2d: %.3g\n", k, p)
+	}
+
+	fmt.Println("\n=== Qualifying bLock (SSL programming) ===")
+	r12 := chipchar.Figure12(cfg)
+	for _, c := range r12.Combos {
+		if c.Region != chipchar.RegionCandidate {
+			continue
+		}
+		marker := " "
+		if c.V == r12.Chosen.V && c.T == r12.Chosen.T {
+			marker = "*"
+		}
+		fmt.Printf(" %s V=%2.0fV t=%3.0fµs  center %4.2fV -> %4.2fV after 5y  reliable=%v\n",
+			marker, c.V, c.T, c.ProgrammedCenter, c.Center5y, c.Reliable)
+	}
+	fmt.Printf("\nselected bLock operating point: (%.0f V, %.0f µs)\n", r12.Chosen.V, r12.Chosen.T)
+	fmt.Printf("  tbLock/tBERS = %.1f%% (paper: <8.6%%)\n", 100*r12.Chosen.T/3500)
+}

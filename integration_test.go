@@ -1,0 +1,237 @@
+package repro
+
+// Cross-package integration tests: the full host-to-cell stack under
+// realistic workloads, and the on-chip ECC datapath built from the real
+// BCH codec over the Monte-Carlo cell model.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/experiment"
+	"repro/internal/ftl"
+	"repro/internal/nand/vth"
+	"repro/internal/workload"
+)
+
+// TestFullStackWorkloadSanitization runs a Table 2 workload through the
+// complete stack (generator -> filesys -> SSD -> FTL -> chips) on an
+// Evanesco device and then verifies, at the raw-chip level, that no
+// stale secured data survived anywhere.
+func TestFullStackWorkloadSanitization(t *testing.T) {
+	dev, err := core.New(core.Options{Policy: core.PolicyEvanesco, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := dev.FS()
+	gen := workload.NewGenerator(workload.MailServer(), fs, dev.PageBytes(), 21)
+	if err := gen.RunPages(uint64(dev.SSD().LogicalPages()) * 2); err != nil {
+		t.Fatal(err)
+	}
+	st := dev.SSD().FTL().Stats()
+	if st.GCRuns == 0 {
+		t.Fatal("workload too small to trigger GC")
+	}
+	if st.PLocks == 0 {
+		t.Fatal("secured churn must issue locks")
+	}
+	if err := dev.VerifySanitization(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullStackMixedSecurity runs a workload with a 50% secure fraction:
+// secure files must be sanitized, insecure ones may leak, and the device
+// must never lock insecure data.
+func TestFullStackMixedSecurity(t *testing.T) {
+	dev, err := core.New(core.Options{Policy: core.PolicyEvanesco, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.FileServer(), dev.FS(), dev.PageBytes(), 22)
+	gen.SecureFraction = 0.5
+	if err := gen.RunPages(uint64(dev.SSD().LogicalPages())); err != nil {
+		t.Fatal(err)
+	}
+	// Every readable stale page must belong to an insecure file — which
+	// VerifySanitization cannot distinguish, so scan manually: stale
+	// secured data is impossible by construction of the status table
+	// (PageInvalid for secured pages only after a lock), so assert the
+	// FTL's view instead: no physical page is in PageSecured state
+	// without a live mapping.
+	f := dev.SSD().FTL()
+	g := dev.SSD().Geometry()
+	for p := 0; p < g.TotalPages(); p++ {
+		ppa := ftl.PPA(p)
+		if f.Status(ppa) == ftl.PageSecured && f.Lookup(lpaOf(f, g, ppa)) != ppa {
+			t.Fatalf("physical page %d secured but not mapped", p)
+		}
+	}
+}
+
+// lpaOf finds the logical page mapped to ppa by scanning (test helper;
+// fine at test scale).
+func lpaOf(f *ftl.FTL, g ftl.Geometry, target ftl.PPA) int64 {
+	for lpa := int64(0); lpa < int64(f.LogicalPages()); lpa++ {
+		if f.Lookup(lpa) == target {
+			return lpa
+		}
+	}
+	return -1
+}
+
+// TestAllPoliciesSurviveAllWorkloads smoke-tests every (workload, policy)
+// combination end to end at small scale — 20 full-stack runs.
+func TestAllPoliciesSurviveAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20 full-stack runs")
+	}
+	sc := experiment.SmallScale()
+	sc.StudyPages = 2000
+	for _, prof := range workload.Profiles() {
+		for _, policy := range experiment.Policies() {
+			run, err := experiment.Execute(prof, policy, 1.0, sc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", prof.Name, policy.Name(), err)
+			}
+			if run.IOPS() <= 0 {
+				t.Errorf("%s/%s: no throughput", prof.Name, policy.Name())
+			}
+		}
+	}
+}
+
+// TestECCDatapathOverCellModel builds the full on-chip read datapath the
+// paper assumes: data -> BCH encode -> per-cell Vth programming (Monte
+// Carlo) -> read with reference voltages -> BCH decode. A fresh wordline
+// must decode perfectly; a heavily worn and retention-aged one must
+// exceed the code's correction power.
+func TestECCDatapathOverCellModel(t *testing.T) {
+	codec, err := ecc.NewPageCodec(8, 12) // BCH(255, t=12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := vth.NewTLC()
+	rng := rand.New(rand.NewSource(31))
+	payload := make([]byte, 96)
+	rng.Read(payload)
+
+	roundTrip := func(cond vth.Condition) ([]byte, int, error) {
+		cws, err := codec.EncodePage(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Store each codeword bit in the LSB page of its own cell; the
+		// sibling bits are random data from other pages of the WL.
+		for _, cw := range cws {
+			for i, bit := range cw {
+				bits := []byte{bit, byte(rng.Intn(2)), byte(rng.Intn(2))}
+				state := vth.StateFor(vth.TLC, bits)
+				v := model.SampleVth(state, cond, rng)
+				got := model.DecodeVth(v)
+				cw[i] = vth.BitOf(vth.TLC, got, vth.LSB)
+			}
+		}
+		return codec.DecodePage(cws, len(payload))
+	}
+
+	// Fresh chip: perfect recovery (possibly with a few corrected bits).
+	got, corrected, err := roundTrip(vth.Condition{})
+	if err != nil {
+		t.Fatalf("fresh wordline uncorrectable: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fresh wordline payload mismatch")
+	}
+	t.Logf("fresh wordline: %d bits corrected", corrected)
+
+	// Abused chip (5x rated endurance + a decade of retention on a bad
+	// wordline): the error rate must overwhelm BCH t=12 per 255 bits.
+	_, _, err = roundTrip(vth.Condition{PECycles: 5000, RetentionDays: 3650, WLVariation: 1.5})
+	if err == nil {
+		t.Fatal("abused wordline decoded cleanly; the wear model is too gentle")
+	}
+}
+
+// TestLockedDataDefeatsECCToo: ECC cannot resurrect locked data — the
+// chip returns all zeros, which is not a valid codeword of anything that
+// was stored.
+func TestLockedDataDefeatsECCToo(t *testing.T) {
+	dev, err := core.New(core.Options{Policy: core.PolicyEvanesco, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, _ := ecc.NewPageCodec(8, 8)
+	payload := bytes.Repeat([]byte("classified "), 40)
+	cws, _ := codec.EncodePage(payload)
+	// Flatten codewords into the stored file content.
+	var stored []byte
+	for _, cw := range cws {
+		stored = append(stored, cw...)
+	}
+	if err := dev.WriteFile("enc.bin", stored, core.Secure); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.DeleteFile("enc.bin"); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker's dump of any chip contains no trace of the codewords.
+	if hits := dev.ForensicScan(stored[:64]); len(hits) != 0 {
+		t.Fatal("codeword bytes recovered after delete")
+	}
+}
+
+// TestScrubbedDeviceAlsoSanitizes: the baseline techniques do sanitize —
+// they are just expensive. Cross-check scrSSD's guarantee at full-stack
+// scale so the comparison in Fig. 14 is apples to apples.
+func TestScrubbedDeviceAlsoSanitizes(t *testing.T) {
+	dev, err := core.New(core.Options{Policy: core.PolicyScrub, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.MailServer(), dev.FS(), dev.PageBytes(), 24)
+	if err := gen.RunPages(uint64(dev.SSD().LogicalPages())); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.VerifySanitization(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.SSD().FTL().Stats().Scrubs == 0 {
+		t.Fatal("scrSSD never scrubbed")
+	}
+}
+
+// TestFilesysOverRealDeviceRoundTrip pushes file data through the full
+// stack and reads it back after churn.
+func TestFilesysOverRealDeviceRoundTrip(t *testing.T) {
+	dev, err := core.New(core.Options{Policy: core.PolicyEvanesco, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := map[string][]byte{}
+	rng := rand.New(rand.NewSource(25))
+	for i := 0; i < 12; i++ {
+		name := string(rune('a'+i)) + ".bin"
+		data := make([]byte, 1+rng.Intn(4*dev.PageBytes()))
+		rng.Read(data)
+		if err := dev.WriteFile(name, data, core.Secure); err != nil {
+			t.Fatal(err)
+		}
+		contents[name] = data
+	}
+	if err := dev.Churn(8000, 25); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range contents {
+		got, err := dev.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.HasPrefix(got, want) {
+			t.Fatalf("%s: content corrupted after churn", name)
+		}
+	}
+}

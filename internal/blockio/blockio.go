@@ -1,0 +1,265 @@
+// Package blockio defines the host-side block I/O interface of SecureSSD:
+// read/write/trim requests carrying the paper's extended security flag
+// (REQ_OP_INSEC_WRITE, §6), plus a compact binary trace container used by
+// the workload generators and the trace replayer.
+package blockio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op is the request type.
+type Op uint8
+
+const (
+	// OpRead reads Pages logical pages starting at LPA.
+	OpRead Op = iota
+	// OpWrite writes Pages logical pages starting at LPA.
+	OpWrite
+	// OpTrim invalidates Pages logical pages starting at LPA (the file
+	// system issues it when deleting a file).
+	OpTrim
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpTrim:
+		return "trim"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Request is one host block-I/O request in logical-page units.
+type Request struct {
+	Op    Op
+	LPA   int64 // first logical page
+	Pages int32 // request length in pages
+	// Insecure mirrors REQ_OP_INSEC_WRITE: the data needs no sanitization
+	// guarantee. SecureSSD treats all writes as security-sensitive unless
+	// this flag is set (backward compatibility, §6).
+	Insecure bool
+	// FileID annotates the request with the owning file for the VerTrace
+	// data-versioning study (0 = unannotated).
+	FileID uint64
+	// Data optionally carries the write payload, PageBytes per page. It
+	// is used by applications storing real content; workload traces are
+	// timing-only and do not serialize it.
+	Data []byte
+}
+
+// PageData returns the payload slice for the i-th page of the request,
+// or nil when the request carries no data. A short final slice is
+// returned as-is.
+func (r Request) PageData(i int) []byte {
+	if r.Data == nil || r.Pages <= 0 {
+		return nil
+	}
+	per := len(r.Data) / int(r.Pages)
+	if per == 0 {
+		return nil
+	}
+	lo := i * per
+	if lo >= len(r.Data) {
+		return nil
+	}
+	hi := lo + per
+	if hi > len(r.Data) {
+		hi = len(r.Data)
+	}
+	return r.Data[lo:hi]
+}
+
+// Validate reports whether the request is well-formed.
+func (r Request) Validate() error {
+	if r.Op > OpTrim {
+		return fmt.Errorf("blockio: unknown op %d", r.Op)
+	}
+	if r.LPA < 0 || r.Pages <= 0 {
+		return fmt.Errorf("blockio: bad extent lpa=%d pages=%d", r.LPA, r.Pages)
+	}
+	return nil
+}
+
+func (r Request) String() string {
+	sec := "sec"
+	if r.Insecure {
+		sec = "insec"
+	}
+	return fmt.Sprintf("%s lpa=%d n=%d %s file=%d", r.Op, r.LPA, r.Pages, sec, r.FileID)
+}
+
+// Trace is a named request sequence with its logical page size.
+type Trace struct {
+	Name      string
+	PageBytes int
+	Requests  []Request
+}
+
+// traceMagic guards the binary format.
+const traceMagic = uint32(0x53545243) // "STRC"
+
+// ErrBadTrace is returned when decoding malformed trace bytes.
+var ErrBadTrace = errors.New("blockio: malformed trace")
+
+// WriteTo serializes the trace. Format: magic, version, name, page size,
+// count, then per-request varint-packed fields.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v uint64) {
+		var buf [binary.MaxVarintLen64]byte
+		k := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:k])
+		n += int64(k)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 1) // version
+	bw.Write(hdr[:])
+	n += 8
+	write(uint64(len(t.Name)))
+	bw.WriteString(t.Name)
+	n += int64(len(t.Name))
+	write(uint64(t.PageBytes))
+	write(uint64(len(t.Requests)))
+	for _, r := range t.Requests {
+		flags := uint64(r.Op)
+		if r.Insecure {
+			flags |= 1 << 7
+		}
+		write(flags)
+		write(uint64(r.LPA))
+		write(uint64(r.Pages))
+		write(r.FileID)
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadTrace parses a trace serialized by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadTrace, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	nameLen, err := read()
+	if err != nil || nameLen > 1<<20 {
+		return nil, fmt.Errorf("%w: name length", ErrBadTrace)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadTrace, err)
+	}
+	pageBytes, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: page size", ErrBadTrace)
+	}
+	count, err := read()
+	if err != nil || count > 1<<32 {
+		return nil, fmt.Errorf("%w: request count", ErrBadTrace)
+	}
+	t := &Trace{Name: string(name), PageBytes: int(pageBytes)}
+	if count > 0 {
+		// Never pre-allocate from an untrusted count: a forged header
+		// could demand gigabytes. Grow as requests actually parse.
+		capHint := count
+		if capHint > 4096 {
+			capHint = 4096
+		}
+		t.Requests = make([]Request, 0, capHint)
+	}
+	for i := uint64(0); i < count; i++ {
+		flags, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("%w: request %d flags", ErrBadTrace, i)
+		}
+		lpa, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("%w: request %d lpa", ErrBadTrace, i)
+		}
+		pages, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("%w: request %d pages", ErrBadTrace, i)
+		}
+		fileID, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("%w: request %d file", ErrBadTrace, i)
+		}
+		req := Request{
+			Op:       Op(flags & 0x7f),
+			Insecure: flags&(1<<7) != 0,
+			LPA:      int64(lpa),
+			Pages:    int32(pages),
+			FileID:   fileID,
+		}
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: request %d: %v", ErrBadTrace, i, err)
+		}
+		t.Requests = append(t.Requests, req)
+	}
+	return t, nil
+}
+
+// Stats summarizes a trace the way the paper's Table 2 does.
+type Stats struct {
+	Reads, Writes, Trims    int
+	ReadPages, WrittenPages int64
+	TrimmedPages            int64
+	InsecureWrites          int
+	MinWrite, MaxWrite      int32
+}
+
+// Summarize computes trace statistics.
+func (t *Trace) Summarize() Stats {
+	var s Stats
+	for _, r := range t.Requests {
+		switch r.Op {
+		case OpRead:
+			s.Reads++
+			s.ReadPages += int64(r.Pages)
+		case OpWrite:
+			s.Writes++
+			s.WrittenPages += int64(r.Pages)
+			if r.Insecure {
+				s.InsecureWrites++
+			}
+			if s.MinWrite == 0 || r.Pages < s.MinWrite {
+				s.MinWrite = r.Pages
+			}
+			if r.Pages > s.MaxWrite {
+				s.MaxWrite = r.Pages
+			}
+		case OpTrim:
+			s.Trims++
+			s.TrimmedPages += int64(r.Pages)
+		}
+	}
+	return s
+}
+
+// ReadWriteRatio returns reads:writes as a float (reads per write).
+func (s Stats) ReadWriteRatio() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.Reads) / float64(s.Writes)
+}

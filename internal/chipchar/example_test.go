@@ -1,0 +1,20 @@
+package chipchar_test
+
+import (
+	"fmt"
+
+	"repro/internal/chipchar"
+)
+
+// Example runs both design-space explorations and prints the operating
+// points the paper selects.
+func Example() {
+	cfg := chipchar.Config{WLs: 1000, Seed: 1}
+	f9 := chipchar.Figure9(cfg)
+	f12 := chipchar.Figure12(cfg)
+	fmt.Printf("pLock: (%.1fV, %.0fµs)\n", f9.Chosen.V, f9.Chosen.T)
+	fmt.Printf("bLock: (%.0fV, %.0fµs)\n", f12.Chosen.V, f12.Chosen.T)
+	// Output:
+	// pLock: (17.0V, 100µs)
+	// bLock: (21V, 300µs)
+}

@@ -1,0 +1,309 @@
+// Package core is the public facade of the Evanesco reproduction: it
+// assembles the full SecureSSD stack — Evanesco-enabled NAND chips, the
+// lock-manager FTL, a file layer with the paper's O_INSEC interface — and
+// exposes the operations a downstream user needs:
+//
+//	dev, _ := core.New(core.Options{})
+//	dev.WriteFile("medical.db", data, core.Secure)
+//	dev.DeleteFile("medical.db")               // pLock/bLock fire here
+//	dev.ForensicScan([]byte("patient"))        // -> no findings
+//
+// plus the paper's verification primitives: the C1/C2 sanitization
+// checker, a raw-chip forensic scan (the §5.1 threat model), and
+// retention time travel to demonstrate multi-year lock durability.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/filesys"
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/nand/vth"
+	"repro/internal/sanitize"
+	"repro/internal/ssd"
+)
+
+// SecurityMode selects a file's sanitization requirement.
+type SecurityMode int
+
+const (
+	// Secure files are sanitized on delete/update (the device default).
+	Secure SecurityMode = iota
+	// Insecure files opt out via O_INSEC for performance.
+	Insecure
+)
+
+// PolicyName selects the device's sanitization machinery.
+type PolicyName string
+
+// The five §7 configurations.
+const (
+	PolicyBaseline   PolicyName = "baseline"
+	PolicyErase      PolicyName = "erSSD"
+	PolicyScrub      PolicyName = "scrSSD"
+	PolicySecNoBLock PolicyName = "secSSD_nobLock"
+	PolicyEvanesco   PolicyName = "secSSD"
+)
+
+// policyFor maps names to implementations.
+func policyFor(name PolicyName) (ftl.Policy, error) {
+	switch name {
+	case PolicyBaseline:
+		return sanitize.Baseline(), nil
+	case PolicyErase:
+		return sanitize.ErSSD(), nil
+	case PolicyScrub:
+		return sanitize.ScrSSD(), nil
+	case PolicySecNoBLock:
+		return sanitize.SecSSDNoBLock(), nil
+	case PolicyEvanesco, "":
+		return sanitize.SecSSD(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q", name)
+	}
+}
+
+// Options configures a Device. The zero value builds a compact Evanesco
+// SecureSSD suitable for examples and tests; set PaperScale for the
+// paper's full 32-GiB configuration.
+type Options struct {
+	Policy     PolicyName
+	PaperScale bool
+	Seed       int64
+	// Chip/device overrides (zero = derived from PaperScale).
+	Channels        int
+	ChipsPerChannel int
+	BlocksPerChip   int
+	WLsPerBlock     int
+	PageBytes       int
+}
+
+// Device is an assembled SecureSSD with its file layer.
+type Device struct {
+	ssd *ssd.SSD
+	fs  *filesys.FS
+}
+
+// New assembles the stack.
+func New(opts Options) (*Device, error) {
+	policy, err := policyFor(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ssd.DefaultConfig(policy)
+	if !opts.PaperScale {
+		// Compact: 2×2 chips, 32 blocks × 16 TLC WLs, 4-KiB pages (48 MiB).
+		cfg.Channels, cfg.ChipsPerChannel = 2, 2
+		cfg.Chip = nand.Geometry{
+			Blocks:          32,
+			WLsPerBlock:     16,
+			CellKind:        vth.TLC,
+			PageBytes:       4096,
+			FlagCells:       9,
+			EnduranceCycles: 1000,
+		}
+		cfg.OverProvision = 0.20
+		cfg.GCFreeBlocksLow = 2
+	}
+	if opts.Channels > 0 {
+		cfg.Channels = opts.Channels
+	}
+	if opts.ChipsPerChannel > 0 {
+		cfg.ChipsPerChannel = opts.ChipsPerChannel
+	}
+	if opts.BlocksPerChip > 0 {
+		cfg.Chip.Blocks = opts.BlocksPerChip
+	}
+	if opts.WLsPerBlock > 0 {
+		cfg.Chip.WLsPerBlock = opts.WLsPerBlock
+	}
+	if opts.PageBytes > 0 {
+		cfg.Chip.PageBytes = opts.PageBytes
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	dev, err := ssd.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := filesys.New(dev, int64(dev.LogicalPages()), cfg.Chip.PageBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{ssd: dev, fs: fs}, nil
+}
+
+// SSD exposes the device model (stats, chips, FTL).
+func (d *Device) SSD() *ssd.SSD { return d.ssd }
+
+// FS exposes the file layer.
+func (d *Device) FS() *filesys.FS { return d.fs }
+
+// PageBytes returns the logical page size.
+func (d *Device) PageBytes() int { return d.ssd.Geometry().PageBytes }
+
+// WriteFile creates (or replaces) a file with the given contents.
+func (d *Device) WriteFile(name string, data []byte, mode SecurityMode) error {
+	if f, ok := d.fs.Lookup(name); ok {
+		if err := d.fs.Delete(f); err != nil {
+			return err
+		}
+	}
+	var flags filesys.OpenFlag
+	if mode == Insecure {
+		flags |= filesys.OInsec
+	}
+	f, err := d.fs.Create(name, flags)
+	if err != nil {
+		return err
+	}
+	return d.fs.AppendData(f, data)
+}
+
+// AppendFile appends contents to an existing file.
+func (d *Device) AppendFile(name string, data []byte) error {
+	f, ok := d.fs.Lookup(name)
+	if !ok {
+		return filesys.ErrNotFound
+	}
+	return d.fs.AppendData(f, data)
+}
+
+// ReadFile returns the file's contents (padded to whole pages).
+func (d *Device) ReadFile(name string) ([]byte, error) {
+	f, ok := d.fs.Lookup(name)
+	if !ok {
+		return nil, filesys.ErrNotFound
+	}
+	return d.fs.ReadAll(f)
+}
+
+// DeleteFile securely deletes a file: unlink, trim, and — for secure
+// files on an Evanesco device — immediate pLock/bLock of every stale
+// physical page before the call returns.
+func (d *Device) DeleteFile(name string) error {
+	f, ok := d.fs.Lookup(name)
+	if !ok {
+		return filesys.ErrNotFound
+	}
+	return d.fs.Delete(f)
+}
+
+// AdvanceRetention ages every chip by the given number of days,
+// exercising flag/SSL charge loss (locks must hold for 5 years).
+func (d *Device) AdvanceRetention(days float64) {
+	for _, c := range d.ssd.Chips() {
+		c.AdvanceDays(days)
+	}
+}
+
+// Report returns the device activity summary.
+func (d *Device) Report() ssd.Report { return d.ssd.Report() }
+
+// Wear returns the device's block erase-count statistics.
+func (d *Device) Wear() ftl.WearStats { return d.ssd.FTL().Wear() }
+
+// Purge locks every stale physical page on the device (the drive-level
+// secure-purge built from pLock/bLock). Live data is untouched and no
+// block is erased.
+func (d *Device) Purge() error { return d.ssd.SanitizeAll() }
+
+// Finding is one forensic hit: recovered content at a physical location.
+type Finding struct {
+	Chip, Block, Page int
+}
+
+// ForensicScan plays the §5.1 attacker: it dumps every physical page of
+// every chip through the raw interface and reports where needle appears.
+// On an Evanesco device, deleted secure data never shows up — locked
+// pages read all-zero.
+func (d *Device) ForensicScan(needle []byte) []Finding {
+	var hits []Finding
+	for ci, chip := range d.ssd.Chips() {
+		geo := chip.Geometry()
+		for b := 0; b < geo.Blocks; b++ {
+			for p, data := range chip.ForensicDump(b, 0) {
+				if containsBytes(data, needle) {
+					hits = append(hits, Finding{Chip: ci, Block: b, Page: p})
+				}
+			}
+		}
+	}
+	return hits
+}
+
+func containsBytes(haystack, needle []byte) bool {
+	if len(needle) == 0 || len(haystack) < len(needle) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ErrSanitizationViolated is returned by VerifySanitization when stale
+// data is still readable at the chip level.
+var ErrSanitizationViolated = errors.New("core: stale secured data is readable on a raw chip")
+
+// VerifySanitization checks the paper's C1/C2 conditions device-wide:
+// every physical page that is readable through the raw chip interface
+// and contains data must be live in the FTL. Stale (invalid) pages with
+// recoverable contents violate sanitization. Baseline devices are
+// expected to fail this check after updates or deletes.
+func (d *Device) VerifySanitization() error {
+	f := d.ssd.FTL()
+	g := d.ssd.Geometry()
+	for p := 0; p < g.TotalPages(); p++ {
+		ppa := ftl.PPA(p)
+		if f.Status(ppa).Live() || f.Status(ppa) == ftl.PageFree {
+			continue
+		}
+		chip := d.ssd.Chips()[g.ChipOf(ppa)]
+		res, err := chip.Read(nand.PageAddr{
+			Block: g.BlockInChip(g.BlockOf(ppa)),
+			Page:  g.PageInBlock(ppa),
+		}, 0)
+		if err != nil {
+			continue // locked or unreadable: sanitized
+		}
+		for _, b := range res.Data {
+			if b != 0 {
+				return fmt.Errorf("%w: physical page %d", ErrSanitizationViolated, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Churn writes pseudo-random secure traffic to force GC activity; it is
+// used by examples and tests to reach steady state. To avoid clobbering
+// files (which the file layer allocates from the bottom of the logical
+// space), churn targets the upper half.
+func (d *Device) Churn(requests int, seed int64) error {
+	logical := int64(d.ssd.LogicalPages())
+	span := logical / 2
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i := 0; i < requests; i++ {
+		state = state*2862933555777941757 + 3037000493
+		lpa := int64(state>>17) % span
+		if lpa < 0 {
+			lpa = -lpa
+		}
+		lpa += logical - span
+		if _, err := d.ssd.Submit(blockio.Request{Op: blockio.OpWrite, LPA: lpa, Pages: 1}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

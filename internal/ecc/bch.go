@@ -1,0 +1,252 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUncorrectable is returned when a codeword holds more errors than the
+// code can correct. This is the software analogue of the paper's "exceeds
+// the ECC limit" condition that renders a flash page unreadable.
+var ErrUncorrectable = errors.New("ecc: error count exceeds correction capability")
+
+// BCH is a binary, systematic BCH(n, k) code over GF(2^m) correcting up to
+// T errors per codeword of N = 2^m - 1 bits.
+type BCH struct {
+	field *Field
+	n     int    // codeword length in bits (2^m - 1)
+	k     int    // message length in bits
+	t     int    // designed correction capability
+	gen   []byte // generator polynomial coefficients, gen[i] = coeff of x^i
+	degG  int    // degree of the generator = n - k parity bits
+}
+
+// NewBCH constructs a BCH code over GF(2^m) correcting t errors.
+func NewBCH(m, t int) (*BCH, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("ecc: t must be >= 1, got %d", t)
+	}
+	f, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	// g(x) = lcm of the minimal polynomials of α^1 .. α^2t. Because the
+	// minimal polynomials of conjugates coincide, dedup by value.
+	gen := []byte{1}
+	seen := map[uint64]bool{}
+	for i := 1; i <= 2*t; i++ {
+		mp := f.minPoly(i)
+		if seen[mp] {
+			continue
+		}
+		seen[mp] = true
+		gen = polyMulGF2(gen, mp)
+	}
+	degG := len(gen) - 1
+	n := f.Order()
+	k := n - degG
+	if k <= 0 {
+		return nil, fmt.Errorf("ecc: BCH(m=%d,t=%d) leaves no message bits (n=%d, parity=%d)", m, t, n, degG)
+	}
+	return &BCH{field: f, n: n, k: k, t: t, gen: gen, degG: degG}, nil
+}
+
+func polyMulGF2(a []byte, b uint64) []byte {
+	degB := 63
+	for degB > 0 && b&(1<<uint(degB)) == 0 {
+		degB--
+	}
+	out := make([]byte, len(a)+degB)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j := 0; j <= degB; j++ {
+			if b&(1<<uint(j)) != 0 {
+				out[i+j] ^= 1
+			}
+		}
+	}
+	return out
+}
+
+// N returns the codeword length in bits.
+func (c *BCH) N() int { return c.n }
+
+// K returns the message length in bits.
+func (c *BCH) K() int { return c.k }
+
+// T returns the designed correction capability in bits per codeword.
+func (c *BCH) T() int { return c.t }
+
+// ParityBits returns n - k.
+func (c *BCH) ParityBits() int { return c.degG }
+
+// Encode appends parity to msg. msg must hold exactly K() bits (bit i of
+// the message is msg[i], one bit per byte entry, values 0 or 1). The
+// returned codeword has N() entries: message bits followed by parity bits.
+//
+// The bit-per-byte representation trades memory for clarity; pages in the
+// emulator are small and the chip model already tracks per-cell state.
+func (c *BCH) Encode(msg []byte) ([]byte, error) {
+	if len(msg) != c.k {
+		return nil, fmt.Errorf("ecc: message length %d, want %d bits", len(msg), c.k)
+	}
+	// Systematic encoding: codeword = msg(x)*x^degG + (msg(x)*x^degG mod g).
+	// Compute the remainder with a shift register.
+	rem := make([]byte, c.degG)
+	for i := len(msg) - 1; i >= 0; i-- {
+		fb := msg[i] ^ rem[c.degG-1]
+		copy(rem[1:], rem[:c.degG-1])
+		rem[0] = 0
+		if fb != 0 {
+			for j := 0; j < c.degG; j++ {
+				rem[j] ^= c.gen[j] & fb
+			}
+		}
+	}
+	cw := make([]byte, c.n)
+	copy(cw[:c.degG], rem)
+	copy(cw[c.degG:], msg)
+	return cw, nil
+}
+
+// Syndromes computes S_1..S_2t of a received word. All-zero syndromes mean
+// the word is a valid codeword.
+func (c *BCH) Syndromes(recv []byte) []uint32 {
+	f := c.field
+	synd := make([]uint32, 2*c.t)
+	for j := 1; j <= 2*c.t; j++ {
+		var s uint32
+		for i, bit := range recv {
+			if bit != 0 {
+				s ^= f.Alpha(i * j)
+			}
+		}
+		synd[j-1] = s
+	}
+	return synd
+}
+
+// Decode corrects up to T() bit errors in-place and returns the number of
+// corrected bits. It returns ErrUncorrectable when the error pattern is
+// beyond the code's capability (detected via Berlekamp–Massey degree
+// overflow or a Chien search that does not account for all roots).
+func (c *BCH) Decode(recv []byte) (corrected int, err error) {
+	if len(recv) != c.n {
+		return 0, fmt.Errorf("ecc: received length %d, want %d bits", len(recv), c.n)
+	}
+	synd := c.Syndromes(recv)
+	allZero := true
+	for _, s := range synd {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return 0, nil
+	}
+	sigma := c.berlekampMassey(synd)
+	degSigma := len(sigma) - 1
+	if degSigma > c.t {
+		return 0, ErrUncorrectable
+	}
+	positions := c.chienSearch(sigma)
+	if len(positions) != degSigma {
+		// The locator polynomial does not split over the field: more than
+		// t errors occurred.
+		return 0, ErrUncorrectable
+	}
+	for _, p := range positions {
+		recv[p] ^= 1
+	}
+	// Verify: syndromes of the corrected word must vanish; otherwise the
+	// decoder was fooled by an error pattern beyond its capability.
+	for _, s := range c.Syndromes(recv) {
+		if s != 0 {
+			for _, p := range positions { // roll back
+				recv[p] ^= 1
+			}
+			return 0, ErrUncorrectable
+		}
+	}
+	return len(positions), nil
+}
+
+// berlekampMassey finds the minimal error-locator polynomial σ(x) with
+// σ[0] = 1 such that the syndrome sequence satisfies the LFSR it defines.
+func (c *BCH) berlekampMassey(synd []uint32) []uint32 {
+	f := c.field
+	sigma := []uint32{1}
+	prev := []uint32{1}
+	var l, m int = 0, 1
+	b := uint32(1)
+	for i := 0; i < len(synd); i++ {
+		// Discrepancy d = S_i + sum_{j=1..l} sigma[j] * S_{i-j}
+		d := synd[i]
+		for j := 1; j <= l && j <= len(sigma)-1; j++ {
+			if i-j >= 0 {
+				d ^= f.Mul(sigma[j], synd[i-j])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			tmp := make([]uint32, len(sigma))
+			copy(tmp, sigma)
+			coef := f.Div(d, b)
+			sigma = polyAddScaledShift(f, sigma, prev, coef, m)
+			l = i + 1 - l
+			prev = tmp
+			b = d
+			m = 1
+		} else {
+			coef := f.Div(d, b)
+			sigma = polyAddScaledShift(f, sigma, prev, coef, m)
+			m++
+		}
+	}
+	// Trim trailing zero coefficients.
+	for len(sigma) > 1 && sigma[len(sigma)-1] == 0 {
+		sigma = sigma[:len(sigma)-1]
+	}
+	return sigma
+}
+
+// polyAddScaledShift returns a + coef * x^shift * b over GF(2^m).
+func polyAddScaledShift(f *Field, a, b []uint32, coef uint32, shift int) []uint32 {
+	size := len(a)
+	if len(b)+shift > size {
+		size = len(b) + shift
+	}
+	out := make([]uint32, size)
+	copy(out, a)
+	for i, bi := range b {
+		if bi != 0 {
+			out[i+shift] ^= f.Mul(coef, bi)
+		}
+	}
+	return out
+}
+
+// chienSearch finds bit positions p such that σ(α^-p) = 0.
+func (c *BCH) chienSearch(sigma []uint32) []int {
+	f := c.field
+	var positions []int
+	for p := 0; p < c.n; p++ {
+		// Evaluate σ at α^{-p}.
+		var v uint32
+		for j, cf := range sigma {
+			if cf != 0 {
+				v ^= f.Mul(cf, f.Alpha(-p*j))
+			}
+		}
+		if v == 0 {
+			positions = append(positions, p)
+		}
+	}
+	return positions
+}

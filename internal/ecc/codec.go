@@ -1,0 +1,170 @@
+package ecc
+
+import (
+	"fmt"
+)
+
+// Engine is the interface the flash read path uses. Implementations decide
+// whether a page with a given raw bit-error pattern is recoverable.
+type Engine interface {
+	// CorrectionLimit returns the maximum number of raw bit errors per
+	// CodewordBits() the engine can correct.
+	CorrectionLimit() int
+	// CodewordBits returns the protection granularity in bits.
+	CodewordBits() int
+	// LimitRBER returns the raw bit-error rate at the correction limit;
+	// the paper normalizes every reported RBER to this value.
+	LimitRBER() float64
+}
+
+// Threshold is the abstract ECC model the paper's chip experiments use:
+// a page is readable iff its raw bit-error count per codeword does not
+// exceed the correction limit. It performs no actual correction.
+type Threshold struct {
+	Limit int // correctable bits per codeword
+	Bits  int // codeword length in bits
+}
+
+// NewThreshold builds a threshold model correcting limit bits per
+// codewordBits-bit codeword.
+func NewThreshold(limit, codewordBits int) Threshold {
+	if limit < 0 || codewordBits <= 0 {
+		panic(fmt.Sprintf("ecc: invalid threshold model limit=%d bits=%d", limit, codewordBits))
+	}
+	return Threshold{Limit: limit, Bits: codewordBits}
+}
+
+// CorrectionLimit implements Engine.
+func (t Threshold) CorrectionLimit() int { return t.Limit }
+
+// CodewordBits implements Engine.
+func (t Threshold) CodewordBits() int { return t.Bits }
+
+// LimitRBER implements Engine.
+func (t Threshold) LimitRBER() float64 { return float64(t.Limit) / float64(t.Bits) }
+
+// Readable reports whether a codeword with rawErrors bit errors can be
+// recovered.
+func (t Threshold) Readable(rawErrors int) bool { return rawErrors <= t.Limit }
+
+// NormalizeRBER expresses a raw bit-error rate as a multiple of the ECC
+// limit, matching the paper's "Normalized RBER" axes where 1.0 is the
+// correction capability.
+func (t Threshold) NormalizeRBER(rber float64) float64 {
+	return rber / t.LimitRBER()
+}
+
+// PageCodec protects a flash page by splitting it into BCH codewords. It
+// satisfies Engine and additionally performs real encode/decode on byte
+// payloads, which the SecureSSD read path uses for error injection tests.
+type PageCodec struct {
+	code *BCH
+	// msgBytes is the number of payload bytes carried per codeword
+	// (k/8 rounded down; remaining message bits are zero-padded).
+	msgBytes int
+}
+
+// NewPageCodec builds a page codec from a BCH(m, t) code.
+func NewPageCodec(m, t int) (*PageCodec, error) {
+	code, err := NewBCH(m, t)
+	if err != nil {
+		return nil, err
+	}
+	mb := code.K() / 8
+	if mb == 0 {
+		return nil, fmt.Errorf("ecc: BCH(m=%d,t=%d) cannot carry a byte payload", m, t)
+	}
+	return &PageCodec{code: code, msgBytes: mb}, nil
+}
+
+// CorrectionLimit implements Engine.
+func (p *PageCodec) CorrectionLimit() int { return p.code.T() }
+
+// CodewordBits implements Engine.
+func (p *PageCodec) CodewordBits() int { return p.code.N() }
+
+// LimitRBER implements Engine.
+func (p *PageCodec) LimitRBER() float64 { return float64(p.code.T()) / float64(p.code.N()) }
+
+// MessageBytesPerCodeword returns the payload bytes per codeword.
+func (p *PageCodec) MessageBytesPerCodeword() int { return p.msgBytes }
+
+// CodewordsFor returns how many codewords protect a payload of n bytes.
+func (p *PageCodec) CodewordsFor(n int) int {
+	return (n + p.msgBytes - 1) / p.msgBytes
+}
+
+// EncodePage encodes a byte payload into a slice of codewords, each
+// represented as a bit-per-byte slice of length N().
+func (p *PageCodec) EncodePage(data []byte) ([][]byte, error) {
+	ncw := p.CodewordsFor(len(data))
+	out := make([][]byte, 0, ncw)
+	for i := 0; i < ncw; i++ {
+		lo := i * p.msgBytes
+		hi := lo + p.msgBytes
+		if hi > len(data) {
+			hi = len(data)
+		}
+		msg := make([]byte, p.code.K())
+		bytesToBits(data[lo:hi], msg)
+		cw, err := p.code.Encode(msg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cw)
+	}
+	return out, nil
+}
+
+// DecodePage decodes codewords back into a payload of origLen bytes,
+// correcting bit errors. It returns the payload, the total number of
+// corrected bits, and ErrUncorrectable if any codeword is beyond repair.
+func (p *PageCodec) DecodePage(codewords [][]byte, origLen int) ([]byte, int, error) {
+	data := make([]byte, 0, origLen)
+	total := 0
+	for i, cw := range codewords {
+		n, err := p.code.Decode(cw)
+		if err != nil {
+			return nil, total, fmt.Errorf("ecc: codeword %d: %w", i, err)
+		}
+		total += n
+		lo := i * p.msgBytes
+		take := p.msgBytes
+		if lo+take > origLen {
+			take = origLen - lo
+		}
+		if take <= 0 {
+			break
+		}
+		chunk := make([]byte, take)
+		bitsToBytes(cw[p.code.ParityBits():], chunk)
+		data = append(data, chunk...)
+	}
+	return data, total, nil
+}
+
+// bytesToBits expands bytes into bit-per-byte form (LSB first) into dst.
+func bytesToBits(src, dst []byte) {
+	for i, b := range src {
+		for j := 0; j < 8; j++ {
+			if i*8+j >= len(dst) {
+				return
+			}
+			dst[i*8+j] = (b >> uint(j)) & 1
+		}
+	}
+}
+
+// bitsToBytes packs bit-per-byte form (LSB first) back into bytes.
+func bitsToBytes(src, dst []byte) {
+	for i := range dst {
+		var b byte
+		for j := 0; j < 8; j++ {
+			idx := i*8 + j
+			if idx < len(src) && src[idx] != 0 {
+				b |= 1 << uint(j)
+			}
+		}
+		dst[i] = b
+	}
+}

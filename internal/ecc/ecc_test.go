@@ -1,0 +1,416 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldConstruction(t *testing.T) {
+	for m := 3; m <= 14; m++ {
+		f, err := NewField(m)
+		if err != nil {
+			t.Fatalf("NewField(%d): %v", m, err)
+		}
+		if f.Order() != (1<<m)-1 {
+			t.Fatalf("m=%d: Order = %d, want %d", m, f.Order(), (1<<m)-1)
+		}
+	}
+	if _, err := NewField(2); err == nil {
+		t.Fatal("NewField(2) should fail")
+	}
+	if _, err := NewField(15); err == nil {
+		t.Fatal("NewField(15) should fail")
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f, _ := NewField(8)
+	n := uint32(f.Order())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := rng.Uint32()%n + 1
+		b := rng.Uint32()%n + 1
+		c := rng.Uint32()%n + 1
+		// Commutativity and associativity of Mul.
+		if f.Mul(a, b) != f.Mul(b, a) {
+			t.Fatalf("Mul not commutative for %d,%d", a, b)
+		}
+		if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+			t.Fatalf("Mul not associative for %d,%d,%d", a, b, c)
+		}
+		// Inverse.
+		if f.Mul(a, f.Inv(a)) != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d", a)
+		}
+		// Div consistency.
+		if f.Div(f.Mul(a, b), b) != a {
+			t.Fatalf("(a*b)/b != a for %d,%d", a, b)
+		}
+	}
+}
+
+func TestFieldMulZero(t *testing.T) {
+	f, _ := NewField(5)
+	if f.Mul(0, 7) != 0 || f.Mul(7, 0) != 0 {
+		t.Fatal("Mul with zero should be zero")
+	}
+	if f.Pow(0, 0) != 1 {
+		t.Fatal("0^0 should be 1")
+	}
+	if f.Pow(0, 3) != 0 {
+		t.Fatal("0^3 should be 0")
+	}
+}
+
+func TestFieldPow(t *testing.T) {
+	f, _ := NewField(6)
+	a := f.Alpha(1)
+	// a^(order) == 1 (Lagrange)
+	if f.Pow(a, f.Order()) != 1 {
+		t.Fatal("alpha^order != 1")
+	}
+	// Pow matches repeated multiplication.
+	x := uint32(1)
+	for e := 0; e < 20; e++ {
+		if f.Pow(a, e) != x {
+			t.Fatalf("Pow(α,%d) mismatch", e)
+		}
+		x = f.Mul(x, a)
+	}
+	// Negative exponents via Alpha.
+	if f.Mul(f.Alpha(5), f.Alpha(-5)) != 1 {
+		t.Fatal("α^5 * α^-5 != 1")
+	}
+}
+
+func TestFieldPanics(t *testing.T) {
+	f, _ := NewField(4)
+	mustPanic(t, "Log(0)", func() { f.Log(0) })
+	mustPanic(t, "Div by 0", func() { f.Div(3, 0) })
+	mustPanic(t, "Inv(0)", func() { f.Inv(0) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s should panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestBCHParameters(t *testing.T) {
+	// Classic codes: BCH(15,7,2), BCH(15,5,3), BCH(31,21,2), BCH(63,45,3).
+	cases := []struct{ m, t, wantK int }{
+		{4, 2, 7},
+		{4, 3, 5},
+		{5, 2, 21},
+		{6, 3, 45},
+		{8, 8, 191},
+	}
+	for _, c := range cases {
+		code, err := NewBCH(c.m, c.t)
+		if err != nil {
+			t.Fatalf("NewBCH(%d,%d): %v", c.m, c.t, err)
+		}
+		if code.K() != c.wantK {
+			t.Errorf("BCH(m=%d,t=%d): K = %d, want %d", c.m, c.t, code.K(), c.wantK)
+		}
+		if code.N() != (1<<c.m)-1 {
+			t.Errorf("BCH(m=%d,t=%d): N = %d, want %d", c.m, c.t, code.N(), (1<<c.m)-1)
+		}
+	}
+}
+
+func TestBCHRejectsBadParams(t *testing.T) {
+	if _, err := NewBCH(4, 0); err == nil {
+		t.Fatal("t=0 should be rejected")
+	}
+	// t=7 over GF(2^4) degenerates to the k=1 repetition-like code: the
+	// generator absorbs every conjugacy class but α^0, so one message bit
+	// remains. It must still construct.
+	if code, err := NewBCH(4, 7); err != nil || code.K() != 1 {
+		t.Fatalf("NewBCH(4,7) = (K=%v, %v), want K=1 code", code, err)
+	}
+	if _, err := NewBCH(99, 2); err == nil {
+		t.Fatal("unsupported m should be rejected")
+	}
+}
+
+func TestBCHEncodeValidCodeword(t *testing.T) {
+	code, _ := NewBCH(5, 3)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		msg := randomBits(rng, code.K())
+		cw, err := code.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range code.Syndromes(cw) {
+			if s != 0 {
+				t.Fatal("encoded codeword has nonzero syndrome")
+			}
+		}
+		// Systematic property: message occupies the high positions.
+		if !bytes.Equal(cw[code.ParityBits():], msg) {
+			t.Fatal("code is not systematic")
+		}
+	}
+}
+
+func TestBCHCorrectsUpToT(t *testing.T) {
+	for _, params := range []struct{ m, t int }{{4, 2}, {5, 3}, {6, 4}, {8, 8}} {
+		code, err := NewBCH(params.m, params.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(params.m*100 + params.t)))
+		for trial := 0; trial < 30; trial++ {
+			msg := randomBits(rng, code.K())
+			cw, _ := code.Encode(msg)
+			for nerr := 0; nerr <= code.T(); nerr++ {
+				recv := append([]byte(nil), cw...)
+				flipRandomBits(rng, recv, nerr)
+				got, err := code.Decode(recv)
+				if err != nil {
+					t.Fatalf("BCH(m=%d,t=%d) failed to correct %d errors: %v",
+						params.m, params.t, nerr, err)
+				}
+				if got != nerr {
+					t.Fatalf("corrected %d, want %d", got, nerr)
+				}
+				if !bytes.Equal(recv, cw) {
+					t.Fatal("decoded word differs from original codeword")
+				}
+			}
+		}
+	}
+}
+
+func TestBCHDetectsBeyondT(t *testing.T) {
+	code, _ := NewBCH(6, 2)
+	rng := rand.New(rand.NewSource(3))
+	detected, miscorrected := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		msg := randomBits(rng, code.K())
+		cw, _ := code.Encode(msg)
+		recv := append([]byte(nil), cw...)
+		flipRandomBits(rng, recv, code.T()+2)
+		before := append([]byte(nil), recv...)
+		_, err := code.Decode(recv)
+		if errors.Is(err, ErrUncorrectable) {
+			detected++
+			if !bytes.Equal(recv, before) {
+				t.Fatal("failed decode must leave the word unchanged")
+			}
+		} else if err == nil {
+			// Miscorrection to a *different valid codeword* is possible for
+			// error patterns beyond t; it must still be a valid codeword.
+			for _, s := range code.Syndromes(recv) {
+				if s != 0 {
+					t.Fatal("decoder claimed success but output is not a codeword")
+				}
+			}
+			miscorrected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("decoder never detected an uncorrectable pattern")
+	}
+	t.Logf("beyond-t patterns: %d detected, %d miscorrected (both acceptable)", detected, miscorrected)
+}
+
+func TestBCHDecodeLengthCheck(t *testing.T) {
+	code, _ := NewBCH(4, 2)
+	if _, err := code.Decode(make([]byte, 3)); err == nil {
+		t.Fatal("short word should be rejected")
+	}
+	if _, err := code.Encode(make([]byte, 3)); err == nil {
+		t.Fatal("short message should be rejected")
+	}
+}
+
+func TestThresholdModel(t *testing.T) {
+	th := NewThreshold(72, 1<<13)
+	if !th.Readable(72) {
+		t.Fatal("exactly-at-limit should be readable")
+	}
+	if th.Readable(73) {
+		t.Fatal("beyond-limit should be unreadable")
+	}
+	if th.LimitRBER() != 72.0/8192.0 {
+		t.Fatalf("LimitRBER = %v", th.LimitRBER())
+	}
+	if got := th.NormalizeRBER(72.0 / 8192.0); got != 1.0 {
+		t.Fatalf("NormalizeRBER(limit) = %v, want 1.0", got)
+	}
+	mustPanic(t, "negative limit", func() { NewThreshold(-1, 10) })
+}
+
+func TestPageCodecRoundTrip(t *testing.T) {
+	pc, err := NewPageCodec(8, 8) // BCH(255, 191, 8): 23 payload bytes/cw
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, size := range []int{1, 23, 24, 100, 512} {
+		data := make([]byte, size)
+		rng.Read(data)
+		cws, err := pc.EncodePage(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cws) != pc.CodewordsFor(size) {
+			t.Fatalf("size %d: %d codewords, want %d", size, len(cws), pc.CodewordsFor(size))
+		}
+		got, corrected, err := pc.DecodePage(cws, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corrected != 0 {
+			t.Fatalf("clean decode corrected %d bits", corrected)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+func TestPageCodecCorrectsErrors(t *testing.T) {
+	pc, _ := NewPageCodec(8, 8)
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 64)
+	rng.Read(data)
+	cws, _ := pc.EncodePage(data)
+	// Flip t bits in each codeword.
+	for _, cw := range cws {
+		flipRandomBits(rng, cw, pc.CorrectionLimit())
+	}
+	got, corrected, err := pc.DecodePage(cws, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected != pc.CorrectionLimit()*len(cws) {
+		t.Fatalf("corrected %d bits, want %d", corrected, pc.CorrectionLimit()*len(cws))
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("corrected payload mismatch")
+	}
+}
+
+func TestPageCodecUncorrectable(t *testing.T) {
+	pc, _ := NewPageCodec(8, 4)
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 32)
+	rng.Read(data)
+	cws, _ := pc.EncodePage(data)
+	flipRandomBits(rng, cws[0], pc.CorrectionLimit()*3)
+	if _, _, err := pc.DecodePage(cws, len(data)); err == nil {
+		t.Log("pattern happened to decode to a codeword (miscorrection); acceptable but rare")
+	}
+}
+
+func TestBitConversionRoundTrip(t *testing.T) {
+	src := []byte{0xA5, 0x01, 0xFF, 0x00}
+	bits := make([]byte, 32)
+	bytesToBits(src, bits)
+	dst := make([]byte, 4)
+	bitsToBytes(bits, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatalf("round trip %x -> %x", src, dst)
+	}
+}
+
+// Property: encode-corrupt(≤t)-decode always restores the message.
+func TestBCHRoundTripProperty(t *testing.T) {
+	code, _ := NewBCH(6, 3)
+	f := func(seed int64, nerr uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		msg := randomBits(rng, code.K())
+		cw, err := code.Encode(msg)
+		if err != nil {
+			return false
+		}
+		recv := append([]byte(nil), cw...)
+		flipRandomBits(rng, recv, int(nerr)%(code.T()+1))
+		if _, err := code.Decode(recv); err != nil {
+			return false
+		}
+		return bytes.Equal(recv, cw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PageCodec round-trips arbitrary payloads unchanged.
+func TestPageCodecRoundTripProperty(t *testing.T) {
+	pc, _ := NewPageCodec(8, 4)
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		cws, err := pc.EncodePage(data)
+		if err != nil {
+			return false
+		}
+		got, _, err := pc.DecodePage(cws, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomBits(rng *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	return bits
+}
+
+func flipRandomBits(rng *rand.Rand, word []byte, n int) {
+	perm := rng.Perm(len(word))
+	for i := 0; i < n && i < len(word); i++ {
+		word[perm[i]] ^= 1
+	}
+}
+
+func BenchmarkBCHEncode(b *testing.B) {
+	code, _ := NewBCH(10, 8) // BCH(1023), ~8 KiB-class protection
+	rng := rand.New(rand.NewSource(1))
+	msg := randomBits(rng, code.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBCHDecode(b *testing.B) {
+	code, _ := NewBCH(10, 8)
+	rng := rand.New(rand.NewSource(2))
+	msg := randomBits(rng, code.K())
+	cw, _ := code.Encode(msg)
+	recv := append([]byte(nil), cw...)
+	flipRandomBits(rng, recv, code.T())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := append([]byte(nil), recv...)
+		if _, err := code.Decode(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

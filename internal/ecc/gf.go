@@ -1,0 +1,175 @@
+// Package ecc implements the error-correction substrate used by the
+// emulated flash storage stack: Galois-field arithmetic over GF(2^m) and a
+// binary BCH(n, k, t) codec (systematic encoder, Berlekamp–Massey decoder
+// with Chien search).
+//
+// The paper treats the on-chip ECC engine as a black box with a correction
+// limit ("ECC limit"): a page whose raw bit-error count exceeds t is
+// unreadable. This package provides both that abstract threshold model
+// (PageCodec.Limit) and the real codec, so the SecureSSD read path can
+// actually correct injected bit errors.
+package ecc
+
+import "fmt"
+
+// primitivePolys[m] is a primitive polynomial of degree m over GF(2),
+// encoded with bit i = coefficient of x^i. Standard table (Lin & Costello).
+var primitivePolys = map[int]uint32{
+	3:  0b1011,            // x^3 + x + 1
+	4:  0b10011,           // x^4 + x + 1
+	5:  0b100101,          // x^5 + x^2 + 1
+	6:  0b1000011,         // x^6 + x + 1
+	7:  0b10001001,        // x^7 + x^3 + 1
+	8:  0b100011101,       // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0b1000010001,      // x^9 + x^4 + 1
+	10: 0b10000001001,     // x^10 + x^3 + 1
+	11: 0b100000000101,    // x^11 + x^2 + 1
+	12: 0b1000001010011,   // x^12 + x^6 + x^4 + x + 1
+	13: 0b10000000011011,  // x^13 + x^4 + x^3 + x + 1
+	14: 0b100010001000011, // x^14 + x^10 + x^6 + x + 1
+}
+
+// Field is GF(2^m) with exp/log tables for O(1) multiplication.
+type Field struct {
+	m    int
+	n    int // 2^m - 1, the multiplicative-group order
+	exp  []uint32
+	log  []int
+	poly uint32
+}
+
+// NewField constructs GF(2^m) for 3 <= m <= 14.
+func NewField(m int) (*Field, error) {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("ecc: no primitive polynomial for m=%d (want 3..14)", m)
+	}
+	f := &Field{
+		m:    m,
+		n:    (1 << m) - 1,
+		exp:  make([]uint32, 2*((1<<m)-1)),
+		log:  make([]int, 1<<m),
+		poly: poly,
+	}
+	x := uint32(1)
+	for i := 0; i < f.n; i++ {
+		f.exp[i] = x
+		f.log[x] = i
+		x <<= 1
+		if x&(1<<m) != 0 {
+			x ^= poly
+		}
+	}
+	// Duplicate the exp table so Mul can skip a modulo.
+	copy(f.exp[f.n:], f.exp[:f.n])
+	f.log[0] = -1 // log of zero is undefined
+	return f, nil
+}
+
+// M returns the field extension degree m.
+func (f *Field) M() int { return f.m }
+
+// Order returns 2^m - 1.
+func (f *Field) Order() int { return f.n }
+
+// Alpha returns α^i (the primitive element raised to i, reduced mod 2^m-1).
+func (f *Field) Alpha(i int) uint32 {
+	i %= f.n
+	if i < 0 {
+		i += f.n
+	}
+	return f.exp[i]
+}
+
+// Log returns log_α(x); it panics for x == 0.
+func (f *Field) Log(x uint32) int {
+	if x == 0 {
+		panic("ecc: log of zero")
+	}
+	return f.log[x]
+}
+
+// Mul multiplies two field elements.
+func (f *Field) Mul(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Div divides a by b; it panics when b == 0.
+func (f *Field) Div(a, b uint32) uint32 {
+	if b == 0 {
+		panic("ecc: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := f.log[a] - f.log[b]
+	if d < 0 {
+		d += f.n
+	}
+	return f.exp[d]
+}
+
+// Inv returns the multiplicative inverse of a; it panics when a == 0.
+func (f *Field) Inv(a uint32) uint32 {
+	if a == 0 {
+		panic("ecc: inverse of zero")
+	}
+	return f.exp[f.n-f.log[a]]
+}
+
+// Pow returns a^e (with 0^0 = 1).
+func (f *Field) Pow(a uint32, e int) uint32 {
+	if a == 0 {
+		if e == 0 {
+			return 1
+		}
+		return 0
+	}
+	le := (f.log[a] * e) % f.n
+	if le < 0 {
+		le += f.n
+	}
+	return f.exp[le]
+}
+
+// minPoly returns the minimal polynomial over GF(2) of α^i, encoded with
+// bit j = coefficient of x^j. It multiplies (x - α^i)(x - α^2i)... over the
+// conjugacy class of α^i.
+func (f *Field) minPoly(i int) uint64 {
+	// Collect the conjugacy class {i, 2i, 4i, ...} mod (2^m - 1).
+	seen := map[int]bool{}
+	class := []int{}
+	c := i % f.n
+	for !seen[c] {
+		seen[c] = true
+		class = append(class, c)
+		c = (c * 2) % f.n
+	}
+	// poly is a polynomial with GF(2^m) coefficients; start with 1.
+	poly := []uint32{1}
+	for _, e := range class {
+		root := f.exp[e]
+		// poly *= (x + root)
+		next := make([]uint32, len(poly)+1)
+		for j, cf := range poly {
+			next[j+1] ^= cf            // x * cf
+			next[j] ^= f.Mul(cf, root) // root * cf
+		}
+		poly = next
+	}
+	// The result must have coefficients in GF(2).
+	var out uint64
+	for j, cf := range poly {
+		switch cf {
+		case 0:
+		case 1:
+			out |= 1 << uint(j)
+		default:
+			panic(fmt.Sprintf("ecc: minimal polynomial has non-binary coefficient %d", cf))
+		}
+	}
+	return out
+}

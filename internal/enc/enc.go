@@ -1,0 +1,141 @@
+// Package enc implements the encryption-based sanitization alternative
+// the paper's related work discusses (§8, [3][59][60][61]): every file is
+// encrypted with its own key, and "sanitizing" the file means destroying
+// the key. The data remains physically present but computationally
+// unreadable.
+//
+// The paper's critique, which this package lets the benchmarks quantify
+// and the tests demonstrate:
+//
+//   - every read and write pays the cipher cost;
+//   - the keystore itself must live somewhere and be destroyed reliably
+//     (here: a keystore region that must itself be sanitized — if it is
+//     stored on a baseline flash region, deleted keys linger exactly like
+//     deleted data, §8's "if the encryption key is compromised");
+//   - a leaked key retroactively unlocks every stale copy of the file,
+//     which Evanesco's physical locks are immune to.
+//
+// The cipher is AES-CTR with a per-file random key and per-page IVs
+// derived from the logical page address.
+package enc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// KeyStore holds per-file data-encryption keys. DestroyKey implements
+// key-deletion sanitization; WipedProof lets tests check whether the key
+// material is really gone (the paper's cold-boot/subpoena threat).
+type KeyStore struct {
+	keys map[uint64][]byte
+	// graveyard retains "deleted" key bytes when Sloppy is set, modeling
+	// a keystore that unlinks instead of erasing — the §8 failure mode.
+	graveyard map[uint64][]byte
+	// Sloppy makes DestroyKey leave the key recoverable (like storing
+	// the keystore on a conventional SSD region).
+	Sloppy bool
+	rng    *rand.Rand
+}
+
+// NewKeyStore creates a keystore; the seed makes key material
+// deterministic for tests.
+func NewKeyStore(seed int64) *KeyStore {
+	return &KeyStore{
+		keys:      map[uint64][]byte{},
+		graveyard: map[uint64][]byte{},
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ErrNoKey is returned when a file's key is absent (never created or
+// destroyed).
+var ErrNoKey = errors.New("enc: no key for file")
+
+// CreateKey issues a fresh 128-bit key for the file.
+func (ks *KeyStore) CreateKey(fileID uint64) ([]byte, error) {
+	if _, exists := ks.keys[fileID]; exists {
+		return nil, fmt.Errorf("enc: key for file %d already exists", fileID)
+	}
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(ks.rng.Intn(256))
+	}
+	ks.keys[fileID] = key
+	return key, nil
+}
+
+// Key returns the file's key.
+func (ks *KeyStore) Key(fileID uint64) ([]byte, error) {
+	k, ok := ks.keys[fileID]
+	if !ok {
+		return nil, ErrNoKey
+	}
+	return k, nil
+}
+
+// DestroyKey sanitizes the file by deleting its key. With Sloppy set the
+// key bytes survive in the graveyard — recoverable by the §5.1 attacker.
+func (ks *KeyStore) DestroyKey(fileID uint64) error {
+	k, ok := ks.keys[fileID]
+	if !ok {
+		return ErrNoKey
+	}
+	if ks.Sloppy {
+		ks.graveyard[fileID] = append([]byte(nil), k...)
+	} else {
+		for i := range k {
+			k[i] = 0
+		}
+	}
+	delete(ks.keys, fileID)
+	return nil
+}
+
+// RecoverDestroyedKey is the attacker's move against a sloppy keystore.
+func (ks *KeyStore) RecoverDestroyedKey(fileID uint64) ([]byte, bool) {
+	k, ok := ks.graveyard[fileID]
+	return k, ok
+}
+
+// Keys returns the number of live keys.
+func (ks *KeyStore) Keys() int { return len(ks.keys) }
+
+// Cipher encrypts/decrypts page payloads with AES-CTR. The IV is derived
+// from the logical page address, so pages are independently decryptable.
+type Cipher struct {
+	block cipher.Block
+}
+
+// NewCipher builds a page cipher from a 16/24/32-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Cipher{block: b}, nil
+}
+
+// iv derives the counter block for a logical page.
+func (c *Cipher) iv(lpa int64) []byte {
+	iv := make([]byte, aes.BlockSize)
+	binary.LittleEndian.PutUint64(iv, uint64(lpa))
+	iv[15] = 0x5A // domain separation from an all-zero IV
+	return iv
+}
+
+// EncryptPage returns the ciphertext of a page payload.
+func (c *Cipher) EncryptPage(lpa int64, plain []byte) []byte {
+	out := make([]byte, len(plain))
+	cipher.NewCTR(c.block, c.iv(lpa)).XORKeyStream(out, plain)
+	return out
+}
+
+// DecryptPage returns the plaintext of a page payload (CTR is symmetric).
+func (c *Cipher) DecryptPage(lpa int64, ct []byte) []byte {
+	return c.EncryptPage(lpa, ct)
+}

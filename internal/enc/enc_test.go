@@ -1,0 +1,132 @@
+package enc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyLifecycle(t *testing.T) {
+	ks := NewKeyStore(1)
+	key, err := ks.CreateKey(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != 16 {
+		t.Fatalf("key length %d", len(key))
+	}
+	if _, err := ks.CreateKey(7); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	got, err := ks.Key(7)
+	if err != nil || !bytes.Equal(got, key) {
+		t.Fatal("key lookup failed")
+	}
+	if err := ks.DestroyKey(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.Key(7); !errors.Is(err, ErrNoKey) {
+		t.Fatal("destroyed key still resolvable")
+	}
+	if err := ks.DestroyKey(7); !errors.Is(err, ErrNoKey) {
+		t.Fatal("double destroy should fail")
+	}
+	if ks.Keys() != 0 {
+		t.Fatal("keystore not empty")
+	}
+}
+
+// Proper key destruction zeroizes; a sloppy keystore leaks — the §8
+// failure mode Evanesco is immune to.
+func TestDestroyKeyZeroizes(t *testing.T) {
+	ks := NewKeyStore(2)
+	key, _ := ks.CreateKey(1)
+	held := key // the attacker captured a pointer (cold boot)
+	ks.DestroyKey(1)
+	for _, b := range held {
+		if b != 0 {
+			t.Fatal("key bytes not zeroized on destroy")
+		}
+	}
+	if _, ok := ks.RecoverDestroyedKey(1); ok {
+		t.Fatal("strict keystore must not retain destroyed keys")
+	}
+
+	sloppy := NewKeyStore(3)
+	sloppy.Sloppy = true
+	orig, _ := sloppy.CreateKey(1)
+	snapshot := append([]byte(nil), orig...)
+	sloppy.DestroyKey(1)
+	rec, ok := sloppy.RecoverDestroyedKey(1)
+	if !ok || !bytes.Equal(rec, snapshot) {
+		t.Fatal("sloppy keystore should leak the destroyed key (that's the point)")
+	}
+}
+
+func TestCipherRoundTrip(t *testing.T) {
+	ks := NewKeyStore(4)
+	key, _ := ks.CreateKey(1)
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte("attorney-client privileged material")
+	ct := c.EncryptPage(42, plain)
+	if bytes.Equal(ct, plain) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	if got := c.DecryptPage(42, ct); !bytes.Equal(got, plain) {
+		t.Fatal("decrypt failed")
+	}
+	// A different page decrypts to garbage (per-page IVs).
+	if got := c.DecryptPage(43, ct); bytes.Equal(got, plain) {
+		t.Fatal("page IVs not independent")
+	}
+}
+
+func TestCipherRejectsBadKey(t *testing.T) {
+	if _, err := NewCipher([]byte("short")); err == nil {
+		t.Fatal("bad key length accepted")
+	}
+}
+
+func TestKeyDeletionSanitizes(t *testing.T) {
+	// The whole premise: without the key, the ciphertext is useless...
+	ks := NewKeyStore(5)
+	key, _ := ks.CreateKey(1)
+	c, _ := NewCipher(key)
+	plain := bytes.Repeat([]byte("secret "), 100)
+	ct := c.EncryptPage(0, plain)
+	ks.DestroyKey(1)
+	// ...but the ciphertext is still physically present, and a leaked key
+	// copy decrypts it — unlike a pLock'd page, which is gone for anyone.
+	leaked, _ := NewCipher(append([]byte(nil), key...)) // zeroized: wrong key
+	if got := leaked.DecryptPage(0, ct); bytes.Equal(got, plain) {
+		t.Fatal("zeroized key still decrypts")
+	}
+}
+
+// Property: encrypt/decrypt is the identity for any payload and page.
+func TestCipherRoundTripProperty(t *testing.T) {
+	ks := NewKeyStore(6)
+	key, _ := ks.CreateKey(1)
+	c, _ := NewCipher(key)
+	f := func(lpa int64, data []byte) bool {
+		if lpa < 0 {
+			lpa = -lpa
+		}
+		return bytes.Equal(c.DecryptPage(lpa, c.EncryptPage(lpa, data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a, _ := NewKeyStore(9).CreateKey(1)
+	b, _ := NewKeyStore(9).CreateKey(1)
+	if !bytes.Equal(a, b) {
+		t.Fatal("seeded keystore should be deterministic")
+	}
+}

@@ -1,0 +1,401 @@
+// Package filesys emulates the host file layer of the paper's system
+// stack: files map to logical-page extents, deletion unlinks and trims,
+// and the O_INSEC open flag (§6) propagates to the block layer as
+// REQ_OP_INSEC_WRITE so SecureSSD can sanitize selectively.
+//
+// The allocator is ext4-like in spirit: it prefers contiguous extents
+// via a next-fit scan over a free bitmap. The package is deliberately
+// simple — it exists to generate realistic LPA patterns (creates,
+// appends, in-place overwrites, deletes) for the workload generators and
+// the VerTrace study, not to be a POSIX file system.
+package filesys
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/sim"
+)
+
+// Device is the block device under the file system.
+type Device interface {
+	Submit(req blockio.Request) (sim.Micros, error)
+}
+
+// OpenFlag mirrors the paper's extended open(2) flags.
+type OpenFlag uint32
+
+const (
+	// OInsec marks a file's data as security-insensitive: its writes are
+	// flagged REQ_OP_INSEC_WRITE and its deletion carries no sanitization
+	// guarantee.
+	OInsec OpenFlag = 1 << iota
+)
+
+// ErrNoSpace is returned when the logical space is exhausted.
+var ErrNoSpace = errors.New("filesys: no space left on device")
+
+// ErrNotFound is returned for operations on unknown files.
+var ErrNotFound = errors.New("filesys: file not found")
+
+// Observer receives file-lifecycle notifications. The VerTrace study uses
+// them to classify files as uni-version (append-only / write-once) or
+// multi-version (overwritten, truncated, or deleted), per §3.
+type Observer interface {
+	FileCreated(id uint64, insecure bool)
+	FileOverwritten(id uint64)
+	FileDeleted(id uint64)
+}
+
+// File is an open file's metadata.
+type File struct {
+	ID       uint64
+	Name     string
+	Insecure bool
+	// extents holds the logical pages backing the file, in file order.
+	extents []int64
+}
+
+// Pages returns the file size in logical pages.
+func (f *File) Pages() int { return len(f.extents) }
+
+// FS is the emulated file system.
+type FS struct {
+	dev       Device
+	pageBytes int
+	total     int64
+	freePages int64
+	bitmap    []uint64 // 1 = used
+	scan      int64    // next-fit cursor
+	files     map[uint64]*File
+	byName    map[string]uint64
+	nextID    uint64
+	observer  Observer
+}
+
+// SetObserver installs a lifecycle observer (nil to remove).
+func (fs *FS) SetObserver(o Observer) { fs.observer = o }
+
+// New creates a file system over dev exporting totalPages logical pages.
+func New(dev Device, totalPages int64, pageBytes int) (*FS, error) {
+	if dev == nil || totalPages <= 0 || pageBytes <= 0 {
+		return nil, fmt.Errorf("filesys: bad parameters dev=%v pages=%d size=%d", dev, totalPages, pageBytes)
+	}
+	return &FS{
+		dev:       dev,
+		pageBytes: pageBytes,
+		total:     totalPages,
+		freePages: totalPages,
+		bitmap:    make([]uint64, (totalPages+63)/64),
+		files:     map[uint64]*File{},
+		byName:    map[string]uint64{},
+		nextID:    1,
+	}, nil
+}
+
+// FreePages returns the unallocated logical pages.
+func (fs *FS) FreePages() int64 { return fs.freePages }
+
+// TotalPages returns the exported capacity.
+func (fs *FS) TotalPages() int64 { return fs.total }
+
+// Files returns the number of live files.
+func (fs *FS) Files() int { return len(fs.files) }
+
+// Lookup finds a file by name.
+func (fs *FS) Lookup(name string) (*File, bool) {
+	id, ok := fs.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return fs.files[id], true
+}
+
+// Get returns a file by ID.
+func (fs *FS) Get(id uint64) (*File, bool) {
+	f, ok := fs.files[id]
+	return f, ok
+}
+
+// Create makes an empty file. Flags control its security requirement.
+func (fs *FS) Create(name string, flags OpenFlag) (*File, error) {
+	if _, exists := fs.byName[name]; exists {
+		return nil, fmt.Errorf("filesys: %q already exists", name)
+	}
+	f := &File{
+		ID:       fs.nextID,
+		Name:     name,
+		Insecure: flags&OInsec != 0,
+	}
+	fs.nextID++
+	fs.files[f.ID] = f
+	fs.byName[name] = f.ID
+	if fs.observer != nil {
+		fs.observer.FileCreated(f.ID, f.Insecure)
+	}
+	return f, nil
+}
+
+// Append extends the file by n pages and writes them.
+func (fs *FS) Append(f *File, n int) error {
+	if _, ok := fs.files[f.ID]; !ok {
+		return ErrNotFound
+	}
+	if n <= 0 {
+		return nil
+	}
+	extents, err := fs.alloc(n)
+	if err != nil {
+		return err
+	}
+	f.extents = append(f.extents, extents...)
+	return fs.writeExtents(f, extents)
+}
+
+// Overwrite rewrites n pages of the file starting at page offset off
+// (in-place at the file-system level; the FTL makes it out-of-place).
+func (fs *FS) Overwrite(f *File, off, n int) error {
+	if _, ok := fs.files[f.ID]; !ok {
+		return ErrNotFound
+	}
+	if off < 0 || n < 0 || off+n > len(f.extents) {
+		return fmt.Errorf("filesys: overwrite [%d,%d) outside %q (%d pages)", off, off+n, f.Name, len(f.extents))
+	}
+	if fs.observer != nil && n > 0 {
+		fs.observer.FileOverwritten(f.ID)
+	}
+	return fs.writeExtents(f, f.extents[off:off+n])
+}
+
+// Read reads n pages of the file starting at page offset off.
+func (fs *FS) Read(f *File, off, n int) error {
+	if _, ok := fs.files[f.ID]; !ok {
+		return ErrNotFound
+	}
+	if off < 0 || n < 0 || off+n > len(f.extents) {
+		return fmt.Errorf("filesys: read [%d,%d) outside %q (%d pages)", off, off+n, f.Name, len(f.extents))
+	}
+	for _, run := range contiguousRuns(f.extents[off : off+n]) {
+		if _, err := fs.dev.Submit(blockio.Request{
+			Op: blockio.OpRead, LPA: run.start, Pages: run.n, FileID: f.ID,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete unlinks the file and trims its pages — the paper's deletion
+// flow: the trim tells the device which LPAs hold stale data.
+func (fs *FS) Delete(f *File) error {
+	if _, ok := fs.files[f.ID]; !ok {
+		return ErrNotFound
+	}
+	delete(fs.files, f.ID)
+	delete(fs.byName, f.Name)
+	if fs.observer != nil {
+		fs.observer.FileDeleted(f.ID)
+	}
+	for _, run := range contiguousRuns(f.extents) {
+		if _, err := fs.dev.Submit(blockio.Request{
+			Op: blockio.OpTrim, LPA: run.start, Pages: run.n, Insecure: f.Insecure, FileID: f.ID,
+		}); err != nil {
+			return err
+		}
+	}
+	fs.free(f.extents)
+	f.extents = nil
+	return nil
+}
+
+// Truncate cuts the file to n pages, trimming the removed tail.
+func (fs *FS) Truncate(f *File, n int) error {
+	if _, ok := fs.files[f.ID]; !ok {
+		return ErrNotFound
+	}
+	if n < 0 || n > len(f.extents) {
+		return fmt.Errorf("filesys: truncate %q to %d pages (has %d)", f.Name, n, len(f.extents))
+	}
+	if fs.observer != nil && n < len(f.extents) {
+		// A shrinking truncate discards content: the file is multi-version.
+		fs.observer.FileOverwritten(f.ID)
+	}
+	tail := f.extents[n:]
+	for _, run := range contiguousRuns(tail) {
+		if _, err := fs.dev.Submit(blockio.Request{
+			Op: blockio.OpTrim, LPA: run.start, Pages: run.n, Insecure: f.Insecure, FileID: f.ID,
+		}); err != nil {
+			return err
+		}
+	}
+	fs.free(tail)
+	f.extents = f.extents[:n]
+	return nil
+}
+
+func (fs *FS) writeExtents(f *File, extents []int64) error {
+	for _, run := range contiguousRuns(extents) {
+		if _, err := fs.dev.Submit(blockio.Request{
+			Op:       blockio.OpWrite,
+			LPA:      run.start,
+			Pages:    run.n,
+			Insecure: f.Insecure,
+			FileID:   f.ID,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type run struct {
+	start int64
+	n     int32
+}
+
+// contiguousRuns coalesces a page list into maximal contiguous extents,
+// the way a block layer merges bios.
+func contiguousRuns(pages []int64) []run {
+	var out []run
+	for i := 0; i < len(pages); {
+		j := i + 1
+		for j < len(pages) && pages[j] == pages[j-1]+1 {
+			j++
+		}
+		out = append(out, run{start: pages[i], n: int32(j - i)})
+		i = j
+	}
+	return out
+}
+
+// alloc reserves n logical pages, preferring contiguity via next-fit.
+func (fs *FS) alloc(n int) ([]int64, error) {
+	if int64(n) > fs.freePages {
+		return nil, ErrNoSpace
+	}
+	out := make([]int64, 0, n)
+	cursor := fs.scan
+	for len(out) < n {
+		if !fs.used(cursor) {
+			fs.setUsed(cursor, true)
+			out = append(out, cursor)
+		}
+		cursor++
+		if cursor >= fs.total {
+			cursor = 0
+		}
+	}
+	fs.scan = cursor
+	fs.freePages -= int64(n)
+	return out, nil
+}
+
+func (fs *FS) free(pages []int64) {
+	for _, p := range pages {
+		if fs.used(p) {
+			fs.setUsed(p, false)
+			fs.freePages++
+		}
+	}
+}
+
+func (fs *FS) used(p int64) bool { return fs.bitmap[p/64]&(1<<uint(p%64)) != 0 }
+
+func (fs *FS) setUsed(p int64, v bool) {
+	if v {
+		fs.bitmap[p/64] |= 1 << uint(p%64)
+	} else {
+		fs.bitmap[p/64] &^= 1 << uint(p%64)
+	}
+}
+
+// DataDevice is an optional Device extension for reading stored content
+// back (the ssd package implements it).
+type DataDevice interface {
+	Device
+	ReadLogical(lpa int64) ([]byte, error)
+}
+
+// Extents returns a copy of the file's logical pages in file order.
+func (f *File) Extents() []int64 {
+	out := make([]int64, len(f.extents))
+	copy(out, f.extents)
+	return out
+}
+
+// AppendData extends the file with real content, page by page. The data
+// is padded to whole pages.
+func (fs *FS) AppendData(f *File, data []byte) error {
+	if _, ok := fs.files[f.ID]; !ok {
+		return ErrNotFound
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	n := (len(data) + fs.pageBytes - 1) / fs.pageBytes
+	extents, err := fs.alloc(n)
+	if err != nil {
+		return err
+	}
+	f.extents = append(f.extents, extents...)
+	for i, run := range contiguousRuns(extents) {
+		_ = i
+		lo := pageOffsetOf(extents, run.start) * fs.pageBytes
+		hi := lo + int(run.n)*fs.pageBytes
+		if hi > len(data) {
+			padded := make([]byte, int(run.n)*fs.pageBytes)
+			copy(padded, data[lo:])
+			if _, err := fs.dev.Submit(blockio.Request{
+				Op: blockio.OpWrite, LPA: run.start, Pages: run.n,
+				Insecure: f.Insecure, FileID: f.ID, Data: padded,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fs.dev.Submit(blockio.Request{
+			Op: blockio.OpWrite, LPA: run.start, Pages: run.n,
+			Insecure: f.Insecure, FileID: f.ID, Data: data[lo:hi],
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pageOffsetOf returns the index within extents where lpa appears.
+func pageOffsetOf(extents []int64, lpa int64) int {
+	for i, e := range extents {
+		if e == lpa {
+			return i
+		}
+	}
+	return 0
+}
+
+// ReadAll returns the file's full content. The device must implement
+// DataDevice.
+func (fs *FS) ReadAll(f *File) ([]byte, error) {
+	if _, ok := fs.files[f.ID]; !ok {
+		return nil, ErrNotFound
+	}
+	dd, ok := fs.dev.(DataDevice)
+	if !ok {
+		return nil, fmt.Errorf("filesys: device %T cannot return data", fs.dev)
+	}
+	out := make([]byte, 0, len(f.extents)*fs.pageBytes)
+	for _, lpa := range f.extents {
+		page, err := dd.ReadLogical(lpa)
+		if err != nil {
+			return nil, err
+		}
+		if len(page) < fs.pageBytes {
+			padded := make([]byte, fs.pageBytes)
+			copy(padded, page)
+			page = padded
+		}
+		out = append(out, page...)
+	}
+	return out, nil
+}

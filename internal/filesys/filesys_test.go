@@ -1,0 +1,474 @@
+package filesys
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blockio"
+	"repro/internal/sim"
+)
+
+// recordingDev captures submitted requests.
+type recordingDev struct {
+	reqs []blockio.Request
+	fail error
+}
+
+func (d *recordingDev) Submit(req blockio.Request) (sim.Micros, error) {
+	if d.fail != nil {
+		return 0, d.fail
+	}
+	d.reqs = append(d.reqs, req)
+	return 0, nil
+}
+
+func newFS(t *testing.T) (*FS, *recordingDev) {
+	t.Helper()
+	dev := &recordingDev{}
+	fs, err := New(dev, 1024, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, dev
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 10, 4096); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if _, err := New(&recordingDev{}, 0, 4096); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestCreateAppendIssuesSecureWrites(t *testing.T) {
+	fs, dev := newFS(t)
+	f, err := fs.Create("mail.eml", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(f, 4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Pages() != 4 {
+		t.Fatalf("file has %d pages, want 4", f.Pages())
+	}
+	if len(dev.reqs) == 0 {
+		t.Fatal("no write issued")
+	}
+	var pages int32
+	for _, r := range dev.reqs {
+		if r.Op != blockio.OpWrite {
+			t.Fatalf("unexpected op %v", r.Op)
+		}
+		if r.Insecure {
+			t.Fatal("default file must issue secure writes")
+		}
+		if r.FileID != f.ID {
+			t.Fatal("file annotation missing")
+		}
+		pages += r.Pages
+	}
+	if pages != 4 {
+		t.Fatalf("wrote %d pages, want 4", pages)
+	}
+}
+
+func TestOInsecPropagates(t *testing.T) {
+	fs, dev := newFS(t)
+	f, _ := fs.Create("cache.tmp", OInsec)
+	fs.Append(f, 2)
+	for _, r := range dev.reqs {
+		if !r.Insecure {
+			t.Fatal("O_INSEC file must issue insecure writes")
+		}
+	}
+	fs.Delete(f)
+	last := dev.reqs[len(dev.reqs)-1]
+	if last.Op != blockio.OpTrim || !last.Insecure {
+		t.Fatal("O_INSEC delete must trim insecurely")
+	}
+}
+
+func TestCreateDuplicateRejected(t *testing.T) {
+	fs, _ := newFS(t)
+	fs.Create("a", 0)
+	if _, err := fs.Create("a", 0); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestContiguousAllocationCoalesces(t *testing.T) {
+	fs, dev := newFS(t)
+	f, _ := fs.Create("big", 0)
+	if err := fs.Append(f, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh FS: one contiguous extent -> exactly one write request.
+	if len(dev.reqs) != 1 {
+		t.Fatalf("expected 1 coalesced write, got %d", len(dev.reqs))
+	}
+	if dev.reqs[0].Pages != 64 {
+		t.Fatalf("coalesced write %d pages", dev.reqs[0].Pages)
+	}
+}
+
+func TestOverwriteHitsSameLPAs(t *testing.T) {
+	fs, dev := newFS(t)
+	f, _ := fs.Create("db.dat", 0)
+	fs.Append(f, 8)
+	firstLPA := dev.reqs[0].LPA
+	dev.reqs = nil
+	if err := fs.Overwrite(f, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.reqs) != 1 || dev.reqs[0].LPA != firstLPA+2 || dev.reqs[0].Pages != 3 {
+		t.Fatalf("overwrite requests %v", dev.reqs)
+	}
+	if err := fs.Overwrite(f, 6, 3); err == nil {
+		t.Fatal("out-of-range overwrite accepted")
+	}
+}
+
+func TestReadBounds(t *testing.T) {
+	fs, dev := newFS(t)
+	f, _ := fs.Create("r", 0)
+	fs.Append(f, 4)
+	dev.reqs = nil
+	if err := fs.Read(f, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.reqs) != 1 || dev.reqs[0].Op != blockio.OpRead {
+		t.Fatalf("reqs %v", dev.reqs)
+	}
+	if err := fs.Read(f, 3, 2); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestDeleteTrimsAndFrees(t *testing.T) {
+	fs, dev := newFS(t)
+	f, _ := fs.Create("gone", 0)
+	fs.Append(f, 10)
+	before := fs.FreePages()
+	dev.reqs = nil
+	if err := fs.Delete(f); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreePages() != before+10 {
+		t.Fatal("pages not freed")
+	}
+	var trimmed int32
+	for _, r := range dev.reqs {
+		if r.Op != blockio.OpTrim {
+			t.Fatalf("unexpected op %v", r.Op)
+		}
+		trimmed += r.Pages
+	}
+	if trimmed != 10 {
+		t.Fatalf("trimmed %d pages, want 10", trimmed)
+	}
+	if _, ok := fs.Lookup("gone"); ok {
+		t.Fatal("file still visible")
+	}
+	if err := fs.Delete(f); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestTruncateTrimsTail(t *testing.T) {
+	fs, dev := newFS(t)
+	f, _ := fs.Create("log", 0)
+	fs.Append(f, 8)
+	dev.reqs = nil
+	if err := fs.Truncate(f, 3); err != nil {
+		t.Fatal(err)
+	}
+	if f.Pages() != 3 {
+		t.Fatalf("pages = %d", f.Pages())
+	}
+	var trimmed int32
+	for _, r := range dev.reqs {
+		trimmed += r.Pages
+	}
+	if trimmed != 5 {
+		t.Fatalf("trimmed %d, want 5", trimmed)
+	}
+	if err := fs.Truncate(f, 9); err == nil {
+		t.Fatal("growing truncate accepted")
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	dev := &recordingDev{}
+	fs, _ := New(dev, 8, 4096)
+	f, _ := fs.Create("fill", 0)
+	if err := fs.Append(f, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(f, 1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	// Deleting makes room again.
+	if err := fs.Delete(f); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := fs.Create("fill2", 0)
+	if err := fs.Append(g, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceErrorPropagates(t *testing.T) {
+	dev := &recordingDev{fail: errors.New("boom")}
+	fs, _ := New(dev, 64, 4096)
+	f, _ := fs.Create("x", 0)
+	if err := fs.Append(f, 1); err == nil {
+		t.Fatal("device error swallowed")
+	}
+}
+
+func TestReuseAfterDeleteFragmentsGracefully(t *testing.T) {
+	fs, dev := newFS(t)
+	var files []*File
+	for i := 0; i < 8; i++ {
+		f, _ := fs.Create(name(i), 0)
+		fs.Append(f, 16)
+		files = append(files, f)
+	}
+	// Delete every other file, then allocate a large one across the holes.
+	for i := 0; i < 8; i += 2 {
+		fs.Delete(files[i])
+	}
+	dev.reqs = nil
+	big, _ := fs.Create("big", 0)
+	if err := fs.Append(big, 60); err != nil {
+		t.Fatal(err)
+	}
+	var pages int32
+	for _, r := range dev.reqs {
+		pages += r.Pages
+	}
+	if pages != 60 {
+		t.Fatalf("wrote %d pages, want 60", pages)
+	}
+}
+
+func name(i int) string { return string(rune('a'+i)) + ".dat" }
+
+// Property: allocation never hands out a page twice, frees return
+// exactly what was taken, and free-page accounting is exact.
+func TestAllocatorConsistencyProperty(t *testing.T) {
+	fn := func(seed int64, steps uint8) bool {
+		dev := &recordingDev{}
+		fs, _ := New(dev, 256, 4096)
+		rng := rand.New(rand.NewSource(seed))
+		owned := map[int64]uint64{} // page -> file
+		var files []*File
+		for s := 0; s < int(steps); s++ {
+			switch rng.Intn(3) {
+			case 0:
+				f, err := fs.Create(randName(rng), 0)
+				if err == nil {
+					files = append(files, f)
+				}
+			case 1:
+				if len(files) == 0 {
+					continue
+				}
+				f := files[rng.Intn(len(files))]
+				before := f.Pages()
+				if err := fs.Append(f, rng.Intn(20)+1); err != nil {
+					if !errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrNotFound) {
+						return false
+					}
+					continue
+				}
+				for _, p := range f.extents[before:] {
+					if other, taken := owned[p]; taken {
+						_ = other
+						return false // double allocation
+					}
+					owned[p] = f.ID
+				}
+			case 2:
+				if len(files) == 0 {
+					continue
+				}
+				i := rng.Intn(len(files))
+				f := files[i]
+				for _, p := range f.extents {
+					delete(owned, p)
+				}
+				if err := fs.Delete(f); err != nil && !errors.Is(err, ErrNotFound) {
+					return false
+				}
+				files = append(files[:i], files[i+1:]...)
+			}
+		}
+		return fs.FreePages() == fs.TotalPages()-int64(len(owned))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randName(rng *rand.Rand) string {
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+// dataDev implements DataDevice: it retains page payloads by LPA.
+type dataDev struct {
+	recordingDev
+	pages map[int64][]byte
+	size  int
+}
+
+func (d *dataDev) Submit(req blockio.Request) (sim.Micros, error) {
+	if _, err := d.recordingDev.Submit(req); err != nil {
+		return 0, err
+	}
+	if req.Op == blockio.OpWrite && req.Data != nil {
+		for i := int32(0); i < req.Pages; i++ {
+			d.pages[req.LPA+int64(i)] = req.PageData(int(i))
+		}
+	}
+	return 0, nil
+}
+
+func (d *dataDev) ReadLogical(lpa int64) ([]byte, error) {
+	return d.pages[lpa], nil
+}
+
+func TestAppendDataAndReadAll(t *testing.T) {
+	dev := &dataDev{pages: map[int64][]byte{}}
+	fs, _ := New(dev, 256, 512)
+	f, _ := fs.Create("blob", 0)
+	payload := make([]byte, 1300) // 2.5 pages -> 3 pages padded
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := fs.AppendData(f, payload); err != nil {
+		t.Fatal(err)
+	}
+	if f.Pages() != 3 {
+		t.Fatalf("file has %d pages, want 3", f.Pages())
+	}
+	got, err := fs.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3*512 {
+		t.Fatalf("ReadAll returned %d bytes, want %d", len(got), 3*512)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	// Padding must be zero.
+	for i := len(payload); i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatal("padding not zeroed")
+		}
+	}
+	if err := fs.AppendData(f, nil); err != nil {
+		t.Fatal("empty append should be a no-op")
+	}
+}
+
+func TestReadAllRequiresDataDevice(t *testing.T) {
+	fs, _ := newFS(t) // recordingDev lacks ReadLogical
+	f, _ := fs.Create("x", 0)
+	fs.Append(f, 1)
+	if _, err := fs.ReadAll(f); err == nil {
+		t.Fatal("ReadAll over a non-DataDevice should fail")
+	}
+}
+
+func TestAppendDataOnDeletedFile(t *testing.T) {
+	dev := &dataDev{pages: map[int64][]byte{}}
+	fs, _ := New(dev, 64, 512)
+	f, _ := fs.Create("gone", 0)
+	fs.Delete(f)
+	if err := fs.AppendData(f, []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := fs.ReadAll(f); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestExtentsReturnsCopy(t *testing.T) {
+	fs, _ := newFS(t)
+	f, _ := fs.Create("e", 0)
+	fs.Append(f, 3)
+	ext := f.Extents()
+	if len(ext) != 3 {
+		t.Fatalf("extents %v", ext)
+	}
+	ext[0] = 999999
+	if f.Extents()[0] == 999999 {
+		t.Fatal("Extents exposed internal slice")
+	}
+}
+
+func TestLookupGetFiles(t *testing.T) {
+	fs, _ := newFS(t)
+	f, _ := fs.Create("named", 0)
+	if got, ok := fs.Lookup("named"); !ok || got.ID != f.ID {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := fs.Lookup("missing"); ok {
+		t.Fatal("Lookup found a ghost")
+	}
+	if got, ok := fs.Get(f.ID); !ok || got.Name != "named" {
+		t.Fatal("Get failed")
+	}
+	if _, ok := fs.Get(999); ok {
+		t.Fatal("Get found a ghost")
+	}
+	if fs.Files() != 1 {
+		t.Fatalf("Files() = %d", fs.Files())
+	}
+}
+
+// observer hook coverage: create/overwrite/delete/truncate notify.
+type obsRecorder struct {
+	created, overwritten, deleted []uint64
+}
+
+func (o *obsRecorder) FileCreated(id uint64, insecure bool) { o.created = append(o.created, id) }
+func (o *obsRecorder) FileOverwritten(id uint64)            { o.overwritten = append(o.overwritten, id) }
+func (o *obsRecorder) FileDeleted(id uint64)                { o.deleted = append(o.deleted, id) }
+
+func TestObserverNotifications(t *testing.T) {
+	fs, _ := newFS(t)
+	obs := &obsRecorder{}
+	fs.SetObserver(obs)
+	f, _ := fs.Create("watched", 0)
+	fs.Append(f, 4)
+	fs.Overwrite(f, 0, 2)
+	fs.Truncate(f, 1) // shrinking truncate counts as overwrite (MV)
+	fs.Delete(f)
+	if len(obs.created) != 1 || len(obs.deleted) != 1 {
+		t.Fatalf("observer counts %+v", obs)
+	}
+	if len(obs.overwritten) != 2 {
+		t.Fatalf("overwrite notifications %d, want 2 (overwrite + truncate)", len(obs.overwritten))
+	}
+	// Zero-length overwrite must not notify.
+	g, _ := fs.Create("quiet", 0)
+	fs.Append(g, 1)
+	before := len(obs.overwritten)
+	fs.Overwrite(g, 0, 0)
+	if len(obs.overwritten) != before {
+		t.Fatal("zero-length overwrite notified")
+	}
+}

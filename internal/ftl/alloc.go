@@ -1,0 +1,103 @@
+package ftl
+
+import "fmt"
+
+// allocate returns the next free physical page, striping host writes
+// across chips round-robin for channel parallelism.
+func (f *FTL) allocate() (PPA, error) {
+	n := len(f.chips)
+	for i := 0; i < n; i++ {
+		chip := (f.rr() + i) % n
+		if p, err := f.allocateOnChip(chip); err == nil {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("ftl: device out of space")
+}
+
+// rr advances the round-robin cursor.
+func (f *FTL) rr() int {
+	f.chips[0].rrOffset++
+	return f.chips[0].rrOffset
+}
+
+// mustAllocate is allocate for internal relocation paths where failure
+// means the over-provisioning invariant was violated.
+func (f *FTL) mustAllocate() PPA {
+	p, err := f.allocate()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// allocateOnChip takes the next page of the chip's active block, opening
+// (and lazily erasing) a new block when needed.
+func (f *FTL) allocateOnChip(chip int) (PPA, error) {
+	cs := &f.chips[chip]
+	if cs.active < 0 || cs.frontier >= f.geo.PagesPerBlock {
+		if err := f.openBlock(chip); err != nil {
+			return 0, err
+		}
+	}
+	block := cs.active
+	p := f.geo.FirstPPA(block) + PPA(cs.frontier)
+	cs.frontier++
+	f.usedInBlock[block]++
+	return p, nil
+}
+
+// openBlock selects the chip's next active block. Lazy erase happens
+// here: a block queued for erase is erased immediately before reuse, so
+// its open interval is effectively zero (§5.4).
+func (f *FTL) openBlock(chip int) error {
+	cs := &f.chips[chip]
+	cs.active = -1
+	cs.frontier = 0
+	if n := len(cs.free); n > 0 {
+		pick := n - 1
+		if f.cfg.WearAware {
+			// Dynamic wear leveling: open the least-erased free block.
+			for i := 0; i < n; i++ {
+				if f.eraseCount[cs.free[i]] < f.eraseCount[cs.free[pick]] {
+					pick = i
+				}
+			}
+		}
+		cs.active = cs.free[pick]
+		cs.free = append(cs.free[:pick], cs.free[pick+1:]...)
+		return nil
+	}
+	if n := len(cs.pendingErase); n > 0 {
+		pick := 0
+		if f.cfg.WearAware {
+			for i := 1; i < n; i++ {
+				if f.eraseCount[cs.pendingErase[i]] < f.eraseCount[cs.pendingErase[pick]] {
+					pick = i
+				}
+			}
+		}
+		block := cs.pendingErase[pick]
+		cs.pendingErase = append(cs.pendingErase[:pick], cs.pendingErase[pick+1:]...)
+		f.eraseBlock(block)
+		cs.active = block
+		return nil
+	}
+	return fmt.Errorf("ftl: chip %d out of blocks", chip)
+}
+
+// reusableBlocks counts blocks the chip can still open.
+func (f *FTL) reusableBlocks(chip int) int {
+	cs := &f.chips[chip]
+	return len(cs.free) + len(cs.pendingErase)
+}
+
+// FreeBlocks reports the total reusable blocks across the device (free +
+// pending erase), for tests and capacity probes.
+func (f *FTL) FreeBlocks() int {
+	total := 0
+	for c := range f.chips {
+		total += f.reusableBlocks(c)
+	}
+	return total
+}

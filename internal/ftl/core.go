@@ -1,0 +1,486 @@
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/sim"
+)
+
+// Hooks receive FTL lifecycle events; the vertrace package uses them to
+// track per-file valid/invalid page populations. All hooks are optional.
+type Hooks struct {
+	// Programmed fires when a host or GC write lands on a physical page.
+	Programmed func(p PPA, lpa int64, file uint64)
+	// Invalidated fires when a live page becomes stale. Its old data is
+	// still physically present at this point. file is the page's
+	// annotation from the write that stored it.
+	Invalidated func(p PPA, file uint64)
+	// Destroyed fires when stale data physically ceases to be readable:
+	// block erase, pLock, bLock, or scrub.
+	Destroyed func(p PPA, file uint64)
+}
+
+// FTL is the Evanesco-aware flash translation layer.
+type FTL struct {
+	cfg    Config
+	geo    Geometry
+	target Target
+	policy Policy
+	hooks  Hooks
+
+	l2p    []PPA    // logical page -> physical page
+	p2l    []int64  // physical page -> logical page (-1 when none)
+	fileOf []uint64 // physical page -> owning file annotation
+	status []PageStatus
+
+	liveInBlock []int32 // live (valid+secured) pages per global block
+	usedInBlock []int32 // programmed pages per global block (free = total-used)
+	eraseCount  []int32 // erases per global block (wear)
+
+	chips []chipState
+
+	// pendingSanitize collects secured invalidations per block between
+	// Flush calls, for the lock manager's bLock batching.
+	pendingSanitize map[int][]PPA
+
+	// reqClock is the dependency time of the request currently being
+	// processed; flash ops issued for the request chain from it.
+	reqClock sim.Micros
+	// reqStart is the request's arrival time; lock commands are scheduled
+	// from it (they overlap the request's foreground work instead of
+	// chaining behind it).
+	reqStart sim.Micros
+
+	stats Stats
+
+	inGC bool
+}
+
+type chipState struct {
+	active       int   // global block currently written, -1 if none
+	frontier     int   // next page index in the active block
+	free         []int // erased, ready blocks (global ids)
+	pendingErase []int // invalid-only blocks awaiting lazy erase
+	rrOffset     int
+	fifoCursor   int // VictimFIFO scan position
+}
+
+// New creates an FTL over the target flash.
+func New(cfg Config, target Target, policy Policy) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if target == nil || policy == nil {
+		return nil, fmt.Errorf("ftl: target and policy are required")
+	}
+	g := cfg.Geometry
+	f := &FTL{
+		cfg:             cfg,
+		geo:             g,
+		target:          target,
+		policy:          policy,
+		l2p:             make([]PPA, cfg.LogicalPages),
+		p2l:             make([]int64, g.TotalPages()),
+		fileOf:          make([]uint64, g.TotalPages()),
+		status:          make([]PageStatus, g.TotalPages()),
+		liveInBlock:     make([]int32, g.TotalBlocks()),
+		usedInBlock:     make([]int32, g.TotalBlocks()),
+		eraseCount:      make([]int32, g.TotalBlocks()),
+		chips:           make([]chipState, g.Chips),
+		pendingSanitize: make(map[int][]PPA),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = NoPPA
+	}
+	for i := range f.p2l {
+		f.p2l[i] = -1
+	}
+	for c := range f.chips {
+		cs := &f.chips[c]
+		cs.active = -1
+		cs.free = make([]int, 0, g.BlocksPerChip)
+		// All blocks start erased and free.
+		for b := g.BlocksPerChip - 1; b >= 0; b-- {
+			cs.free = append(cs.free, c*g.BlocksPerChip+b)
+		}
+	}
+	return f, nil
+}
+
+// SetHooks installs lifecycle hooks (nil fields are ignored).
+func (f *FTL) SetHooks(h Hooks) { f.hooks = h }
+
+// Stats returns a copy of the counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// Geometry returns the managed geometry.
+func (f *FTL) Geometry() Geometry { return f.geo }
+
+// PolicyName returns the active sanitization policy's name.
+func (f *FTL) PolicyName() string { return f.policy.Name() }
+
+// Status returns the page-status-table entry for a physical page.
+func (f *FTL) Status(p PPA) PageStatus { return f.status[p] }
+
+// Lookup returns the physical page currently mapped to lpa (NoPPA if
+// unmapped).
+func (f *FTL) Lookup(lpa int64) PPA {
+	if lpa < 0 || lpa >= int64(len(f.l2p)) {
+		return NoPPA
+	}
+	return f.l2p[lpa]
+}
+
+// LogicalPages returns the exported capacity in pages.
+func (f *FTL) LogicalPages() int { return len(f.l2p) }
+
+// Submit executes one host block-I/O request, starting no earlier than
+// dep, and returns its completion time.
+func (f *FTL) Submit(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
+	if err := req.Validate(); err != nil {
+		return dep, err
+	}
+	if req.LPA+int64(req.Pages) > int64(len(f.l2p)) {
+		return dep, fmt.Errorf("ftl: request %v beyond logical capacity %d", req, len(f.l2p))
+	}
+	f.reqClock = dep
+	f.reqStart = dep
+	done := dep
+	switch req.Op {
+	case blockio.OpRead:
+		for i := int64(0); i < int64(req.Pages); i++ {
+			f.stats.HostReadPages++
+			if p := f.l2p[req.LPA+i]; p != NoPPA {
+				f.stats.FlashReads++
+				if _, t := f.target.Read(p, dep); t > done {
+					done = t
+				}
+			}
+		}
+	case blockio.OpWrite:
+		for i := int64(0); i < int64(req.Pages); i++ {
+			t, err := f.writePage(req.LPA+i, !req.Insecure, req.FileID, req.PageData(int(i)), dep)
+			if err != nil {
+				return done, err
+			}
+			if t > done {
+				done = t
+			}
+		}
+	case blockio.OpTrim:
+		for i := int64(0); i < int64(req.Pages); i++ {
+			f.stats.HostTrimmedPages++
+			lpa := req.LPA + i
+			if p := f.l2p[lpa]; p != NoPPA {
+				f.l2p[lpa] = NoPPA
+				f.invalidate(p)
+			}
+		}
+	}
+	f.policy.Flush(f)
+	if f.reqClock > done {
+		done = f.reqClock
+	}
+	return done, nil
+}
+
+// writePage appends one logical page (§2.2 Fig. 3 flow).
+func (f *FTL) writePage(lpa int64, secure bool, file uint64, data []byte, dep sim.Micros) (sim.Micros, error) {
+	f.stats.HostWrittenPages++
+	old := f.l2p[lpa]
+	p, err := f.allocate()
+	if err != nil {
+		return dep, err
+	}
+	f.stats.FlashPrograms++
+	done := f.target.Program(p, data, dep)
+	f.l2p[lpa] = p
+	f.p2l[p] = lpa
+	f.fileOf[p] = file
+	if secure {
+		f.status[p] = PageSecured
+	} else {
+		f.status[p] = PageValid
+	}
+	f.liveInBlock[f.geo.BlockOf(p)]++
+	if f.hooks.Programmed != nil {
+		f.hooks.Programmed(p, lpa, file)
+	}
+	// Invalidate the overwritten copy after the new data is durable.
+	if old != NoPPA {
+		f.invalidate(old)
+	}
+	f.maybeGC(f.geo.ChipOf(p))
+	return done, nil
+}
+
+// invalidate transitions a live physical page to stale and routes it
+// through the sanitization policy ( 1 – 4 in Fig. 13).
+func (f *FTL) invalidate(p PPA) {
+	st := f.status[p]
+	if !st.Live() {
+		return
+	}
+	f.liveInBlock[f.geo.BlockOf(p)]--
+	f.p2l[p] = -1
+	if f.hooks.Invalidated != nil {
+		f.hooks.Invalidated(p, f.fileOf[p])
+	}
+	f.policy.Invalidate(f, p, st == PageSecured)
+}
+
+// --- primitives exposed to sanitization policies -----------------------
+
+// MarkInvalid finalizes the status-table transition to invalid.
+func (f *FTL) MarkInvalid(p PPA) { f.status[p] = PageInvalid }
+
+// IssuePLock emits a pLock for the page and marks it invalid. The lock
+// occupies the chip but does not gate the host request's completion: the
+// lock manager overlaps locks with foreground work (the status table is
+// updated synchronously, so the FTL's security state is immediate).
+func (f *FTL) IssuePLock(p PPA) {
+	f.stats.PLocks++
+	f.target.PLock(p, f.reqStart)
+	f.status[p] = PageInvalid
+	if f.hooks.Destroyed != nil {
+		f.hooks.Destroyed(p, f.fileOf[p])
+	}
+}
+
+// IssueBLock emits a bLock covering every stale page of the block; the
+// given pages are marked invalid.
+func (f *FTL) IssueBLock(block int, pages []PPA) {
+	f.stats.BLocks++
+	f.target.BLock(block, f.reqStart)
+	for _, p := range pages {
+		f.status[p] = PageInvalid
+		if f.hooks.Destroyed != nil {
+			f.hooks.Destroyed(p, f.fileOf[p])
+		}
+	}
+}
+
+// IssueScrub destroys a page's wordline in place (scrSSD baseline).
+// Scrubbing merges the Vth states of the whole wordline, so every stale
+// page sharing it is destroyed along with the target; callers must have
+// relocated the live siblings first. If the wordline is still open (the
+// block's write frontier sits inside it), its free slots are wasted: the
+// scrub pulse programs them to garbage, so the allocator skips past the
+// wordline — a real cost of scrubbing the write frontier.
+func (f *FTL) IssueScrub(p PPA) {
+	f.stats.Scrubs++
+	f.target.Scrub(p, f.reqStart)
+	siblings := f.geo.WLSiblings(p)
+	block := f.geo.BlockOf(p)
+	cs := &f.chips[f.geo.ChipOfBlock(block)]
+	wlStart := int(siblings[0]) - int(f.geo.FirstPPA(block))
+	wlEnd := wlStart + len(siblings)
+	if cs.active == block && cs.frontier > wlStart && cs.frontier < wlEnd {
+		f.usedInBlock[block] += int32(wlEnd - cs.frontier)
+		cs.frontier = wlEnd
+	}
+	for _, s := range siblings {
+		if s != p && f.status[s].Live() {
+			panic(fmt.Sprintf("ftl: scrubbing wordline of page %d would destroy live page %d", p, s))
+		}
+		f.status[s] = PageInvalid
+		if f.hooks.Destroyed != nil {
+			f.hooks.Destroyed(s, f.fileOf[s])
+		}
+	}
+}
+
+// PendSanitize queues a secured page for the lock manager's batched
+// decision at Flush time (secSSD policies).
+func (f *FTL) PendSanitize(p PPA) {
+	b := f.geo.BlockOf(p)
+	f.pendingSanitize[b] = append(f.pendingSanitize[b], p)
+}
+
+// DrainPending returns and clears the pending sanitize sets.
+func (f *FTL) DrainPending() map[int][]PPA {
+	out := f.pendingSanitize
+	f.pendingSanitize = make(map[int][]PPA)
+	return out
+}
+
+// BlockFullyStale reports whether no live pages remain in the block and
+// the block has been fully written (so bLock sanitizes only stale data
+// and no future program will target it before erase).
+func (f *FTL) BlockFullyStale(block int) bool {
+	return f.liveInBlock[block] == 0 &&
+		int(f.usedInBlock[block]) == f.geo.PagesPerBlock
+}
+
+// LockTiming exposes the configured pLock/bLock latencies to policies.
+func (f *FTL) LockTiming() LockTiming { return f.cfg.Timing }
+
+// RelocateLive moves every live page out of the block (read + program
+// elsewhere), remapping L2P. The old copies are NOT routed through the
+// sanitization policy — callers destroy the whole block right after
+// (erSSD) — but are reported stale to hooks. Returns the number moved.
+func (f *FTL) RelocateLive(block int) int {
+	moved := 0
+	first := f.geo.FirstPPA(block)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		p := first + PPA(i)
+		if !f.status[p].Live() {
+			continue
+		}
+		f.relocatePage(p, false)
+		moved++
+	}
+	f.stats.SanitizeCopies += uint64(moved)
+	return moved
+}
+
+// RelocateWLSiblings moves the live pages that share p's wordline
+// (excluding p itself) so the wordline can be scrubbed (scrSSD). Returns
+// the number moved.
+func (f *FTL) RelocateWLSiblings(p PPA) int {
+	moved := 0
+	for _, s := range f.geo.WLSiblings(p) {
+		if s == p || !f.status[s].Live() {
+			continue
+		}
+		f.relocatePage(s, false)
+		moved++
+	}
+	f.stats.SanitizeCopies += uint64(moved)
+	return moved
+}
+
+// relocatePage copies one live page to a fresh location on the same chip.
+// When sanitizeOld is true the stale copy goes through the policy
+// (GC path); otherwise it is only marked stale (caller destroys it).
+func (f *FTL) relocatePage(p PPA, sanitizeOld bool) {
+	lpa := f.p2l[p]
+	st := f.status[p]
+	file := f.fileOf[p]
+
+	np, err := f.allocateOnChip(f.geo.ChipOf(p))
+	if err != nil {
+		// Fall back to any chip; running truly out of space is a
+		// configuration error surfaced by allocate's panic path.
+		np = f.mustAllocate()
+	}
+	f.stats.FlashReads++
+	f.stats.FlashPrograms++
+	f.stats.GCCopies++
+	var progDone sim.Micros
+	if !f.cfg.NoCopyback && f.geo.ChipOf(np) == f.geo.ChipOf(p) {
+		// Same-chip move: the copyback command skips the bus transfers.
+		f.stats.Copybacks++
+		progDone = f.target.Copyback(p, np, f.reqClock)
+	} else {
+		data, readDone := f.target.Read(p, f.reqClock)
+		progDone = f.target.Program(np, data, readDone)
+	}
+	if progDone > f.reqClock {
+		f.reqClock = progDone
+	}
+
+	// Remap.
+	if lpa >= 0 {
+		f.l2p[lpa] = np
+	}
+	f.p2l[np] = lpa
+	f.fileOf[np] = file
+	f.status[np] = st
+	f.liveInBlock[f.geo.BlockOf(np)]++
+	if f.hooks.Programmed != nil {
+		f.hooks.Programmed(np, lpa, file)
+	}
+
+	// Retire the old copy.
+	f.liveInBlock[f.geo.BlockOf(p)]--
+	f.p2l[p] = -1
+	if f.hooks.Invalidated != nil {
+		f.hooks.Invalidated(p, f.fileOf[p])
+	}
+	if sanitizeOld {
+		f.policy.Invalidate(f, p, st == PageSecured)
+	} else {
+		f.status[p] = PageInvalid
+	}
+	// Sanitization-driven relocations (erSSD evacuations, scrSSD sibling
+	// moves) consume free pages outside the host-write path; keep the
+	// free-block floor here too. maybeGC is a no-op during GC itself.
+	f.maybeGC(f.geo.ChipOf(np))
+}
+
+// EraseNow erases a block immediately (erSSD and the eager-erase
+// ablation). Every page becomes free and its stale data is destroyed.
+// The block moves to the free list (and off the lazy-erase queue, where
+// GC may already have parked it).
+func (f *FTL) EraseNow(block int) {
+	f.eraseBlock(block)
+	cs := &f.chips[f.geo.ChipOfBlock(block)]
+	if cs.active == block {
+		cs.active = -1
+		cs.frontier = 0
+	}
+	for i, b := range cs.pendingErase {
+		if b == block {
+			cs.pendingErase = append(cs.pendingErase[:i], cs.pendingErase[i+1:]...)
+			break
+		}
+	}
+	cs.free = append(cs.free, block)
+}
+
+func (f *FTL) eraseBlock(block int) {
+	f.stats.Erases++
+	if t := f.target.Erase(block, f.reqClock); t > f.reqClock {
+		f.reqClock = t
+	}
+	first := f.geo.FirstPPA(block)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		p := first + PPA(i)
+		if f.status[p].Live() {
+			panic(fmt.Sprintf("ftl: erasing block %d with live page %d", block, p))
+		}
+		if f.status[p] == PageInvalid && f.hooks.Destroyed != nil {
+			f.hooks.Destroyed(p, f.fileOf[p])
+		}
+		f.status[p] = PageFree
+		f.p2l[p] = -1
+		f.fileOf[p] = 0
+	}
+	f.liveInBlock[block] = 0
+	f.usedInBlock[block] = 0
+	f.eraseCount[block]++
+	delete(f.pendingSanitize, block)
+}
+
+// WearStats summarizes per-block erase counts.
+type WearStats struct {
+	Min, Max int32
+	Mean     float64
+	// Spread is Max - Min, the imbalance dynamic wear leveling bounds.
+	Spread int32
+}
+
+// Wear returns the device's erase-count statistics.
+func (f *FTL) Wear() WearStats {
+	w := WearStats{Min: 1 << 30}
+	var sum int64
+	for _, c := range f.eraseCount {
+		if c < w.Min {
+			w.Min = c
+		}
+		if c > w.Max {
+			w.Max = c
+		}
+		sum += int64(c)
+	}
+	if len(f.eraseCount) > 0 {
+		w.Mean = float64(sum) / float64(len(f.eraseCount))
+	}
+	if w.Min == 1<<30 {
+		w.Min = 0
+	}
+	w.Spread = w.Max - w.Min
+	return w
+}

@@ -1,0 +1,32 @@
+package ftl_test
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/ftl"
+	"repro/internal/ftl/ftltest"
+	"repro/internal/sanitize"
+)
+
+// Example shows the §6 flow at the FTL level: a secured write, its
+// overwrite, and the lock command the invalidation produces.
+func Example() {
+	target := ftltest.New(ftltest.SmallGeometry())
+	f, err := ftl.New(ftltest.SmallConfig(), target, sanitize.SecSSD())
+	if err != nil {
+		panic(err)
+	}
+	// A default (secured) write, then an overwrite of the same LPA.
+	f.Submit(blockio.Request{Op: blockio.OpWrite, LPA: 0, Pages: 1}, 0)
+	old := f.Lookup(0)
+	f.Submit(blockio.Request{Op: blockio.OpWrite, LPA: 0, Pages: 1}, 0)
+
+	fmt.Printf("old copy status: %v\n", f.Status(old))
+	fmt.Printf("pLocks issued: %d\n", f.Stats().PLocks)
+	fmt.Printf("copies needed: %d\n", f.Stats().SanitizeCopies)
+	// Output:
+	// old copy status: invalid
+	// pLocks issued: 1
+	// copies needed: 0
+}

@@ -1,0 +1,254 @@
+// Package ftl implements the Evanesco-aware flash translation layer of
+// SecureSSD (§6): page-level L2P mapping, the extended page-status table
+// (free / valid / invalid / secured), an append-only allocator with lazy
+// block erase, greedy garbage collection, and the lock manager that turns
+// invalidations of secured pages into pLock/bLock commands through a
+// pluggable sanitization policy.
+//
+// The FTL drives flash through the Target interface; the ssd package
+// provides a timing-accurate implementation backed by emulated NAND
+// chips, and unit tests use lightweight fakes.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PPA is a device-global physical page address.
+type PPA uint32
+
+// NoPPA marks an unmapped logical page.
+const NoPPA = PPA(^uint32(0))
+
+// Geometry describes the physical page space the FTL manages.
+type Geometry struct {
+	Chips         int
+	BlocksPerChip int
+	PagesPerBlock int
+	// PagesPerWL is the number of pages per wordline (3 for TLC); used by
+	// the scrubbing baseline to find wordline siblings.
+	PagesPerWL int
+	PageBytes  int
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	if g.Chips <= 0 || g.BlocksPerChip <= 0 || g.PagesPerBlock <= 0 || g.PagesPerWL <= 0 {
+		return fmt.Errorf("ftl: non-positive geometry %+v", g)
+	}
+	if g.PagesPerBlock%g.PagesPerWL != 0 {
+		return fmt.Errorf("ftl: PagesPerBlock %d not a multiple of PagesPerWL %d",
+			g.PagesPerBlock, g.PagesPerWL)
+	}
+	return nil
+}
+
+// TotalBlocks returns the device-global block count.
+func (g Geometry) TotalBlocks() int { return g.Chips * g.BlocksPerChip }
+
+// TotalPages returns the device-global physical page count.
+func (g Geometry) TotalPages() int { return g.TotalBlocks() * g.PagesPerBlock }
+
+// PPAOf composes a physical page address.
+func (g Geometry) PPAOf(chip, blockInChip, page int) PPA {
+	return PPA((chip*g.BlocksPerChip+blockInChip)*g.PagesPerBlock + page)
+}
+
+// BlockOf returns the device-global block index of a page.
+func (g Geometry) BlockOf(p PPA) int { return int(p) / g.PagesPerBlock }
+
+// ChipOf returns the chip that holds a page.
+func (g Geometry) ChipOf(p PPA) int { return g.BlockOf(p) / g.BlocksPerChip }
+
+// ChipOfBlock returns the chip that holds a device-global block.
+func (g Geometry) ChipOfBlock(block int) int { return block / g.BlocksPerChip }
+
+// BlockInChip converts a device-global block index to a chip-local one.
+func (g Geometry) BlockInChip(block int) int { return block % g.BlocksPerChip }
+
+// PageInBlock returns the page offset of p within its block.
+func (g Geometry) PageInBlock(p PPA) int { return int(p) % g.PagesPerBlock }
+
+// FirstPPA returns the first page of a device-global block.
+func (g Geometry) FirstPPA(block int) PPA { return PPA(block * g.PagesPerBlock) }
+
+// WLSiblings returns the physical pages sharing p's wordline (including p
+// itself).
+func (g Geometry) WLSiblings(p PPA) []PPA {
+	pib := g.PageInBlock(p)
+	wlStart := int(p) - pib + (pib/g.PagesPerWL)*g.PagesPerWL
+	out := make([]PPA, g.PagesPerWL)
+	for i := range out {
+		out[i] = PPA(wlStart + i)
+	}
+	return out
+}
+
+// PageStatus is the extended page state of §6.
+type PageStatus uint8
+
+const (
+	// PageFree is an erased, programmable page.
+	PageFree PageStatus = iota
+	// PageValid holds live data with no sanitization requirement
+	// (written with REQ_OP_INSEC_WRITE).
+	PageValid
+	// PageSecured holds live data that must be sanitized on invalidation
+	// (the default for every write, §6).
+	PageSecured
+	// PageInvalid holds stale data awaiting garbage collection. For
+	// secured pages this state is only entered after sanitization.
+	PageInvalid
+)
+
+func (s PageStatus) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageSecured:
+		return "secured"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageStatus(%d)", uint8(s))
+	}
+}
+
+// Live reports whether the page holds current data.
+func (s PageStatus) Live() bool { return s == PageValid || s == PageSecured }
+
+// Target executes flash commands on behalf of the FTL. Implementations
+// account latency and parallelism; each call corresponds to exactly one
+// flash operation. Dep expresses intra-request ordering: an operation may
+// not start before its dependency time (e.g. a GC program depends on its
+// read). The return value is the operation's completion time.
+type Target interface {
+	// Read returns the stored payload (nil for timing-only targets) and
+	// the completion time.
+	Read(p PPA, dep sim.Micros) ([]byte, sim.Micros)
+	// Program stores data (which may be nil for timing-only runs).
+	Program(p PPA, data []byte, dep sim.Micros) sim.Micros
+	// Copyback moves src to dst without a bus transfer; implementations
+	// fall back to read+program semantics for the data while charging
+	// only on-chip time. src and dst are always on the same chip.
+	Copyback(src, dst PPA, dep sim.Micros) sim.Micros
+	Erase(block int, dep sim.Micros) sim.Micros
+	PLock(p PPA, dep sim.Micros) sim.Micros
+	BLock(block int, dep sim.Micros) sim.Micros
+	Scrub(p PPA, dep sim.Micros) sim.Micros
+}
+
+// Policy is a sanitization strategy (§7 compares five of them). The FTL
+// calls Invalidate whenever a live page becomes stale; secured pages must
+// not remain readable after the call chain completes. Flush is invoked at
+// the end of each host request and each GC pass so batching policies can
+// aggregate pLocks into bLocks.
+type Policy interface {
+	Name() string
+	Invalidate(f *FTL, p PPA, secured bool)
+	Flush(f *FTL)
+}
+
+// VictimPolicy selects how GC picks its victim block.
+type VictimPolicy int
+
+const (
+	// VictimGreedy picks the fully-written block with the fewest live
+	// pages (cost-min; the default, and what the paper's FTL uses).
+	VictimGreedy VictimPolicy = iota
+	// VictimFIFO collects blocks in write order regardless of liveness
+	// (kept for the DESIGN.md GC ablation).
+	VictimFIFO
+)
+
+// Config tunes the FTL.
+type Config struct {
+	Geometry Geometry
+	// LogicalPages is the exported capacity in pages; the rest is
+	// over-provisioning for GC.
+	LogicalPages int
+	// GCFreeBlocksLow triggers GC on a chip when its reusable blocks
+	// (free + pending erase) drop below this threshold.
+	GCFreeBlocksLow int
+	// EagerErase erases GC victims immediately instead of lazily on
+	// reuse (the paper's §5.4 explains why lazy is required on real 3D
+	// NAND; eager is kept for the ablation bench).
+	EagerErase bool
+	// Victim selects the GC victim policy (greedy by default).
+	Victim VictimPolicy
+	// WearAware makes the allocator open the least-erased free block
+	// instead of the most recently freed one, spreading P/E cycles
+	// (dynamic wear leveling).
+	WearAware bool
+	// NoCopyback disables the on-chip copyback path for GC relocations,
+	// forcing read-transfer-program over the bus (ablation; real FTLs
+	// avoid copyback only when they must re-verify data through ECC).
+	NoCopyback bool
+	// Timing is used by the lock manager's pLock-vs-bLock decision rule.
+	Timing LockTiming
+}
+
+// LockTiming carries the two latencies the §6 decision rule compares.
+type LockTiming struct {
+	PLock sim.Micros
+	BLock sim.Micros
+}
+
+// DefaultLockTiming matches §7 (100µs / 300µs).
+func DefaultLockTiming() LockTiming { return LockTiming{PLock: 100, BLock: 300} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.LogicalPages <= 0 {
+		return errors.New("ftl: LogicalPages must be positive")
+	}
+	// The allocator needs at least one spare block per chip plus GC
+	// headroom.
+	minSpare := c.Geometry.Chips * (c.GCFreeBlocksLow + 1)
+	if c.LogicalPages > c.Geometry.TotalPages()-minSpare*c.Geometry.PagesPerBlock {
+		return fmt.Errorf("ftl: logical capacity %d pages leaves no over-provisioning (physical %d)",
+			c.LogicalPages, c.Geometry.TotalPages())
+	}
+	if c.GCFreeBlocksLow < 1 {
+		return errors.New("ftl: GCFreeBlocksLow must be >= 1")
+	}
+	return nil
+}
+
+// Stats aggregates the counters Fig. 14 reports.
+type Stats struct {
+	HostReadPages    uint64
+	HostWrittenPages uint64
+	HostTrimmedPages uint64
+	FlashReads       uint64
+	FlashPrograms    uint64
+	Erases           uint64
+	PLocks           uint64
+	BLocks           uint64
+	Scrubs           uint64
+	GCRuns           uint64
+	GCCopies         uint64
+	// Copybacks counts GC copies served by the on-chip copyback path
+	// (no bus transfer); the rest crossed the channel.
+	Copybacks uint64
+	// SanitizeCopies counts page copies forced by sanitization itself
+	// (erSSD relocations, scrSSD sibling moves) rather than by GC.
+	SanitizeCopies uint64
+}
+
+// WAF returns the write amplification factor: flash programs per host
+// page written. It returns 0 before any host write.
+func (s Stats) WAF() float64 {
+	if s.HostWrittenPages == 0 {
+		return 0
+	}
+	return float64(s.FlashPrograms) / float64(s.HostWrittenPages)
+}

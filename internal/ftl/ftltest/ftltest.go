@@ -1,0 +1,211 @@
+// Package ftltest provides a lightweight ftl.Target fake for unit tests:
+// it counts operations, applies fixed latencies serially per chip, and
+// optionally mirrors every command onto real emulated nand.Chips so
+// cross-layer tests can check physical state.
+package ftltest
+
+import (
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/nand/vth"
+	"repro/internal/sim"
+)
+
+// CountingTarget implements ftl.Target with per-op counters and a trivial
+// per-chip serial timing model.
+type CountingTarget struct {
+	Geo    ftl.Geometry
+	Timing nand.Timing
+
+	Reads, Programs, Erases uint64
+	PLocks, BLocks, Scrubs  uint64
+	Copybacks               uint64
+
+	// Chips, when non-nil, mirrors every command onto real chip models
+	// (len must equal Geo.Chips).
+	Chips []*nand.Chip
+
+	chipBusy []sim.Timeline
+}
+
+// New creates a counting target for the geometry.
+func New(geo ftl.Geometry) *CountingTarget {
+	return &CountingTarget{
+		Geo:      geo,
+		Timing:   nand.DefaultTiming(),
+		chipBusy: make([]sim.Timeline, geo.Chips),
+	}
+}
+
+// WithChips attaches real chip models; each must have at least
+// Geo.BlocksPerChip blocks and Geo.PagesPerBlock pages per block.
+func (t *CountingTarget) WithChips(chips []*nand.Chip) *CountingTarget {
+	t.Chips = chips
+	return t
+}
+
+func (t *CountingTarget) exec(chip int, d sim.Micros, dep sim.Micros) sim.Micros {
+	_, end := t.chipBusy[chip].Reserve(dep, d)
+	return end
+}
+
+func (t *CountingTarget) addr(p ftl.PPA) (int, nand.PageAddr) {
+	chip := t.Geo.ChipOf(p)
+	return chip, nand.PageAddr{
+		Block: t.Geo.BlockInChip(t.Geo.BlockOf(p)),
+		Page:  t.Geo.PageInBlock(p),
+	}
+}
+
+// Read implements ftl.Target.
+func (t *CountingTarget) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
+	t.Reads++
+	chip, a := t.addr(p)
+	var data []byte
+	if t.Chips != nil {
+		if res, err := t.Chips[chip].Read(a, dep); err == nil {
+			data = res.Data
+		}
+	}
+	return data, t.exec(chip, t.Timing.Read, dep)
+}
+
+// Program implements ftl.Target.
+func (t *CountingTarget) Program(p ftl.PPA, data []byte, dep sim.Micros) sim.Micros {
+	t.Programs++
+	chip, a := t.addr(p)
+	if t.Chips != nil {
+		if data == nil {
+			data = []byte{0xA5}
+		}
+		if _, err := t.Chips[chip].Program(a, data, dep); err != nil {
+			panic("ftltest: FTL violated flash discipline: " + err.Error())
+		}
+	}
+	return t.exec(chip, t.Timing.Prog, dep)
+}
+
+// Copyback implements ftl.Target.
+func (t *CountingTarget) Copyback(src, dst ftl.PPA, dep sim.Micros) sim.Micros {
+	t.Copybacks++
+	chipS, aSrc := t.addr(src)
+	chipD, aDst := t.addr(dst)
+	if t.Chips != nil {
+		var data []byte
+		if res, err := t.Chips[chipS].Read(aSrc, dep); err == nil {
+			data = res.Data
+		}
+		if data == nil {
+			data = []byte{}
+		}
+		if _, err := t.Chips[chipD].Program(aDst, data, dep); err != nil {
+			panic("ftltest: copyback program: " + err.Error())
+		}
+	}
+	return t.exec(chipS, t.Timing.Read+t.Timing.Prog, dep)
+}
+
+// Erase implements ftl.Target.
+func (t *CountingTarget) Erase(block int, dep sim.Micros) sim.Micros {
+	t.Erases++
+	chip := t.Geo.ChipOfBlock(block)
+	if t.Chips != nil {
+		if _, err := t.Chips[chip].Erase(t.Geo.BlockInChip(block), dep); err != nil {
+			panic("ftltest: " + err.Error())
+		}
+	}
+	return t.exec(chip, t.Timing.Erase, dep)
+}
+
+// PLock implements ftl.Target.
+func (t *CountingTarget) PLock(p ftl.PPA, dep sim.Micros) sim.Micros {
+	t.PLocks++
+	chip, a := t.addr(p)
+	if t.Chips != nil {
+		if _, err := t.Chips[chip].PLock(a, dep); err != nil {
+			panic("ftltest: " + err.Error())
+		}
+	}
+	return t.exec(chip, t.Timing.PLock, dep)
+}
+
+// BLock implements ftl.Target.
+func (t *CountingTarget) BLock(block int, dep sim.Micros) sim.Micros {
+	t.BLocks++
+	chip := t.Geo.ChipOfBlock(block)
+	if t.Chips != nil {
+		if _, err := t.Chips[chip].BLock(t.Geo.BlockInChip(block), dep); err != nil {
+			panic("ftltest: " + err.Error())
+		}
+	}
+	return t.exec(chip, t.Timing.BLock, dep)
+}
+
+// Scrub implements ftl.Target.
+func (t *CountingTarget) Scrub(p ftl.PPA, dep sim.Micros) sim.Micros {
+	t.Scrubs++
+	chip, a := t.addr(p)
+	if t.Chips != nil {
+		if _, err := t.Chips[chip].Scrub(a, dep); err != nil {
+			panic("ftltest: " + err.Error())
+		}
+	}
+	return t.exec(chip, t.Timing.Scrub, dep)
+}
+
+// BuildChips constructs real nand.Chip models matching the geometry. The
+// t parameter is any test handle with Fatal (testing.T or testing.B).
+func BuildChips(t interface{ Fatal(...any) }, geo ftl.Geometry) []*nand.Chip {
+	chips := make([]*nand.Chip, geo.Chips)
+	for i := range chips {
+		c, err := nand.New(nand.Geometry{
+			Blocks:          geo.BlocksPerChip,
+			WLsPerBlock:     geo.PagesPerBlock / geo.PagesPerWL,
+			CellKind:        kindFor(geo.PagesPerWL),
+			PageBytes:       geo.PageBytes,
+			FlagCells:       9,
+			EnduranceCycles: 1000,
+		}, nand.WithSeed(int64(i)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chips[i] = c
+	}
+	return chips
+}
+
+func kindFor(pagesPerWL int) vth.CellKind {
+	switch pagesPerWL {
+	case 1:
+		return vth.SLC
+	case 2:
+		return vth.MLC
+	case 4:
+		return vth.QLC
+	default:
+		return vth.TLC
+	}
+}
+
+// SmallGeometry returns a compact geometry for fast tests: 2 chips × 8
+// blocks × 12 pages (4 TLC wordlines).
+func SmallGeometry() ftl.Geometry {
+	return ftl.Geometry{
+		Chips:         2,
+		BlocksPerChip: 8,
+		PagesPerBlock: 12,
+		PagesPerWL:    3,
+		PageBytes:     4096,
+	}
+}
+
+// SmallConfig returns a matching FTL config with ~25% over-provisioning.
+func SmallConfig() ftl.Config {
+	geo := SmallGeometry()
+	return ftl.Config{
+		Geometry:        geo,
+		LogicalPages:    geo.TotalPages() / 2,
+		GCFreeBlocksLow: 2,
+		Timing:          ftl.DefaultLockTiming(),
+	}
+}

@@ -1,0 +1,120 @@
+package ftl
+
+// maybeGC runs garbage collection on the chip while its reusable-block
+// count sits below the configured low-water mark.
+func (f *FTL) maybeGC(chip int) {
+	if f.inGC {
+		return // relocations during GC must not recurse into GC
+	}
+	for f.reusableBlocks(chip) < f.cfg.GCFreeBlocksLow {
+		if !f.gcOnce(chip) {
+			return
+		}
+	}
+}
+
+// gcOnce collects one victim block on the chip. It returns false when no
+// victim exists (every candidate is the active block or still erased).
+//
+// Flow (§2.2 + §6): pick the fully-written block with the fewest live
+// pages, copy those pages out (each stale copy goes through the
+// sanitization policy, which is where GC-triggered pLock/bLock comes
+// from — Fig. 13 step 1 "copy"), flush the lock manager, then queue the
+// block for lazy erase (or erase eagerly under the ablation config).
+func (f *FTL) gcOnce(chip int) bool {
+	victim := f.pickVictim(chip)
+	if victim < 0 {
+		return false
+	}
+	f.stats.GCRuns++
+	f.inGC = true
+	first := f.geo.FirstPPA(victim)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		p := first + PPA(i)
+		if f.status[p].Live() {
+			f.relocatePage(p, true)
+		}
+	}
+	// Let the lock manager batch the secured stale copies: with the
+	// whole victim now stale this is the prime bLock opportunity.
+	f.policy.Flush(f)
+	f.inGC = false
+
+	// A sanitization policy may have erased the victim during Flush
+	// (erSSD) — it is then on the free list, or even reopened as the
+	// active block. Either way it must not be queued for lazy erase.
+	cs := &f.chips[chip]
+	if f.usedInBlock[victim] == 0 || cs.active == victim || f.freeContains(cs, victim) {
+		return true
+	}
+	if f.cfg.EagerErase {
+		f.eraseBlock(victim)
+		cs.free = append(cs.free, victim)
+	} else {
+		cs.pendingErase = append(cs.pendingErase, victim)
+	}
+	return true
+}
+
+// pickVictim returns the next GC victim on the chip, or -1 when none
+// qualifies. Only fully-written blocks are eligible: a partially written
+// block is either active or about to be.
+//
+// Greedy (default) picks the block with the fewest live pages; FIFO (the
+// ablation) picks the oldest eligible block by the chip's round-robin
+// cursor, which is what a naive circular-log FTL would do.
+func (f *FTL) pickVictim(chip int) int {
+	cs := &f.chips[chip]
+	begin := chip * f.geo.BlocksPerChip
+	eligible := func(b int) bool {
+		return b != cs.active &&
+			int(f.usedInBlock[b]) == f.geo.PagesPerBlock &&
+			!f.pendingEraseContains(cs, b)
+	}
+	if f.cfg.Victim == VictimFIFO {
+		for i := 0; i < f.geo.BlocksPerChip; i++ {
+			b := begin + (cs.fifoCursor+i)%f.geo.BlocksPerChip
+			if eligible(b) && int(f.liveInBlock[b]) < f.geo.PagesPerBlock {
+				cs.fifoCursor = (b - begin + 1) % f.geo.BlocksPerChip
+				return b
+			}
+		}
+		return -1
+	}
+	best, bestLive := -1, int32(1<<30)
+	for b := begin; b < begin+f.geo.BlocksPerChip; b++ {
+		if !eligible(b) {
+			continue
+		}
+		if live := f.liveInBlock[b]; live < bestLive {
+			best, bestLive = b, live
+			if live == 0 {
+				break
+			}
+		}
+	}
+	// A victim with every page live frees nothing; collecting it would
+	// only burn endurance.
+	if best >= 0 && int(bestLive) == f.geo.PagesPerBlock {
+		return -1
+	}
+	return best
+}
+
+func (f *FTL) pendingEraseContains(cs *chipState, block int) bool {
+	for _, b := range cs.pendingErase {
+		if b == block {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *FTL) freeContains(cs *chipState, block int) bool {
+	for _, b := range cs.free {
+		if b == block {
+			return true
+		}
+	}
+	return false
+}

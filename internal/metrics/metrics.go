@@ -1,0 +1,345 @@
+// Package metrics provides the summary statistics used throughout the
+// Evanesco experiment harnesses: running summaries, percentiles, the
+// five-number box-plot statistics the paper's figures report, fixed-bin
+// histograms, and time series with downsampling for the Fig. 4 style
+// N_valid/N_invalid plots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates count / mean / min / max / variance online
+// (Welford's algorithm) without retaining samples.
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of samples recorded.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Sum returns mean*n, the total of all samples.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g sd=%.4g",
+		s.n, s.Mean(), s.Min(), s.Max(), s.StdDev())
+}
+
+// Sample retains all values so that exact order statistics can be computed.
+// It is used for the box-plot figures where the paper reports distributions
+// over thousands of wordlines.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one value.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends many values.
+func (s *Sample) AddAll(xs ...float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N returns the number of values.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the values in sorted order. The returned slice is owned by
+// the Sample; callers must not modify it.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	return s.xs
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by linear interpolation
+// between closest ranks. It returns NaN for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Max returns the largest value (NaN when empty).
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// Min returns the smallest value (NaN when empty).
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// FractionAbove reports the fraction of values strictly greater than limit.
+// The paper uses this to report, e.g., "7.4% of RBER values exceed the ECC
+// limit".
+func (s *Sample) FractionAbove(limit float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	// First index with value > limit.
+	i := sort.Search(len(s.xs), func(i int) bool { return s.xs[i] > limit })
+	return float64(len(s.xs)-i) / float64(len(s.xs))
+}
+
+// BoxStats is the five-number summary drawn in the paper's box plots, plus
+// the whisker bounds (1.5 IQR convention).
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+	WhiskerLo, WhiskerHi     float64
+}
+
+// Box computes the box-plot statistics of the sample.
+func (s *Sample) Box() BoxStats {
+	b := BoxStats{
+		Min:    s.Quantile(0),
+		Q1:     s.Quantile(0.25),
+		Median: s.Quantile(0.5),
+		Q3:     s.Quantile(0.75),
+		Max:    s.Quantile(1),
+	}
+	iqr := b.Q3 - b.Q1
+	b.WhiskerLo = math.Max(b.Min, b.Q1-1.5*iqr)
+	b.WhiskerHi = math.Min(b.Max, b.Q3+1.5*iqr)
+	return b
+}
+
+func (b BoxStats) String() string {
+	return fmt.Sprintf("min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max)
+}
+
+// Histogram is a fixed-width-bin histogram over [lo, hi); samples outside
+// the range land in saturating under/overflow bins.
+type Histogram struct {
+	lo, hi    float64
+	bins      []uint64
+	underflow uint64
+	overflow  uint64
+	total     uint64
+}
+
+// NewHistogram creates a histogram with n equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("metrics: invalid histogram [%g,%g) n=%d", lo, hi, n))
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]uint64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+		if i == len(h.bins) { // floating-point edge
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// N returns the total number of samples including out-of-range ones.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) uint64 { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + w*(float64(i)+0.5)
+}
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.underflow, h.overflow }
+
+// Render returns a crude ASCII rendering, useful in example programs.
+func (h *Histogram) Render(width int) string {
+	var max uint64
+	for _, c := range h.bins {
+		if c > max {
+			max = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.bins {
+		bar := 0
+		if max > 0 {
+			bar = int(float64(c) / float64(max) * float64(width))
+		}
+		fmt.Fprintf(&sb, "%10.3g | %s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}
+
+// Point is one (t, v) observation in a time series.
+type Point struct {
+	T int64
+	V float64
+}
+
+// Series is an append-only time series keyed by a logical clock. It is used
+// for the Fig. 4 N_valid/N_invalid(f, t) plots, where t is the logical time
+// that advances by one per 4 KiB host write.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries creates a named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Record appends an observation. Observations must be recorded with
+// non-decreasing timestamps; violating timestamps are clamped.
+func (s *Series) Record(t int64, v float64) {
+	if n := len(s.points); n > 0 && t < s.points[n-1].T {
+		t = s.points[n-1].T
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns the raw points. Callers must not modify the slice.
+func (s *Series) Points() []Point { return s.points }
+
+// Last returns the most recent point (zero Point when empty).
+func (s *Series) Last() Point {
+	if len(s.points) == 0 {
+		return Point{}
+	}
+	return s.points[len(s.points)-1]
+}
+
+// MaxValue returns the maximum observed value (0 when empty).
+func (s *Series) MaxValue() float64 {
+	var max float64
+	for i, p := range s.points {
+		if i == 0 || p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// Downsample reduces the series to at most n points by keeping, for each of
+// n equal-width time buckets, the last observation in the bucket. The first
+// and last points are always preserved. It is used to emit plot-friendly
+// series from multi-million-point runs.
+func (s *Series) Downsample(n int) []Point {
+	if n <= 0 || len(s.points) <= n {
+		out := make([]Point, len(s.points))
+		copy(out, s.points)
+		return out
+	}
+	first := s.points[0]
+	last := s.points[len(s.points)-1]
+	span := last.T - first.T
+	if span <= 0 {
+		return []Point{first, last}
+	}
+	out := make([]Point, 0, n+2)
+	out = append(out, first)
+	bucket := -1 // the preserved first point is never overwritten
+	for _, p := range s.points[1:] {
+		b := int(float64(p.T-first.T) / float64(span+1) * float64(n))
+		if b != bucket {
+			out = append(out, p)
+			bucket = b
+		} else {
+			out[len(out)-1] = p
+		}
+	}
+	if out[len(out)-1].T != last.T {
+		out = append(out, last)
+	}
+	return out
+}

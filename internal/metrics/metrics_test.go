@@ -1,0 +1,366 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	want := 32.0 / 7.0
+	if math.Abs(s.Variance()-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), want)
+	}
+	if math.Abs(s.Sum()-40) > 1e-9 {
+		t.Fatalf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Min() != 3.5 || s.Max() != 3.5 || s.Mean() != 3.5 {
+		t.Fatal("single-sample summary wrong")
+	}
+	if s.Variance() != 0 {
+		t.Fatal("single-sample variance should be 0")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("Q0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("Q1 = %v, want 100", got)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %v, want 50.5", got)
+	}
+	if got := s.Quantile(0.25); math.Abs(got-25.75) > 1e-9 {
+		t.Fatalf("Q.25 = %v, want 25.75", got)
+	}
+}
+
+func TestSampleEmptyQuantileIsNaN(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("quantile of empty sample should be NaN")
+	}
+	if !math.IsNaN(s.Mean()) {
+		t.Fatal("mean of empty sample should be NaN")
+	}
+}
+
+func TestSampleFractionAbove(t *testing.T) {
+	var s Sample
+	s.AddAll(0.5, 0.8, 1.0, 1.1, 1.5)
+	if got := s.FractionAbove(1.0); got != 0.4 {
+		t.Fatalf("FractionAbove(1.0) = %v, want 0.4 (strictly greater)", got)
+	}
+	if got := s.FractionAbove(2.0); got != 0 {
+		t.Fatalf("FractionAbove(2.0) = %v, want 0", got)
+	}
+	if got := s.FractionAbove(0.0); got != 1 {
+		t.Fatalf("FractionAbove(0.0) = %v, want 1", got)
+	}
+}
+
+func TestSampleInterleavedAddAndQuery(t *testing.T) {
+	var s Sample
+	s.AddAll(3, 1, 2)
+	if got := s.Quantile(1); got != 3 {
+		t.Fatalf("max = %v, want 3", got)
+	}
+	s.Add(10) // must re-sort after the next query
+	if got := s.Quantile(1); got != 10 {
+		t.Fatalf("max after add = %v, want 10", got)
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 11; i++ {
+		s.Add(float64(i))
+	}
+	b := s.Box()
+	if b.Median != 6 {
+		t.Fatalf("median = %v, want 6", b.Median)
+	}
+	if b.Q1 != 3.5 || b.Q3 != 8.5 {
+		t.Fatalf("Q1/Q3 = %v/%v, want 3.5/8.5", b.Q1, b.Q3)
+	}
+	if b.Min != 1 || b.Max != 11 {
+		t.Fatalf("Min/Max = %v/%v, want 1/11", b.Min, b.Max)
+	}
+	if b.WhiskerLo > b.Q1 || b.WhiskerHi < b.Q3 {
+		t.Fatal("whiskers must bracket the box")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 1 {
+			t.Fatalf("bin %d = %d, want 1", i, h.Bin(i))
+		}
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(100)
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", under, over)
+	}
+	if h.N() != 13 {
+		t.Fatalf("N = %d, want 13", h.N())
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Fatalf("BinCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with hi<=lo should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	out := h.Render(10)
+	if out == "" {
+		t.Fatal("Render returned empty string")
+	}
+}
+
+func TestSeriesRecordAndClamp(t *testing.T) {
+	s := NewSeries("valid")
+	s.Record(10, 1)
+	s.Record(5, 2) // out of order: clamped to t=10
+	pts := s.Points()
+	if len(pts) != 2 || pts[1].T != 10 {
+		t.Fatalf("points = %v, want second point clamped to T=10", pts)
+	}
+	if s.Last().V != 2 {
+		t.Fatalf("Last().V = %v, want 2", s.Last().V)
+	}
+	if s.MaxValue() != 2 {
+		t.Fatalf("MaxValue = %v, want 2", s.MaxValue())
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10000; i++ {
+		s.Record(int64(i), float64(i))
+	}
+	ds := s.Downsample(100)
+	if len(ds) > 101 {
+		t.Fatalf("downsampled to %d points, want <= 101", len(ds))
+	}
+	if ds[0].T != 0 {
+		t.Fatalf("first point T = %d, want 0", ds[0].T)
+	}
+	if ds[len(ds)-1].T != 9999 {
+		t.Fatalf("last point T = %d, want 9999", ds[len(ds)-1].T)
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].T < ds[i-1].T {
+			t.Fatal("downsampled series not monotonic in T")
+		}
+	}
+}
+
+func TestSeriesDownsampleSmall(t *testing.T) {
+	s := NewSeries("x")
+	s.Record(1, 1)
+	s.Record(2, 2)
+	ds := s.Downsample(100)
+	if len(ds) != 2 {
+		t.Fatalf("short series should be returned whole, got %d points", len(ds))
+	}
+}
+
+func TestSeriesDownsampleConstantTime(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Record(5, float64(i))
+	}
+	ds := s.Downsample(3)
+	if len(ds) < 1 {
+		t.Fatal("downsample of constant-time series lost all points")
+	}
+}
+
+// Property: Summary mean/min/max agree with a direct computation.
+func TestSummaryMatchesDirectProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%50) + 1
+		var s Summary
+		xs := make([]float64, k)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			s.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(k)
+		return math.Abs(s.Mean()-mean) < 1e-9 &&
+			s.Min() == xs[0] && s.Max() == xs[k-1] && s.N() == uint64(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		for i := 0; i < int(n%40)+2; i++ {
+			s.Add(rng.Float64() * 1000)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := s.Quantile(q)
+			if v < prev {
+				return false
+			}
+			if v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves samples (bins + under + over == N).
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-10, 10, 7)
+		k := int(n)%100 + 1
+		for i := 0; i < k; i++ {
+			h.Add(rng.NormFloat64() * 15)
+		}
+		var total uint64
+		for i := 0; i < h.Bins(); i++ {
+			total += h.Bin(i)
+		}
+		u, o := h.OutOfRange()
+		return total+u+o == h.N() && h.N() == uint64(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryStdDevAndString(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+	if str := s.String(); str == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSampleNValuesMean(t *testing.T) {
+	var s Sample
+	s.AddAll(3, 1, 2)
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	vals := s.Values()
+	if vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("Values not sorted: %v", vals)
+	}
+	if got := s.Mean(); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if s.Min() != 1 || s.Max() != 3 {
+		t.Fatal("Min/Max wrong")
+	}
+}
+
+func TestBoxStatsString(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3)
+	if s.Box().String() == "" {
+		t.Fatal("BoxStats String empty")
+	}
+}
+
+func TestSeriesLenAndEmptyLast(t *testing.T) {
+	s := NewSeries("x")
+	if s.Len() != 0 {
+		t.Fatal("empty series Len")
+	}
+	if s.Last() != (Point{}) {
+		t.Fatal("empty series Last should be zero Point")
+	}
+	if s.MaxValue() != 0 {
+		t.Fatal("empty series MaxValue should be 0")
+	}
+	s.Record(1, 5)
+	if s.Len() != 1 {
+		t.Fatal("Len after record")
+	}
+}

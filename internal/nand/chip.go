@@ -1,0 +1,335 @@
+// Package nand models a 3D NAND flash chip extended with the Evanesco
+// lock commands. It implements the full command set the paper's SecureSSD
+// needs:
+//
+//	Read, Program, Erase        — standard flash operations
+//	PLock                       — disable one page (pAP flag, §5.3)
+//	BLock                       — disable a whole block (bAP/SSL, §5.4)
+//	Scrub, OSR                  — the baseline physical-sanitization ops
+//
+// The chip enforces the paper's security semantics on-chip: a read of a
+// locked page (or of any page in a locked block) returns all-zero data no
+// matter which interface issues it, and locks can only be cleared by a
+// physical block erase, which destroys the data first.
+//
+// Each wordline tracks its operating history (P/E cycles, program time,
+// program disturbs, open interval) so reads can consult the vth cell
+// model for reliability queries and optional error injection.
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nand/vth"
+	"repro/internal/sim"
+)
+
+// Errors returned by chip operations.
+var (
+	ErrBadAddress    = errors.New("nand: address out of range")
+	ErrNotErased     = errors.New("nand: programming a non-erased page")
+	ErrOutOfOrder    = errors.New("nand: pages of a block must be programmed in order")
+	ErrPageLocked    = errors.New("nand: page is locked (pAP disabled)")
+	ErrBlockLocked   = errors.New("nand: block is locked (bAP disabled)")
+	ErrUncorrectable = errors.New("nand: raw bit errors exceed ECC correction capability")
+	ErrWornOut       = errors.New("nand: block exceeded its endurance rating")
+)
+
+// Geometry fixes the chip's physical layout. The defaults mirror the
+// SecureSSD configuration in §7: 428 blocks of 192 TLC wordlines
+// (576 pages) with 16-KiB pages.
+type Geometry struct {
+	Blocks      int
+	WLsPerBlock int
+	CellKind    vth.CellKind
+	PageBytes   int
+	// FlagCells is k, the number of spare flash cells backing one pAP
+	// flag (the paper selects k = 9).
+	FlagCells int
+	// EnduranceCycles is the rated P/E endurance (1K for TLC).
+	EnduranceCycles int
+}
+
+// DefaultGeometry returns the paper's SecureSSD chip geometry.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Blocks:          428,
+		WLsPerBlock:     192,
+		CellKind:        vth.TLC,
+		PageBytes:       16 * 1024,
+		FlagCells:       9,
+		EnduranceCycles: 1000,
+	}
+}
+
+// PagesPerWL returns the number of pages stored on one wordline.
+func (g Geometry) PagesPerWL() int { return g.CellKind.Bits() }
+
+// PagesPerBlock returns the number of pages in one block.
+func (g Geometry) PagesPerBlock() int { return g.WLsPerBlock * g.PagesPerWL() }
+
+// TotalPages returns the page count of the whole chip.
+func (g Geometry) TotalPages() int { return g.Blocks * g.PagesPerBlock() }
+
+// CapacityBytes returns the raw chip capacity.
+func (g Geometry) CapacityBytes() int64 {
+	return int64(g.TotalPages()) * int64(g.PageBytes)
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Blocks <= 0 || g.WLsPerBlock <= 0 || g.PageBytes <= 0 {
+		return fmt.Errorf("nand: non-positive geometry %+v", g)
+	}
+	if g.CellKind < vth.SLC || g.CellKind > vth.QLC {
+		return fmt.Errorf("nand: unknown cell kind %d", g.CellKind)
+	}
+	if g.FlagCells <= 0 || g.FlagCells%2 == 0 {
+		return fmt.Errorf("nand: FlagCells must be odd and positive, got %d", g.FlagCells)
+	}
+	return nil
+}
+
+// Timing holds the command latencies (§7): tREAD 80µs, tPROG 700µs,
+// tBERS 3.5ms, tpLock 100µs, tbLock 300µs, scrub 100µs.
+type Timing struct {
+	Read  sim.Micros
+	Prog  sim.Micros
+	Erase sim.Micros
+	PLock sim.Micros
+	BLock sim.Micros
+	Scrub sim.Micros
+	// Xfer is the channel transfer time for one page (16 KiB over a
+	// 400 MB/s bus ≈ 40 µs).
+	Xfer sim.Micros
+}
+
+// DefaultTiming returns the paper's timing parameters.
+func DefaultTiming() Timing {
+	return Timing{
+		Read:  80,
+		Prog:  700,
+		Erase: 3500,
+		PLock: 100,
+		BLock: 300,
+		Scrub: 100,
+		Xfer:  40,
+	}
+}
+
+// OpKind labels a chip operation for accounting.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpProgram
+	OpErase
+	OpPLock
+	OpBLock
+	OpScrub
+	opKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	case OpPLock:
+		return "pLock"
+	case OpBLock:
+		return "bLock"
+	case OpScrub:
+		return "scrub"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// PageAddr addresses one physical page on a chip.
+type PageAddr struct {
+	Block int
+	Page  int // 0 .. PagesPerBlock-1, in program order
+}
+
+func (a PageAddr) String() string { return fmt.Sprintf("pb%d/pp%d", a.Block, a.Page) }
+
+// wordline carries the per-WL operating history and the pAP flag cells.
+type wordline struct {
+	// flag[i] holds the sampled Vth values of the k flag cells backing
+	// page i of this WL; nil means never programmed (enabled).
+	flags [][]float64
+	// lockDay[i] is the simulated day the flag was programmed (for
+	// retention decay of the flag cells).
+	lockDay []float64
+	// disturbs counts pLock pulses applied while data cells were
+	// inhibited.
+	disturbs int
+	// reads counts disturb events from reads of neighbouring wordlines.
+	reads int
+	// programDay is when the data cells were programmed (sim days).
+	programDay float64
+	programmed bool
+}
+
+// block is one erase unit.
+type block struct {
+	pages      [][]byte // payload per page; nil = free
+	pageBits   []int    // logical payload length in bytes (tracks partial writes)
+	wls        []wordline
+	writePtr   int // next page to program (append-only discipline)
+	peCycles   int
+	erasedDay  float64 // when the block was last erased (for open interval)
+	everErased bool
+	// sslCenter > 0 means bLock programmed the SSL to that center Vth.
+	sslCenter  float64
+	sslLockDay float64
+}
+
+// Chip is one emulated NAND die.
+type Chip struct {
+	geo    Geometry
+	timing Timing
+	blocks []block
+
+	model     *vth.Model    // data-cell model (reliability queries)
+	flagModel vth.FlagModel // pAP flag cells
+	sslModel  vth.SSLModel  // bAP / SSL cells
+	plockV    float64       // pLock operating point (§5.3 combination (ii))
+	plockT    float64
+	blockV    float64 // bLock operating point (§5.4 combination (ii))
+	blockT    float64
+
+	rng *rand.Rand
+
+	// dayOffset lets tests and the secure-delete example advance
+	// "wall-clock" retention time independently of the µs-scale
+	// simulation clock.
+	dayOffset float64
+
+	// injectErrors enables Monte-Carlo bit-error injection on reads.
+	injectErrors bool
+	eccLimit     float64 // per-page RBER limit when injecting
+
+	opCount [opKinds]uint64
+}
+
+// Option configures a Chip.
+type Option func(*Chip)
+
+// WithErrorInjection makes reads sample the cell model and fail with
+// ErrUncorrectable when the drawn error count exceeds the ECC limit.
+func WithErrorInjection() Option {
+	return func(c *Chip) { c.injectErrors = true }
+}
+
+// WithTiming overrides the command latencies.
+func WithTiming(t Timing) Option {
+	return func(c *Chip) { c.timing = t }
+}
+
+// WithSeed fixes the chip's RNG seed (default 1).
+func WithSeed(seed int64) Option {
+	return func(c *Chip) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New builds a chip with the given geometry.
+func New(geo Geometry, opts ...Option) (*Chip, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	var model *vth.Model
+	switch geo.CellKind {
+	case vth.MLC:
+		model = vth.NewMLC()
+	case vth.QLC:
+		model = vth.NewQLC()
+	default:
+		model = vth.NewTLC()
+	}
+	c := &Chip{
+		geo:       geo,
+		timing:    DefaultTiming(),
+		blocks:    make([]block, geo.Blocks),
+		model:     model,
+		flagModel: vth.DefaultFlagModel(),
+		sslModel:  vth.DefaultSSLModel(),
+		// §5.3 final pLock operating point: combination (ii) = (Vp4, 100µs).
+		plockV: vth.PLockVoltages[3],
+		plockT: 100,
+		// §5.4 final bLock operating point: combination (ii) = (Vb6, 300µs).
+		blockV:   vth.BLockVoltages[5],
+		blockT:   300,
+		rng:      rand.New(rand.NewSource(1)),
+		eccLimit: model.ECCLimitRBER,
+	}
+	ppb := geo.PagesPerBlock()
+	for b := range c.blocks {
+		blk := &c.blocks[b]
+		blk.pages = make([][]byte, ppb)
+		blk.pageBits = make([]int, ppb)
+		blk.wls = make([]wordline, geo.WLsPerBlock)
+		for w := range blk.wls {
+			blk.wls[w].flags = make([][]float64, geo.PagesPerWL())
+			blk.wls[w].lockDay = make([]float64, geo.PagesPerWL())
+		}
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Geometry returns the chip geometry.
+func (c *Chip) Geometry() Geometry { return c.geo }
+
+// Timing returns the command latencies.
+func (c *Chip) Timing() Timing { return c.timing }
+
+// OpCount returns how many operations of kind k the chip executed.
+func (c *Chip) OpCount(k OpKind) uint64 { return c.opCount[k] }
+
+// AdvanceDays moves the chip's retention clock forward, aging every
+// programmed cell and flag. Used by tests and the secure-delete example to
+// demonstrate multi-year lock durability.
+func (c *Chip) AdvanceDays(days float64) {
+	if days < 0 {
+		panic("nand: cannot rewind retention time")
+	}
+	c.dayOffset += days
+}
+
+// nowDays converts a simulation timestamp to fractional days, including
+// any AdvanceDays offset.
+func (c *Chip) nowDays(now sim.Micros) float64 {
+	const microsPerDay = 24 * 3600 * 1e6
+	return c.dayOffset + float64(now)/microsPerDay
+}
+
+// wlOf maps a page index to its wordline and the page slot within the WL.
+// Pages are striped WL-major in program order: WL0 holds pages
+// 0..bits-1, WL1 the next bits, etc., matching the paper's Fig. 8 layout
+// where the LSB/CSB/MSB pages of a WL have adjacent page numbers.
+func (c *Chip) wlOf(page int) (wl, slot int) {
+	bits := c.geo.PagesPerWL()
+	return page / bits, page % bits
+}
+
+// PageKindOf returns which page of its wordline (LSB/CSB/MSB) a page
+// index is.
+func (c *Chip) PageKindOf(page int) vth.PageKind {
+	_, slot := c.wlOf(page)
+	return vth.PagesPerWL(c.geo.CellKind)[slot]
+}
+
+func (c *Chip) checkAddr(a PageAddr) error {
+	if a.Block < 0 || a.Block >= c.geo.Blocks || a.Page < 0 || a.Page >= c.geo.PagesPerBlock() {
+		return fmt.Errorf("%w: %v", ErrBadAddress, a)
+	}
+	return nil
+}

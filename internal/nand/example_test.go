@@ -1,0 +1,49 @@
+package nand_test
+
+import (
+	"fmt"
+
+	"repro/internal/nand"
+	"repro/internal/nand/vth"
+)
+
+// Example shows the chip-level Evanesco flow: program, lock, and the
+// all-zero read that follows.
+func Example() {
+	chip, err := nand.New(nand.Geometry{
+		Blocks:          4,
+		WLsPerBlock:     4,
+		CellKind:        vth.TLC,
+		PageBytes:       4096,
+		FlagCells:       9,
+		EnduranceCycles: 1000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	addr := nand.PageAddr{Block: 0, Page: 0}
+	chip.Program(addr, []byte("delete me"), 0)
+
+	chip.PLock(addr, 0)
+	res, err := chip.Read(addr, 0)
+	fmt.Printf("locked read error: %v\n", err == nand.ErrPageLocked)
+	fmt.Printf("data bytes all zero: %v\n", allZero(res.Data))
+
+	// Only an erase re-enables the page — and it destroys the data first.
+	chip.Erase(0, 0)
+	locked, _ := chip.IsPageLocked(addr, 0)
+	fmt.Printf("locked after erase: %v\n", locked)
+	// Output:
+	// locked read error: true
+	// data bytes all zero: true
+	// locked after erase: false
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,722 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nand/vth"
+)
+
+// smallGeo keeps tests fast: 8 blocks of 4 TLC wordlines.
+func smallGeo() Geometry {
+	return Geometry{
+		Blocks:          8,
+		WLsPerBlock:     4,
+		CellKind:        vth.TLC,
+		PageBytes:       4096,
+		FlagCells:       9,
+		EnduranceCycles: 1000,
+	}
+}
+
+func newTestChip(t *testing.T, opts ...Option) *Chip {
+	t.Helper()
+	c, err := New(smallGeo(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := DefaultGeometry()
+	if g.PagesPerWL() != 3 {
+		t.Fatalf("TLC PagesPerWL = %d, want 3", g.PagesPerWL())
+	}
+	if g.PagesPerBlock() != 576 {
+		t.Fatalf("PagesPerBlock = %d, want 576 (the paper's configuration)", g.PagesPerBlock())
+	}
+	// 428 blocks * 576 pages * 16 KiB ≈ 3.77 GiB per chip; 8 chips ≈ 30 GiB.
+	if got := g.CapacityBytes(); got != int64(428)*576*16*1024 {
+		t.Fatalf("CapacityBytes = %d", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Geometry{
+		{Blocks: 0, WLsPerBlock: 1, CellKind: vth.TLC, PageBytes: 1, FlagCells: 9},
+		{Blocks: 1, WLsPerBlock: 1, CellKind: 0, PageBytes: 1, FlagCells: 9},
+		{Blocks: 1, WLsPerBlock: 1, CellKind: vth.TLC, PageBytes: 1, FlagCells: 8}, // even k
+		{Blocks: 1, WLsPerBlock: 1, CellKind: vth.TLC, PageBytes: 1, FlagCells: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: bad geometry accepted", i)
+		}
+		if _, err := New(g); err == nil {
+			t.Errorf("case %d: New accepted bad geometry", i)
+		}
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	c := newTestChip(t)
+	data := []byte("sensitive file contents")
+	lat, err := c.Program(PageAddr{0, 0}, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != DefaultTiming().Prog {
+		t.Fatalf("program latency %v, want %v", lat, DefaultTiming().Prog)
+	}
+	res, err := c.Read(PageAddr{0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatalf("read %q, want %q", res.Data, data)
+	}
+	if res.Latency != DefaultTiming().Read {
+		t.Fatalf("read latency %v", res.Latency)
+	}
+}
+
+func TestProgramEnforcesAppendOrder(t *testing.T) {
+	c := newTestChip(t)
+	if _, err := c.Program(PageAddr{0, 1}, []byte("x"), 0); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("skipping a page: err = %v, want ErrOutOfOrder", err)
+	}
+	if _, err := c.Program(PageAddr{0, 0}, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Program(PageAddr{0, 0}, []byte("y"), 0); !errors.Is(err, ErrNotErased) {
+		t.Fatalf("overwrite: err = %v, want ErrNotErased", err)
+	}
+}
+
+func TestProgramRejectsOversizedPayload(t *testing.T) {
+	c := newTestChip(t)
+	big := make([]byte, smallGeo().PageBytes+1)
+	if _, err := c.Program(PageAddr{0, 0}, big, 0); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	c := newTestChip(t)
+	cases := []PageAddr{{-1, 0}, {0, -1}, {99, 0}, {0, 9999}}
+	for _, a := range cases {
+		if _, err := c.Read(a, 0); !errors.Is(err, ErrBadAddress) {
+			t.Errorf("Read(%v): %v, want ErrBadAddress", a, err)
+		}
+		if _, err := c.Program(a, nil, 0); !errors.Is(err, ErrBadAddress) {
+			t.Errorf("Program(%v): %v, want ErrBadAddress", a, err)
+		}
+		if _, err := c.PLock(a, 0); !errors.Is(err, ErrBadAddress) {
+			t.Errorf("PLock(%v): %v, want ErrBadAddress", a, err)
+		}
+	}
+	if _, err := c.Erase(-1, 0); !errors.Is(err, ErrBadAddress) {
+		t.Error("Erase(-1) accepted")
+	}
+	if _, err := c.BLock(1000, 0); !errors.Is(err, ErrBadAddress) {
+		t.Error("BLock(1000) accepted")
+	}
+}
+
+func TestReadOfFreePage(t *testing.T) {
+	c := newTestChip(t)
+	res, err := c.Read(PageAddr{3, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data != nil {
+		t.Fatal("free page should read as erased (nil payload)")
+	}
+}
+
+// The core Evanesco guarantee: after pLock, the page reads all-zero with
+// ErrPageLocked; sibling pages on the same wordline are unaffected.
+func TestPLockBlocksExactlyOnePage(t *testing.T) {
+	c := newTestChip(t)
+	// Program a full wordline (pages 0,1,2 = LSB,CSB,MSB of WL0).
+	payloads := [][]byte{[]byte("lsb-data"), []byte("csb-data"), []byte("msb-data")}
+	for i, p := range payloads {
+		if _, err := c.Program(PageAddr{0, i}, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lat, err := c.PLock(PageAddr{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != DefaultTiming().PLock {
+		t.Fatalf("pLock latency %v, want %v", lat, DefaultTiming().PLock)
+	}
+	// Locked page: all-zero data + ErrPageLocked.
+	res, err := c.Read(PageAddr{0, 1}, 0)
+	if !errors.Is(err, ErrPageLocked) {
+		t.Fatalf("read of locked page: err = %v", err)
+	}
+	for _, b := range res.Data {
+		if b != 0 {
+			t.Fatal("locked page leaked non-zero data")
+		}
+	}
+	if len(res.Data) != len(payloads[1]) {
+		t.Fatalf("locked read returned %d bytes, want %d", len(res.Data), len(payloads[1]))
+	}
+	// Sibling pages still read fine.
+	for _, i := range []int{0, 2} {
+		res, err := c.Read(PageAddr{0, i}, 0)
+		if err != nil {
+			t.Fatalf("sibling page %d: %v", i, err)
+		}
+		if !bytes.Equal(res.Data, payloads[i]) {
+			t.Fatalf("sibling page %d corrupted", i)
+		}
+	}
+}
+
+func TestPLockIsIdempotent(t *testing.T) {
+	c := newTestChip(t)
+	c.Program(PageAddr{0, 0}, []byte("x"), 0)
+	c.PLock(PageAddr{0, 0}, 0)
+	before := c.OpCount(OpPLock)
+	c.PLock(PageAddr{0, 0}, 0)
+	if c.OpCount(OpPLock) != before+1 {
+		t.Fatal("second pLock should still be counted as an operation")
+	}
+	if locked, _ := c.IsPageLocked(PageAddr{0, 0}, 0); !locked {
+		t.Fatal("page must stay locked")
+	}
+}
+
+// bLock blocks every page of the block, including ones whose pAP is
+// enabled (Fig. 7(b): the bAP check comes first).
+func TestBLockBlocksWholeBlock(t *testing.T) {
+	c := newTestChip(t)
+	for i := 0; i < 6; i++ {
+		c.Program(PageAddr{2, i}, []byte{byte(i)}, 0)
+	}
+	if _, err := c.BLock(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		res, err := c.Read(PageAddr{2, i}, 0)
+		if !errors.Is(err, ErrBlockLocked) {
+			t.Fatalf("page %d: err = %v, want ErrBlockLocked", i, err)
+		}
+		for _, b := range res.Data {
+			if b != 0 {
+				t.Fatal("locked block leaked data")
+			}
+		}
+	}
+	// Other blocks unaffected.
+	c.Program(PageAddr{3, 0}, []byte("ok"), 0)
+	if _, err := c.Read(PageAddr{3, 0}, 0); err != nil {
+		t.Fatalf("unrelated block affected: %v", err)
+	}
+	// Programming into a locked block is refused.
+	if _, err := c.Program(PageAddr{2, 6}, []byte("x"), 0); !errors.Is(err, ErrBlockLocked) {
+		t.Fatalf("program into locked block: %v", err)
+	}
+}
+
+// There is no unlock command: only erase re-enables, and it destroys data.
+func TestEraseIsTheOnlyUnlock(t *testing.T) {
+	c := newTestChip(t)
+	c.Program(PageAddr{1, 0}, []byte("secret"), 0)
+	c.PLock(PageAddr{1, 0}, 0)
+	c.BLock(1, 0)
+
+	if _, err := c.Erase(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if locked, _ := c.IsBlockLocked(1, 0); locked {
+		t.Fatal("erase must clear the bAP flag")
+	}
+	if locked, _ := c.IsPageLocked(PageAddr{1, 0}, 0); locked {
+		t.Fatal("erase must clear pAP flags")
+	}
+	res, err := c.Read(PageAddr{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data != nil {
+		t.Fatal("erase must destroy the data")
+	}
+	if c.PECycles(1) != 1 {
+		t.Fatalf("PECycles = %d, want 1", c.PECycles(1))
+	}
+	if c.WritePointer(1) != 0 {
+		t.Fatal("erase must rewind the write pointer")
+	}
+}
+
+// Locks survive years of retention: the §5.3/§5.4 operating points were
+// chosen so the flags hold for a 5-year retention requirement.
+func TestLocksSurviveFiveYears(t *testing.T) {
+	c := newTestChip(t)
+	c.Program(PageAddr{0, 0}, []byte("will-be-deleted"), 0)
+	c.Program(PageAddr{0, 1}, []byte("b"), 0)
+	c.PLock(PageAddr{0, 0}, 0)
+	c.BLock(4, 0)
+
+	c.AdvanceDays(5 * 365)
+
+	if locked, _ := c.IsPageLocked(PageAddr{0, 0}, 0); !locked {
+		t.Fatal("pAP flag decayed within 5 years; operating point (Vp4,100µs) must hold")
+	}
+	if locked, _ := c.IsBlockLocked(4, 0); !locked {
+		t.Fatal("bAP flag decayed within 5 years; operating point (Vb6,300µs) must hold")
+	}
+	if _, err := c.Read(PageAddr{0, 0}, 0); !errors.Is(err, ErrPageLocked) {
+		t.Fatal("aged locked page became readable")
+	}
+}
+
+func TestAdvanceDaysPanicsOnNegative(t *testing.T) {
+	c := newTestChip(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.AdvanceDays(-1)
+}
+
+func TestScrubDestroysPage(t *testing.T) {
+	c := newTestChip(t)
+	c.Program(PageAddr{0, 0}, []byte("destroy-me"), 0)
+	lat, err := c.Scrub(PageAddr{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != DefaultTiming().Scrub {
+		t.Fatalf("scrub latency %v", lat)
+	}
+	res, err := c.Read(PageAddr{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Data {
+		if b != 0 {
+			t.Fatal("scrubbed page retained data")
+		}
+	}
+}
+
+// The forensic dump — the paper's threat model — recovers exactly the
+// unlocked pages and nothing else.
+func TestForensicDumpRespectsLocks(t *testing.T) {
+	c := newTestChip(t)
+	c.Program(PageAddr{0, 0}, []byte("public"), 0)
+	c.Program(PageAddr{0, 1}, []byte("secret"), 0)
+	c.Program(PageAddr{0, 2}, []byte("also-public"), 0)
+	c.PLock(PageAddr{0, 1}, 0)
+
+	dump := c.ForensicDump(0, 0)
+	if !bytes.Equal(dump[0], []byte("public")) || !bytes.Equal(dump[2], []byte("also-public")) {
+		t.Fatal("forensic dump should recover unlocked pages")
+	}
+	if bytes.Contains(dump[1], []byte("secret")) {
+		t.Fatal("forensic dump recovered locked data")
+	}
+	for _, b := range dump[1] {
+		if b != 0 {
+			t.Fatal("locked page dump not all-zero")
+		}
+	}
+}
+
+func TestOpCounters(t *testing.T) {
+	c := newTestChip(t)
+	c.Program(PageAddr{0, 0}, []byte("x"), 0)
+	c.Read(PageAddr{0, 0}, 0)
+	c.Read(PageAddr{0, 0}, 0)
+	c.PLock(PageAddr{0, 0}, 0)
+	c.BLock(0, 0)
+	c.Erase(0, 0)
+	c.Program(PageAddr{0, 0}, []byte("y"), 0)
+	c.Scrub(PageAddr{0, 0}, 0)
+	want := map[OpKind]uint64{
+		OpRead: 2, OpProgram: 2, OpErase: 1, OpPLock: 1, OpBLock: 1, OpScrub: 1,
+	}
+	for k, n := range want {
+		if c.OpCount(k) != n {
+			t.Errorf("OpCount(%v) = %d, want %d", k, c.OpCount(k), n)
+		}
+	}
+}
+
+func TestPageKindMapping(t *testing.T) {
+	c := newTestChip(t)
+	// TLC: pages 0,1,2 of WL0 are LSB,CSB,MSB; page 3 starts WL1.
+	want := []vth.PageKind{vth.LSB, vth.CSB, vth.MSB, vth.LSB, vth.CSB, vth.MSB}
+	for i, w := range want {
+		if got := c.PageKindOf(i); got != w {
+			t.Errorf("PageKindOf(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestErrorInjectionOnHealthyChip(t *testing.T) {
+	c := newTestChip(t, WithErrorInjection(), WithSeed(3))
+	payload := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(payload)
+	c.Program(PageAddr{0, 0}, payload, 0)
+	// A fresh chip's RBER is far below the ECC limit: every read must
+	// succeed and return intact data after correction.
+	for i := 0; i < 50; i++ {
+		res, err := c.Read(PageAddr{0, 0}, 0)
+		if err != nil {
+			t.Fatalf("read %d failed: %v", i, err)
+		}
+		if !bytes.Equal(res.Data, payload) {
+			t.Fatalf("read %d returned corrupted data", i)
+		}
+	}
+}
+
+func TestErrorInjectionUncorrectableAfterAbuse(t *testing.T) {
+	c := newTestChip(t, WithErrorInjection(), WithSeed(4))
+	payload := make([]byte, 4096)
+	c.Program(PageAddr{0, 0}, payload, 0)
+	// Wear the block far beyond endurance and age it a decade: reads
+	// should eventually fail.
+	blk := &c.blocks[0]
+	blk.peCycles = 5000
+	c.AdvanceDays(3650)
+	failures := 0
+	for i := 0; i < 50; i++ {
+		if _, err := c.Read(PageAddr{0, 0}, 0); errors.Is(err, ErrUncorrectable) {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("a 5K-cycle block after 10 years should produce uncorrectable reads")
+	}
+}
+
+func TestChipSeedDeterminism(t *testing.T) {
+	run := func() [][]float64 {
+		c := newTestChip(t, WithSeed(42))
+		c.Program(PageAddr{0, 0}, []byte("x"), 0)
+		c.PLock(PageAddr{0, 0}, 0)
+		return c.blocks[0].wls[0].flags
+	}
+	a, b := run(), run()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic flag cells")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic flag-cell Vth")
+			}
+		}
+	}
+}
+
+// Property: for any sequence of program/pLock operations, a locked page
+// never returns its data and an unlocked programmed page always does.
+func TestLockIsolationProperty(t *testing.T) {
+	f := func(seed int64, ops []byte) bool {
+		c, err := New(smallGeo(), WithSeed(seed))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		type st struct {
+			data   []byte
+			locked bool
+		}
+		written := map[PageAddr]*st{}
+		next := map[int]int{}
+		for _, op := range ops {
+			blk := rng.Intn(smallGeo().Blocks)
+			switch op % 3 {
+			case 0: // program next page of a block
+				p := next[blk]
+				if p >= smallGeo().PagesPerBlock() {
+					continue
+				}
+				data := []byte{op, byte(blk), byte(p)}
+				if _, err := c.Program(PageAddr{blk, p}, data, 0); err == nil {
+					written[PageAddr{blk, p}] = &st{data: data}
+					next[blk] = p + 1
+				}
+			case 1: // lock a random written page
+				if len(written) == 0 {
+					continue
+				}
+				for a, s := range written {
+					if _, err := c.PLock(a, 0); err == nil {
+						s.locked = true
+					}
+					break
+				}
+			case 2: // erase a block
+				if _, err := c.Erase(blk, 0); err == nil {
+					for a := range written {
+						if a.Block == blk {
+							delete(written, a)
+						}
+					}
+					next[blk] = 0
+				}
+			}
+		}
+		// Verify invariant.
+		for a, s := range written {
+			res, err := c.Read(a, 0)
+			if s.locked {
+				if !errors.Is(err, ErrPageLocked) {
+					return false
+				}
+				for _, b := range res.Data {
+					if b != 0 {
+						return false
+					}
+				}
+			} else {
+				if err != nil || !bytes.Equal(res.Data, s.data) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQLCChipGeometry(t *testing.T) {
+	g := Geometry{
+		Blocks: 4, WLsPerBlock: 4, CellKind: vth.QLC,
+		PageBytes: 4096, FlagCells: 9, EnduranceCycles: 500,
+	}
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PagesPerWL() != 4 || g.PagesPerBlock() != 16 {
+		t.Fatalf("QLC geometry: %d pages/WL, %d/block", g.PagesPerWL(), g.PagesPerBlock())
+	}
+	// All four page kinds appear on a wordline.
+	kinds := map[vth.PageKind]bool{}
+	for p := 0; p < 4; p++ {
+		kinds[c.PageKindOf(p)] = true
+	}
+	if len(kinds) != 4 {
+		t.Fatalf("QLC wordline exposes %d page kinds, want 4", len(kinds))
+	}
+	// Basic command set works.
+	if _, err := c.Program(PageAddr{0, 0}, []byte("q"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PLock(PageAddr{0, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(PageAddr{0, 0}, 0); !errors.Is(err, ErrPageLocked) {
+		t.Fatal("QLC pLock did not hold")
+	}
+}
+
+func TestReadDisturbAccumulates(t *testing.T) {
+	c := newTestChip(t, WithErrorInjection(), WithSeed(9))
+	// Program WL0 and WL1; hammer WL1 with reads; WL0 is its neighbour.
+	for p := 0; p < 6; p++ {
+		c.Program(PageAddr{0, p}, make([]byte, 2048), 0)
+	}
+	for i := 0; i < 5000; i++ {
+		c.Read(PageAddr{0, 3}, 0) // WL1
+	}
+	if got := c.blocks[0].wls[0].reads; got < 5000 {
+		t.Fatalf("neighbour WL accumulated %d read disturbs, want >= 5000", got)
+	}
+	// The disturb raises RBER via the model; a fresh block still reads
+	// fine (disturb shift is small), so just assert reads succeed.
+	if _, err := c.Read(PageAddr{0, 0}, 0); err != nil {
+		t.Fatalf("read-disturbed page unreadable on fresh block: %v", err)
+	}
+}
+
+func TestCopybackMovesData(t *testing.T) {
+	c := newTestChip(t)
+	c.Program(PageAddr{0, 0}, []byte("move me"), 0)
+	lat, err := c.Copyback(PageAddr{0, 0}, PageAddr{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != DefaultTiming().Read+DefaultTiming().Prog {
+		t.Fatalf("copyback latency %v", lat)
+	}
+	res, err := c.Read(PageAddr{1, 0}, 0)
+	if err != nil || !bytes.Equal(res.Data, []byte("move me")) {
+		t.Fatalf("copyback destination: %q, %v", res.Data, err)
+	}
+}
+
+// Copyback cannot launder locked data: the internal read path is gated
+// too, so the copy lands all-zero.
+func TestCopybackCannotExfiltrateLockedData(t *testing.T) {
+	c := newTestChip(t)
+	c.Program(PageAddr{0, 0}, []byte("locked secret"), 0)
+	c.PLock(PageAddr{0, 0}, 0)
+	if _, err := c.Copyback(PageAddr{0, 0}, PageAddr{1, 0}, 0); err == nil {
+		t.Log("copyback of locked page allowed; checking the payload")
+	}
+	res, err := c.Read(PageAddr{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Data {
+		if b != 0 {
+			t.Fatal("copyback exfiltrated locked data")
+		}
+	}
+}
+
+func TestCopybackDisciplineErrors(t *testing.T) {
+	c := newTestChip(t)
+	c.Program(PageAddr{0, 0}, []byte("x"), 0)
+	// Destination out of order.
+	if _, err := c.Copyback(PageAddr{0, 0}, PageAddr{1, 5}, 0); err == nil {
+		t.Fatal("out-of-order copyback destination accepted")
+	}
+	if _, err := c.Copyback(PageAddr{-1, 0}, PageAddr{1, 0}, 0); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+// Model-based property test: drive the chip with random command
+// sequences and mirror every operation in a trivial map-based oracle;
+// the chip's observable behaviour must match the oracle exactly.
+func TestChipMatchesOracleProperty(t *testing.T) {
+	type pageOracle struct {
+		data    []byte
+		written bool
+		locked  bool
+	}
+	fn := func(seed int64) bool {
+		chip, err := New(smallGeo(), WithSeed(seed))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ppb := smallGeo().PagesPerBlock()
+		nb := smallGeo().Blocks
+		oracle := make(map[PageAddr]*pageOracle)
+		blockLocked := make(map[int]bool)
+		writePtr := make(map[int]int)
+
+		for step := 0; step < 300; step++ {
+			blk := rng.Intn(nb)
+			switch rng.Intn(6) {
+			case 0, 1: // program next page
+				p := writePtr[blk]
+				if p >= ppb || blockLocked[blk] {
+					continue
+				}
+				data := []byte{byte(step), byte(blk), byte(p)}
+				if _, err := chip.Program(PageAddr{blk, p}, data, 0); err != nil {
+					return false
+				}
+				oracle[PageAddr{blk, p}] = &pageOracle{data: data, written: true}
+				writePtr[blk] = p + 1
+			case 2: // pLock a random written page
+				p := rng.Intn(ppb)
+				st := oracle[PageAddr{blk, p}]
+				if st == nil {
+					continue
+				}
+				if _, err := chip.PLock(PageAddr{blk, p}, 0); err != nil {
+					return false
+				}
+				st.locked = true
+			case 3: // bLock
+				if _, err := chip.BLock(blk, 0); err != nil {
+					return false
+				}
+				blockLocked[blk] = true
+			case 4: // erase
+				if _, err := chip.Erase(blk, 0); err != nil {
+					return false
+				}
+				for p := 0; p < ppb; p++ {
+					delete(oracle, PageAddr{blk, p})
+				}
+				blockLocked[blk] = false
+				writePtr[blk] = 0
+			case 5: // read and check against the oracle
+				p := rng.Intn(ppb)
+				a := PageAddr{blk, p}
+				res, err := chip.Read(a, 0)
+				st := oracle[a]
+				switch {
+				case blockLocked[blk]:
+					if !errors.Is(err, ErrBlockLocked) {
+						return false
+					}
+					for _, b := range res.Data {
+						if b != 0 {
+							return false
+						}
+					}
+				case st != nil && st.locked:
+					if !errors.Is(err, ErrPageLocked) {
+						return false
+					}
+					for _, b := range res.Data {
+						if b != 0 {
+							return false
+						}
+					}
+				case st != nil:
+					if err != nil || !bytes.Equal(res.Data, st.data) {
+						return false
+					}
+				default:
+					if err != nil || res.Data != nil {
+						return false
+					}
+				}
+			}
+		}
+		// Final sweep: every page agrees with the oracle.
+		for blk := 0; blk < nb; blk++ {
+			for p := 0; p < ppb; p++ {
+				a := PageAddr{blk, p}
+				res, err := chip.Read(a, 0)
+				st := oracle[a]
+				if blockLocked[blk] || (st != nil && st.locked) {
+					if err == nil {
+						return false
+					}
+					continue
+				}
+				if st == nil {
+					if res.Data != nil {
+						return false
+					}
+				} else if !bytes.Equal(res.Data, st.data) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,412 @@
+package nand
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nand/vth"
+	"repro/internal/sim"
+)
+
+// ReadResult is the outcome of a page read.
+type ReadResult struct {
+	// Data is the page payload. For a locked page or block it is all
+	// zeros, matching the paper's "a read request to a sanitized page
+	// always returns data with all bits set to 0".
+	Data []byte
+	// Latency is tREAD (the lock check happens during the normal read
+	// flow, adding no latency).
+	Latency sim.Micros
+	// CorrectedBits is the number of injected bit errors the ECC model
+	// repaired (only populated with WithErrorInjection).
+	CorrectedBits int
+}
+
+// Read performs a page read at simulated time now.
+//
+// Security semantics (§5.2): if the block's bAP flag is disabled the read
+// fails with ErrBlockLocked; otherwise if the page's pAP flag is disabled
+// it fails with ErrPageLocked. In both cases the returned data is all
+// zeros — the bridge transistor gates the data-out path, so even an
+// attacker with full command access learns nothing.
+func (c *Chip) Read(a PageAddr, now sim.Micros) (ReadResult, error) {
+	if err := c.checkAddr(a); err != nil {
+		return ReadResult{}, err
+	}
+	c.opCount[OpRead]++
+	res := ReadResult{Latency: c.timing.Read}
+	blk := &c.blocks[a.Block]
+	day := c.nowDays(now)
+
+	// bAP check first (Fig. 7(b)): a disabled block blocks every page.
+	if c.blockLockedAt(blk, day) {
+		res.Data = make([]byte, c.zeroLenFor(blk, a.Page))
+		return res, ErrBlockLocked
+	}
+	// pAP check (Fig. 7(a)): the flag is read from the spare area
+	// concurrently with the data, decided by the k-cell majority circuit.
+	wl, slot := c.wlOf(a.Page)
+	if c.pageLockedAt(&blk.wls[wl], slot, day) {
+		res.Data = make([]byte, c.zeroLenFor(blk, a.Page))
+		return res, ErrPageLocked
+	}
+
+	// Reading one wordline stresses its neighbours with the VREAD pass
+	// voltage (read disturb, §2.1 footnote 3).
+	wlIdx, _ := c.wlOf(a.Page)
+	if wlIdx > 0 {
+		blk.wls[wlIdx-1].reads++
+	}
+	if wlIdx+1 < len(blk.wls) {
+		blk.wls[wlIdx+1].reads++
+	}
+
+	if blk.pages[a.Page] == nil {
+		// Erased flash reads as all ones.
+		res.Data = nil
+		return res, nil
+	}
+	data := make([]byte, len(blk.pages[a.Page]))
+	copy(data, blk.pages[a.Page])
+
+	if c.injectErrors {
+		corrected, err := c.injectReadErrors(blk, a, data, day)
+		res.CorrectedBits = corrected
+		if err != nil {
+			res.Data = data
+			return res, err
+		}
+	}
+	res.Data = data
+	return res, nil
+}
+
+// zeroLenFor sizes the all-zero buffer a locked read returns.
+func (c *Chip) zeroLenFor(blk *block, page int) int {
+	if blk.pages[page] != nil {
+		return len(blk.pages[page])
+	}
+	return 0
+}
+
+// blockLockedAt evaluates the bAP flag: the SSL center Vth (after
+// retention decay) must exceed the disable threshold to keep the block
+// locked.
+func (c *Chip) blockLockedAt(blk *block, day float64) bool {
+	if blk.sslCenter == 0 {
+		return false
+	}
+	elapsed := day - blk.sslLockDay
+	center := blk.sslCenter - (c.sslModel.ProgrammedCenter(c.blockV, c.blockT) -
+		c.sslModel.CenterAfter(c.blockV, c.blockT, elapsed))
+	return center >= c.sslModel.DisableThreshold
+}
+
+// pageLockedAt evaluates the pAP flag via the k-cell majority circuit,
+// applying flag-cell retention decay since the lock.
+func (c *Chip) pageLockedAt(wl *wordline, slot int, day float64) bool {
+	cells := wl.flags[slot]
+	if cells == nil {
+		return false
+	}
+	elapsed := day - wl.lockDay[slot]
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	decay := c.flagModel.ProgrammedMean(c.plockV, c.plockT) -
+		c.flagModel.MeanAfter(c.plockV, c.plockT, elapsed, 0)
+	aged := make([]float64, len(cells))
+	for i, v := range cells {
+		aged[i] = v - decay
+	}
+	return c.flagModel.MajorityReadsDisabled(aged)
+}
+
+// injectReadErrors draws a bit-error count from the cell model and flips
+// random bits; it returns ErrUncorrectable when the count exceeds the
+// ECC limit for the page.
+func (c *Chip) injectReadErrors(blk *block, a PageAddr, data []byte, day float64) (int, error) {
+	wl, _ := c.wlOf(a.Page)
+	w := &blk.wls[wl]
+	cond := vth.Condition{
+		PECycles:        blk.peCycles,
+		RetentionDays:   maxf(0, day-w.programDay),
+		ReadDisturbs:    w.reads,
+		ProgramDisturbs: w.disturbs,
+		DisturbV:        c.plockV,
+		DisturbT:        c.plockT,
+	}
+	if blk.everErased {
+		cond.OpenIntervalDays = maxf(0, w.programDay-blk.erasedDay)
+	}
+	rber := c.model.PageRBER(c.PageKindOf(a.Page), cond)
+	bits := len(data) * 8
+	if bits == 0 {
+		return 0, nil
+	}
+	// Binomial draw via Poisson approximation (rber*bits is small).
+	lambda := rber * float64(bits)
+	nerr := poissonDraw(c.rng, lambda)
+	limit := int(c.eccLimit * float64(bits))
+	if nerr > limit {
+		// Uncorrectable: corrupt the data to model a failed transfer.
+		for i := 0; i < nerr && i < bits; i++ {
+			p := c.rng.Intn(bits)
+			data[p/8] ^= 1 << uint(p%8)
+		}
+		return 0, fmt.Errorf("%w: %d errors in %d bits (limit %d)", ErrUncorrectable, nerr, bits, limit)
+	}
+	return nerr, nil
+}
+
+// poissonDraw samples Poisson(lambda). For small lambda it uses Knuth's
+// multiplication method; for large lambda the normal approximation, which
+// is accurate enough for error-count injection.
+func poissonDraw(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(lambda + math.Sqrt(lambda)*rng.NormFloat64() + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	limit := math.Exp(-lambda)
+	l := 1.0
+	for k := 0; ; k++ {
+		l *= rng.Float64()
+		if l < limit {
+			return k
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Program writes data to a page at simulated time now. The block must be
+// erased at that position and pages must be programmed in order, the
+// append-only discipline 3D NAND imposes.
+func (c *Chip) Program(a PageAddr, data []byte, now sim.Micros) (sim.Micros, error) {
+	if err := c.checkAddr(a); err != nil {
+		return 0, err
+	}
+	if len(data) > c.geo.PageBytes {
+		return 0, fmt.Errorf("nand: payload %d exceeds page size %d", len(data), c.geo.PageBytes)
+	}
+	blk := &c.blocks[a.Block]
+	if blk.sslCenter != 0 {
+		return 0, fmt.Errorf("%w: cannot program a locked block", ErrBlockLocked)
+	}
+	if a.Page != blk.writePtr {
+		if a.Page < blk.writePtr {
+			return 0, fmt.Errorf("%w: page %d already used (write pointer %d)", ErrNotErased, a.Page, blk.writePtr)
+		}
+		return 0, fmt.Errorf("%w: page %d before pointer %d", ErrOutOfOrder, a.Page, blk.writePtr)
+	}
+	c.opCount[OpProgram]++
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	blk.pages[a.Page] = stored
+	blk.pageBits[a.Page] = len(data)
+	blk.writePtr++
+
+	wl, slot := c.wlOf(a.Page)
+	w := &blk.wls[wl]
+	if slot == 0 || !w.programmed {
+		w.programDay = c.nowDays(now)
+		w.programmed = true
+	}
+	return c.timing.Prog, nil
+}
+
+// Erase wipes the block: all page data is destroyed, all pAP flags and
+// the bAP flag reset to enabled, the write pointer rewinds, and the P/E
+// counter advances. This is the only way a locked page or block becomes
+// accessible again — after its data is gone.
+func (c *Chip) Erase(blockIdx int, now sim.Micros) (sim.Micros, error) {
+	if blockIdx < 0 || blockIdx >= c.geo.Blocks {
+		return 0, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	c.opCount[OpErase]++
+	blk := &c.blocks[blockIdx]
+	for i := range blk.pages {
+		blk.pages[i] = nil
+		blk.pageBits[i] = 0
+	}
+	for w := range blk.wls {
+		wl := &blk.wls[w]
+		for s := range wl.flags {
+			wl.flags[s] = nil
+			wl.lockDay[s] = 0
+		}
+		wl.disturbs = 0
+		wl.reads = 0
+		wl.programmed = false
+		wl.programDay = 0
+	}
+	blk.writePtr = 0
+	blk.peCycles++
+	blk.sslCenter = 0
+	blk.sslLockDay = 0
+	blk.erasedDay = c.nowDays(now)
+	blk.everErased = true
+	return c.timing.Erase, nil
+}
+
+// PLock disables access to one page by programming its k pAP flag cells
+// with the §5.3 operating point (one-shot, SBPI-inhibiting the data cells
+// and the sibling pages' flags). The sibling pages experience one program
+// disturb pulse.
+func (c *Chip) PLock(a PageAddr, now sim.Micros) (sim.Micros, error) {
+	if err := c.checkAddr(a); err != nil {
+		return 0, err
+	}
+	c.opCount[OpPLock]++
+	blk := &c.blocks[a.Block]
+	wl, slot := c.wlOf(a.Page)
+	w := &blk.wls[wl]
+	if w.flags[slot] == nil {
+		cells := make([]float64, c.geo.FlagCells)
+		for i := range cells {
+			cells[i] = c.flagModel.SampleCellVth(c.plockV, c.plockT, 0, blk.peCycles, c.rng)
+		}
+		w.flags[slot] = cells
+		w.lockDay[slot] = c.nowDays(now)
+		// The high program voltage on the WL disturbs the inhibited data
+		// cells (Fig. 9(b)).
+		w.disturbs++
+	}
+	return c.timing.PLock, nil
+}
+
+// BLock disables access to the whole block by programming its SSL cells
+// above the read bias (§5.4 operating point).
+func (c *Chip) BLock(blockIdx int, now sim.Micros) (sim.Micros, error) {
+	if blockIdx < 0 || blockIdx >= c.geo.Blocks {
+		return 0, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	c.opCount[OpBLock]++
+	blk := &c.blocks[blockIdx]
+	if blk.sslCenter == 0 {
+		blk.sslCenter = c.sslModel.ProgrammedCenter(c.blockV, c.blockT)
+		blk.sslLockDay = c.nowDays(now)
+	}
+	return c.timing.BLock, nil
+}
+
+// Scrub destroys the addressed page's wordline in place by raising every
+// cell's Vth until the state distributions merge (the baseline technique
+// of §4/§8). Because all pages of the wordline share those cells, every
+// page on the WL is destroyed — which is exactly why the scrubbing FTL
+// must relocate the WL's live sibling pages first.
+func (c *Chip) Scrub(a PageAddr, now sim.Micros) (sim.Micros, error) {
+	if err := c.checkAddr(a); err != nil {
+		return 0, err
+	}
+	c.opCount[OpScrub]++
+	blk := &c.blocks[a.Block]
+	wl, _ := c.wlOf(a.Page)
+	bits := c.geo.PagesPerWL()
+	for slot := 0; slot < bits; slot++ {
+		page := wl*bits + slot
+		if blk.pages[page] != nil {
+			blk.pages[page] = make([]byte, blk.pageBits[page]) // reads as zeros
+		}
+	}
+	// Scrubbing programs every cell of the wordline, so any not-yet-
+	// written page slots on it are consumed: the write pointer skips to
+	// the end of the WL (the pages read as zeros, not as erased).
+	wlEnd := (wl + 1) * bits
+	if blk.writePtr > wl*bits && blk.writePtr < wlEnd {
+		for page := blk.writePtr; page < wlEnd; page++ {
+			blk.pages[page] = []byte{}
+			blk.pageBits[page] = 0
+		}
+		blk.writePtr = wlEnd
+	}
+	blk.wls[wl].disturbs += 3 // scrubbing stresses neighbouring WLs too
+	return c.timing.Scrub, nil
+}
+
+// Copyback moves a page's contents to another location on the same chip
+// without crossing the bus (the 00h-35h / 85h-10h internal data move of
+// standard flash command sets). The destination must obey the normal
+// program discipline. Reading a locked source through the internal path
+// is still gated by the access-control logic: the copy lands all-zero,
+// so copyback cannot be used to exfiltrate locked data.
+func (c *Chip) Copyback(src, dst PageAddr, now sim.Micros) (sim.Micros, error) {
+	if err := c.checkAddr(src); err != nil {
+		return 0, err
+	}
+	res, err := c.Read(src, now)
+	switch err {
+	case nil, ErrPageLocked, ErrBlockLocked:
+		// Locked sources yield zeros — allowed, harmless.
+	default:
+		return 0, err
+	}
+	progLat, err := c.Program(dst, res.Data, now)
+	if err != nil {
+		return 0, err
+	}
+	// The read happens internally at tREAD, then the program; no
+	// transfer cycles.
+	return c.timing.Read + progLat, nil
+}
+
+// IsPageLocked reports the current pAP state of a page (majority vote,
+// including any retention decay up to now).
+func (c *Chip) IsPageLocked(a PageAddr, now sim.Micros) (bool, error) {
+	if err := c.checkAddr(a); err != nil {
+		return false, err
+	}
+	blk := &c.blocks[a.Block]
+	wl, slot := c.wlOf(a.Page)
+	return c.pageLockedAt(&blk.wls[wl], slot, c.nowDays(now)), nil
+}
+
+// IsBlockLocked reports the current bAP state of a block.
+func (c *Chip) IsBlockLocked(blockIdx int, now sim.Micros) (bool, error) {
+	if blockIdx < 0 || blockIdx >= c.geo.Blocks {
+		return false, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	return c.blockLockedAt(&c.blocks[blockIdx], c.nowDays(now)), nil
+}
+
+// PECycles returns the block's program/erase count.
+func (c *Chip) PECycles(blockIdx int) int {
+	return c.blocks[blockIdx].peCycles
+}
+
+// WritePointer returns the next programmable page index of a block.
+func (c *Chip) WritePointer(blockIdx int) int {
+	return c.blocks[blockIdx].writePtr
+}
+
+// ForensicDump models the paper's threat model (§5.1): an attacker who
+// de-solders the chip and issues raw reads to every page of a block,
+// bypassing FTL and file system. The result is exactly what the chip's
+// data-out path yields — locked pages come back as zero-filled, unlocked
+// ones leak their contents. The dump never errors: the attacker always
+// gets bytes, just not necessarily useful ones.
+func (c *Chip) ForensicDump(blockIdx int, now sim.Micros) [][]byte {
+	out := make([][]byte, c.geo.PagesPerBlock())
+	for p := range out {
+		res, err := c.Read(PageAddr{Block: blockIdx, Page: p}, now)
+		switch err {
+		case nil, ErrPageLocked, ErrBlockLocked:
+			out[p] = res.Data
+		default:
+			out[p] = nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package vth
+
+// Calibration probe — prints model outputs for the paper's experiment
+// conditions so the calibrated constants can be sanity-checked with
+// `go test -run TestCalibrationProbe -v`.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	tlc := NewTLC()
+	mlc := NewMLC()
+	rng := rand.New(rand.NewSource(42))
+
+	// --- Fig 6 style: MSB RBER under OSR.
+	probe := func(m *Model, pe int, sanitize []PageKind, label string) {
+		nAbove := 0
+		nAboveRet := 0
+		const wls = 2000
+		var sumInit, sumOSR, sumRet float64
+		for i := 0; i < wls; i++ {
+			c := Condition{PECycles: pe, WLVariation: m.SampleWLVariation(rng)}
+			init := m.NormalizedPageRBER(MSB, c)
+			osr := m.OSRPageRBER(MSB, c, sanitize) / m.ECCLimitRBER
+			cr := c
+			cr.RetentionDays = 365
+			ret := m.OSRPageRBER(MSB, cr, sanitize) / m.ECCLimitRBER
+			sumInit += init
+			sumOSR += osr
+			sumRet += ret
+			if osr > 1 {
+				nAbove++
+			}
+			if ret > 1 {
+				nAboveRet++
+			}
+		}
+		t.Logf("%s: init=%.3f osr=%.3f ret=%.3f | %%>limit: osr=%.1f%% ret=%.1f%%",
+			label, sumInit/wls, sumOSR/wls, sumRet/wls,
+			100*float64(nAbove)/wls, 100*float64(nAboveRet)/wls)
+	}
+	probe(mlc, 3000, []PageKind{LSB}, "MLC 3K P/E sanitize LSB")
+	probe(tlc, 1000, []PageKind{LSB, CSB}, "TLC 1K P/E sanitize LSB+CSB")
+
+	// --- Baseline valid-page RBER (should be < 1.0 with margin).
+	t.Logf("TLC MSB fresh=%.3f 1KPE=%.3f 1KPE+1y=%.3f",
+		tlc.NormalizedPageRBER(MSB, Condition{}),
+		tlc.NormalizedPageRBER(MSB, Condition{PECycles: 1000}),
+		tlc.NormalizedPageRBER(MSB, Condition{PECycles: 1000, RetentionDays: 365}))
+	t.Logf("TLC LSB fresh=%.3f", tlc.NormalizedPageRBER(LSB, Condition{}))
+
+	// --- Fig 9b: program disturb ratio grid.
+	base := tlc.PageRBER(LSB, Condition{PECycles: 1000})
+	for _, v := range PLockVoltages {
+		for _, dur := range PLockLatencies {
+			c := Condition{PECycles: 1000, ProgramDisturbs: 1, DisturbV: v, DisturbT: dur}
+			r := tlc.PageRBER(LSB, c) / base
+			t.Logf("fig9b V=%.1f t=%.0f ratio=%.3f", v, dur, r)
+		}
+	}
+
+	// --- Fig 9c: flag program success.
+	fm := DefaultFlagModel()
+	for _, v := range PLockVoltages {
+		for _, dur := range PLockLatencies {
+			t.Logf("fig9c V=%.1f t=%.0f success=%.4f", v, dur, fm.ProgramSuccessProb(v, dur))
+		}
+	}
+
+	// --- Fig 9d: retention errors (k=9) at 1y and 5y for candidates.
+	for _, combo := range [][2]float64{{17.0, 150}, {17.0, 100}, {16.5, 200}, {16.5, 150}, {16.0, 150}, {16.0, 200}} {
+		e1 := fm.ExpectedRetentionErrors(9, combo[0], combo[1], 365, 1000)
+		e5 := fm.ExpectedRetentionErrors(9, combo[0], combo[1], 1825, 1000)
+		mf := fm.MajorityFailureProb(9, combo[0], combo[1], 1825, 1000)
+		t.Logf("fig9d V=%.1f t=%.0f errs1y=%.2f errs5y=%.2f majFail5y=%.2e", combo[0], combo[1], e1, e5, mf)
+	}
+
+	// --- Fig 12: SSL centers.
+	sm := DefaultSSLModel()
+	for _, v := range BLockVoltages {
+		for _, dur := range BLockLatencies {
+			c0 := sm.ProgrammedCenter(v, dur)
+			c1y := sm.CenterAfter(v, dur, 365)
+			c5y := sm.CenterAfter(v, dur, 1825)
+			t.Logf("fig12 V=%.0f t=%.0f prog=%.2f 1y=%.2f 5y=%.2f", v, dur, c0, c1y, c5y)
+		}
+	}
+
+	// --- Fig 11b: block read RBER vs SSL center.
+	baseT := tlc.PageRBER(MSB, Condition{PECycles: 1000})
+	for _, center := range []float64{1, 2, 2.5, 3, 3.5, 4, 5} {
+		r := sm.BlockReadRBER(center, baseT) / tlc.ECCLimitRBER
+		t.Logf("fig11b center=%.1f normRBER=%.3f", center, r)
+	}
+
+	// --- Fig 10: open interval.
+	for _, days := range []float64{0, 0.001, 0.01, 0.1, 1, 10} {
+		fresh := tlc.NormalizedPageRBER(LSB, Condition{OpenIntervalDays: days})
+		pe := tlc.NormalizedPageRBER(LSB, Condition{OpenIntervalDays: days, PECycles: 1000})
+		ret := tlc.NormalizedPageRBER(LSB, Condition{OpenIntervalDays: days, PECycles: 1000, RetentionDays: 365})
+		t.Logf("fig10 oi=%gd fresh=%.3f pe=%.3f pe+ret=%.3f", days, fresh, pe, ret)
+	}
+}

@@ -1,0 +1,166 @@
+// Package sanitize implements the five device configurations the paper's
+// system-level evaluation (§7) compares:
+//
+//	Baseline      — no sanitization: invalid data lingers until GC erase.
+//	ErSSD         — erase-based (§8): invalidating a secured page forces
+//	                the whole block to be evacuated and erased at once.
+//	ScrSSD        — scrubbing (§4/§8): the page's wordline siblings are
+//	                relocated, then the page is destroyed in place.
+//	SecSSDNoBLock — Evanesco with pLock only.
+//	SecSSD        — full Evanesco: the lock manager batches pLocks into a
+//	                bLock when an entire block becomes stale and the
+//	                estimated pLock latency exceeds tbLock (§6).
+//
+// All policies uphold the same contract for secured data: after the
+// invalidation (plus the request-level Flush), the stale copy is no
+// longer readable. Only Baseline leaves stale data exposed.
+package sanitize
+
+import "repro/internal/ftl"
+
+// Baseline returns the no-sanitization policy (the normalization target
+// of Fig. 14).
+func Baseline() ftl.Policy { return baseline{} }
+
+type baseline struct{}
+
+func (baseline) Name() string { return "baseline" }
+
+func (baseline) Invalidate(f *ftl.FTL, p ftl.PPA, secured bool) {
+	// Old data stays physically present until GC erases the block — the
+	// data versioning problem of §3.
+	f.MarkInvalid(p)
+}
+
+func (baseline) Flush(*ftl.FTL) {}
+
+// ErSSD returns the erase-based sanitization policy.
+func ErSSD() ftl.Policy { return erSSD{} }
+
+type erSSD struct{}
+
+func (erSSD) Name() string { return "erSSD" }
+
+func (e erSSD) Invalidate(f *ftl.FTL, p ftl.PPA, secured bool) {
+	f.MarkInvalid(p)
+	if secured {
+		// Queue the block; the erase lands at Flush so a multi-page trim
+		// of one block costs a single evacuation + erase rather than a
+		// cascade (the request still completes only after the erase —
+		// sanitization stays immediate).
+		f.PendSanitize(p)
+	}
+}
+
+func (e erSSD) Flush(f *ftl.FTL) {
+	for block, pages := range f.DrainPending() {
+		// The block may already have been erased (GC, or a reentrant
+		// flush from a relocation-triggered GC); skip unless some queued
+		// page still holds stale data.
+		if !anyStillInvalid(f, pages) {
+			continue
+		}
+		// Every live page must first be copied elsewhere (the paper's
+		// footnote assumes erSSD may erase immediately without
+		// open-interval penalties).
+		f.RelocateLive(block)
+		f.EraseNow(block)
+	}
+}
+
+func anyStillInvalid(f *ftl.FTL, pages []ftl.PPA) bool {
+	for _, p := range pages {
+		if f.Status(p) == ftl.PageInvalid {
+			return true
+		}
+	}
+	return false
+}
+
+// ScrSSD returns the scrubbing-based sanitization policy.
+func ScrSSD() ftl.Policy { return scrSSD{} }
+
+type scrSSD struct{}
+
+func (scrSSD) Name() string { return "scrSSD" }
+
+func (s scrSSD) Invalidate(f *ftl.FTL, p ftl.PPA, secured bool) {
+	f.MarkInvalid(p)
+	if secured {
+		f.PendSanitize(p)
+	}
+}
+
+func (s scrSSD) Flush(f *ftl.FTL) {
+	for _, pages := range f.DrainPending() {
+		// Group the block's queued pages by wordline: one scrub per WL,
+		// relocating the WL's still-live siblings first (two extra reads
+		// + two extra writes in the worst case, §4).
+		seenWL := map[ftl.PPA]bool{}
+		for _, p := range pages {
+			wl := f.Geometry().WLSiblings(p)[0]
+			if seenWL[wl] {
+				continue
+			}
+			seenWL[wl] = true
+			if f.Status(p) != ftl.PageInvalid {
+				continue // already destroyed by an erase
+			}
+			f.RelocateWLSiblings(p)
+			f.IssueScrub(p)
+		}
+	}
+}
+
+// SecSSDNoBLock returns Evanesco without block-level locking, the
+// secSSD_nobLock configuration used to isolate bLock's contribution.
+func SecSSDNoBLock() ftl.Policy { return secSSD{useBLock: false} }
+
+// SecSSD returns the full Evanesco policy with the §6 lock manager.
+func SecSSD() ftl.Policy { return secSSD{useBLock: true} }
+
+type secSSD struct {
+	useBLock bool
+}
+
+func (s secSSD) Name() string {
+	if s.useBLock {
+		return "secSSD"
+	}
+	return "secSSD_nobLock"
+}
+
+func (s secSSD) Invalidate(f *ftl.FTL, p ftl.PPA, secured bool) {
+	if !secured {
+		f.MarkInvalid(p)
+		return
+	}
+	// Mark invalid right away so GC never mistakes the page for live
+	// data, then queue it for the lock manager; the lock lands at Flush,
+	// which runs before the host request completes — sanitization stays
+	// immediate from the host's perspective. (If GC erases the block
+	// first, the erase itself sanitizes and drops the pending entry.)
+	f.MarkInvalid(p)
+	f.PendSanitize(p)
+}
+
+func (s secSSD) Flush(f *ftl.FTL) {
+	pending := f.DrainPending()
+	if len(pending) == 0 {
+		return
+	}
+	t := f.LockTiming()
+	for block, pages := range pending {
+		// §6 decision rule: bLock when 1) every remaining page of the
+		// block is stale and 2) locking the queued pages individually
+		// would take longer than one bLock.
+		estPLock := int64(len(pages)) * int64(t.PLock)
+		if s.useBLock && f.BlockFullyStale(block) && estPLock > int64(t.BLock) {
+			f.IssueBLock(block, pages)
+			continue
+		}
+		for _, p := range pages {
+			f.IssuePLock(p)
+		}
+	}
+}

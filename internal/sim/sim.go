@@ -1,0 +1,185 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel used by the SSD emulator and the experiment harnesses.
+//
+// Time is measured in microseconds (Micros) because every NAND flash
+// operation latency in the paper is specified in µs (tREAD = 80µs,
+// tPROG = 700µs, tBERS = 3500µs, tpLock = 100µs, tbLock = 300µs).
+//
+// The kernel offers two building blocks:
+//
+//   - Engine: a classic event queue with a monotonically advancing clock.
+//     Events scheduled at the same timestamp fire in FIFO order of
+//     scheduling, which keeps runs reproducible.
+//   - Timeline: a busy-until accumulator for a serially-reusable resource
+//     (a flash chip or a channel bus). Reserving k µs on a timeline returns
+//     the interval actually occupied, starting no earlier than the request
+//     time and no earlier than the end of the previously reserved interval.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Micros is a simulated timestamp or duration in microseconds.
+type Micros int64
+
+// Common durations.
+const (
+	Microsecond Micros = 1
+	Millisecond Micros = 1000
+	Second      Micros = 1000 * 1000
+)
+
+// Seconds converts the duration to floating-point seconds.
+func (m Micros) Seconds() float64 { return float64(m) / float64(Second) }
+
+// Millis converts the duration to floating-point milliseconds.
+func (m Micros) Millis() float64 { return float64(m) / float64(Millisecond) }
+
+func (m Micros) String() string {
+	switch {
+	case m >= Second:
+		return fmt.Sprintf("%.3fs", m.Seconds())
+	case m >= Millisecond:
+		return fmt.Sprintf("%.3fms", m.Millis())
+	default:
+		return fmt.Sprintf("%dµs", int64(m))
+	}
+}
+
+// Event is a callback scheduled on the Engine. The callback receives the
+// engine so it may schedule further events.
+type Event func(*Engine)
+
+type scheduledEvent struct {
+	at   Micros
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	call Event
+}
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*scheduledEvent)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now   Micros
+	seq   uint64
+	queue eventQueue
+	// Stats
+	fired uint64
+}
+
+// NewEngine returns an Engine starting at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Micros { return e.now }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules ev to fire at absolute time t. Scheduling in the past is an
+// error in the caller's logic; the event is clamped to fire "now" so that
+// time never runs backwards.
+func (e *Engine) At(t Micros, ev Event) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduledEvent{at: t, seq: e.seq, call: ev})
+}
+
+// After schedules ev to fire d microseconds from now.
+func (e *Engine) After(d Micros, ev Event) { e.At(e.now+d, ev) }
+
+// Step dispatches the single earliest event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*scheduledEvent)
+	e.now = ev.at
+	e.fired++
+	ev.call(e)
+	return true
+}
+
+// Run dispatches events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events whose timestamp is <= deadline, then advances
+// the clock to the deadline (if the simulation has not already passed it).
+func (e *Engine) RunUntil(deadline Micros) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Timeline models a serially-reusable resource: each reservation occupies
+// the resource exclusively. It is the backbone of the SSD timing model —
+// one Timeline per flash chip and one per channel bus.
+type Timeline struct {
+	busyUntil Micros
+	busyTotal Micros // accumulated occupied time, for utilization reports
+	count     uint64
+}
+
+// Reserve books d microseconds starting no earlier than at. It returns the
+// interval [start, end) that was actually granted.
+func (t *Timeline) Reserve(at, d Micros) (start, end Micros) {
+	start = at
+	if t.busyUntil > start {
+		start = t.busyUntil
+	}
+	end = start + d
+	t.busyUntil = end
+	t.busyTotal += d
+	t.count++
+	return start, end
+}
+
+// BusyUntil returns the end of the last reservation.
+func (t *Timeline) BusyUntil() Micros { return t.busyUntil }
+
+// BusyTotal returns the total reserved time.
+func (t *Timeline) BusyTotal() Micros { return t.busyTotal }
+
+// Reservations returns the number of reservations made.
+func (t *Timeline) Reservations() uint64 { return t.count }
+
+// Utilization returns busy time as a fraction of the horizon (0 when the
+// horizon is zero).
+func (t *Timeline) Utilization(horizon Micros) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(t.busyTotal) / float64(horizon)
+}

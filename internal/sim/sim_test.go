@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineFiresInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func(*Engine) { order = append(order, 3) })
+	e.At(10, func(*Engine) { order = append(order, 1) })
+	e.At(20, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired order %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimestamps(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-timestamp order %v not FIFO", order)
+		}
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Micros
+	e.At(100, func(e *Engine) {
+		e.After(50, func(e *Engine) { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("relative event fired at %v, want 150", at)
+	}
+}
+
+func TestEngineClampsPastEvents(t *testing.T) {
+	e := NewEngine()
+	var at Micros
+	e.At(100, func(e *Engine) {
+		// Scheduling "in the past" must not rewind the clock.
+		e.At(10, func(e *Engine) { at = e.Now() })
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want clamped to 100", at)
+	}
+}
+
+func TestEngineStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step() on empty queue returned true")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Micros
+	for _, at := range []Micros{10, 20, 30, 40} {
+		at := at
+		e.At(at, func(e *Engine) { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25 after RunUntil", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("RunUntil(100) total fired %d, want 4", len(fired))
+	}
+}
+
+func TestEngineFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Micros(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	// An event chain that schedules its successor; verifies the clock
+	// advances monotonically through a long cascade.
+	e := NewEngine()
+	var steps int
+	var chain func(*Engine)
+	chain = func(e *Engine) {
+		steps++
+		if steps < 1000 {
+			e.After(3, chain)
+		}
+	}
+	e.After(3, chain)
+	e.Run()
+	if steps != 1000 {
+		t.Fatalf("cascade ran %d steps, want 1000", steps)
+	}
+	if e.Now() != 3000 {
+		t.Fatalf("Now() = %v, want 3000", e.Now())
+	}
+}
+
+func TestTimelineSequentialReservations(t *testing.T) {
+	var tl Timeline
+	s1, e1 := tl.Reserve(0, 100)
+	if s1 != 0 || e1 != 100 {
+		t.Fatalf("first reservation [%v,%v), want [0,100)", s1, e1)
+	}
+	// Requesting at t=50 while busy until 100 must queue behind.
+	s2, e2 := tl.Reserve(50, 30)
+	if s2 != 100 || e2 != 130 {
+		t.Fatalf("second reservation [%v,%v), want [100,130)", s2, e2)
+	}
+	// Requesting after the busy period starts immediately.
+	s3, e3 := tl.Reserve(500, 10)
+	if s3 != 500 || e3 != 510 {
+		t.Fatalf("third reservation [%v,%v), want [500,510)", s3, e3)
+	}
+}
+
+func TestTimelineAccounting(t *testing.T) {
+	var tl Timeline
+	tl.Reserve(0, 100)
+	tl.Reserve(0, 100)
+	tl.Reserve(1000, 50)
+	if tl.BusyTotal() != 250 {
+		t.Fatalf("BusyTotal() = %v, want 250", tl.BusyTotal())
+	}
+	if tl.Reservations() != 3 {
+		t.Fatalf("Reservations() = %d, want 3", tl.Reservations())
+	}
+	if got := tl.Utilization(1000); got != 0.25 {
+		t.Fatalf("Utilization(1000) = %v, want 0.25", got)
+	}
+	if got := tl.Utilization(0); got != 0 {
+		t.Fatalf("Utilization(0) = %v, want 0", got)
+	}
+}
+
+func TestMicrosString(t *testing.T) {
+	cases := []struct {
+		in   Micros
+		want string
+	}{
+		{5, "5µs"},
+		{1500, "1.500ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+// Property: a Timeline never grants overlapping intervals and never grants
+// an interval starting before the request time.
+func TestTimelineNoOverlapProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tl Timeline
+		prevEnd := Micros(-1)
+		now := Micros(0)
+		for i := 0; i < int(n%64)+1; i++ {
+			// Random arrival jitter and duration.
+			now += Micros(rng.Intn(200))
+			d := Micros(rng.Intn(100) + 1)
+			s, e := tl.Reserve(now, d)
+			if s < now {
+				return false // started before requested
+			}
+			if s < prevEnd {
+				return false // overlap with previous grant
+			}
+			if e-s != d {
+				return false // wrong duration
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine dispatches every scheduled event exactly once, in
+// non-decreasing timestamp order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []Micros
+		for _, at := range times {
+			at := Micros(at)
+			e.At(at, func(e *Engine) { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

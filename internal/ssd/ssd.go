@@ -1,0 +1,462 @@
+// Package ssd assembles the full SecureSSD device of §7: channels × NAND
+// chips behind an Evanesco-aware FTL, with a discrete timing model
+// (per-chip and per-channel-bus timelines) and a closed-loop host
+// interface that measures IOPS the way the paper's evaluation does.
+//
+// The default configuration matches the paper: 2 channels with four 3D
+// TLC chips each, 428 blocks per chip, 576 16-KiB pages per block
+// (32 GiB raw), tREAD 80µs / tPROG 700µs / tBERS 3.5ms / tpLock 100µs /
+// tbLock 300µs.
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/ftl"
+	"repro/internal/metrics"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// Config assembles a device.
+type Config struct {
+	Channels        int
+	ChipsPerChannel int
+	Chip            nand.Geometry
+	Timing          nand.Timing
+	// OverProvision is the fraction of raw capacity reserved for GC
+	// (default 0.07 when zero).
+	OverProvision float64
+	// GCFreeBlocksLow is the per-chip GC trigger (default 3 when zero).
+	GCFreeBlocksLow int
+	// QueueDepth is the closed-loop window: request i may not start
+	// before request i-QueueDepth completed (default 32 when zero).
+	QueueDepth int
+	// Policy is the sanitization strategy; nil means no sanitization.
+	Policy ftl.Policy
+	// EagerErase forwards to the FTL (ablation).
+	EagerErase bool
+	// Victim forwards the GC victim policy to the FTL (ablation).
+	Victim ftl.VictimPolicy
+	// WearAware enables dynamic wear leveling in the FTL.
+	WearAware bool
+	// NoCopyback forces GC relocations over the channel bus (ablation).
+	NoCopyback bool
+	// Seed drives the chips' RNGs.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's SecureSSD configuration with the
+// given policy.
+func DefaultConfig(policy ftl.Policy) Config {
+	return Config{
+		Channels:        2,
+		ChipsPerChannel: 4,
+		Chip:            nand.DefaultGeometry(),
+		Timing:          nand.DefaultTiming(),
+		OverProvision:   0.07,
+		GCFreeBlocksLow: 3,
+		QueueDepth:      32,
+		Policy:          policy,
+		Seed:            1,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.OverProvision == 0 {
+		c.OverProvision = 0.07
+	}
+	if c.GCFreeBlocksLow == 0 {
+		c.GCFreeBlocksLow = 3
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 32
+	}
+	if c.Timing == (nand.Timing{}) {
+		c.Timing = nand.DefaultTiming()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SSD is the assembled device.
+type SSD struct {
+	cfg   Config
+	chips []*nand.Chip
+	ftl   *ftl.FTL
+	geo   ftl.Geometry
+
+	chipTL []sim.Timeline // one per chip
+	busTL  []sim.Timeline // one per channel
+
+	// Closed-loop completion window.
+	window []sim.Micros
+	wIdx   int
+
+	makespan  sim.Micros
+	requests  uint64
+	markSpan  sim.Micros
+	markReqs  uint64
+	markStats ftl.Stats
+
+	// latencies samples per-request service time (completion − start)
+	// within the current measurement window.
+	latencies metrics.Sample
+}
+
+// New builds the device.
+func New(cfg Config) (*SSD, error) {
+	cfg.applyDefaults()
+	if cfg.Channels <= 0 || cfg.ChipsPerChannel <= 0 {
+		return nil, fmt.Errorf("ssd: need at least one channel and chip, got %d×%d",
+			cfg.Channels, cfg.ChipsPerChannel)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("ssd: a sanitization policy is required (use sanitize.Baseline() for none)")
+	}
+	nChips := cfg.Channels * cfg.ChipsPerChannel
+	s := &SSD{
+		cfg:    cfg,
+		chips:  make([]*nand.Chip, nChips),
+		chipTL: make([]sim.Timeline, nChips),
+		busTL:  make([]sim.Timeline, cfg.Channels),
+		window: make([]sim.Micros, cfg.QueueDepth),
+	}
+	for i := range s.chips {
+		chip, err := nand.New(cfg.Chip, nand.WithSeed(cfg.Seed+int64(i)), nand.WithTiming(cfg.Timing))
+		if err != nil {
+			return nil, err
+		}
+		s.chips[i] = chip
+	}
+	s.geo = ftl.Geometry{
+		Chips:         nChips,
+		BlocksPerChip: cfg.Chip.Blocks,
+		PagesPerBlock: cfg.Chip.PagesPerBlock(),
+		PagesPerWL:    cfg.Chip.PagesPerWL(),
+		PageBytes:     cfg.Chip.PageBytes,
+	}
+	logical := int(float64(s.geo.TotalPages()) * (1 - cfg.OverProvision))
+	f, err := ftl.New(ftl.Config{
+		Geometry:        s.geo,
+		LogicalPages:    logical,
+		GCFreeBlocksLow: cfg.GCFreeBlocksLow,
+		EagerErase:      cfg.EagerErase,
+		Victim:          cfg.Victim,
+		WearAware:       cfg.WearAware,
+		NoCopyback:      cfg.NoCopyback,
+		Timing:          ftl.LockTiming{PLock: cfg.Timing.PLock, BLock: cfg.Timing.BLock},
+	}, s, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	s.ftl = f
+	return s, nil
+}
+
+// FTL exposes the underlying translation layer (stats, mappings).
+func (s *SSD) FTL() *ftl.FTL { return s.ftl }
+
+// Chips exposes the raw chips — the attacker's entry point in the threat
+// model, and the verification hook for tests.
+func (s *SSD) Chips() []*nand.Chip { return s.chips }
+
+// Geometry returns the device-global geometry.
+func (s *SSD) Geometry() ftl.Geometry { return s.geo }
+
+// LogicalPages returns the exported capacity in pages.
+func (s *SSD) LogicalPages() int { return s.ftl.LogicalPages() }
+
+// channelOf maps a chip to its channel (chips are channel-major).
+func (s *SSD) channelOf(chip int) int { return chip / s.cfg.ChipsPerChannel }
+
+// addr converts a device PPA to chip coordinates.
+func (s *SSD) addr(p ftl.PPA) (int, nand.PageAddr) {
+	chip := s.geo.ChipOf(p)
+	return chip, nand.PageAddr{
+		Block: s.geo.BlockInChip(s.geo.BlockOf(p)),
+		Page:  s.geo.PageInBlock(p),
+	}
+}
+
+// --- ftl.Target implementation ------------------------------------------
+
+// Read implements ftl.Target: tREAD on the chip, then the page transfer
+// on the channel bus.
+func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
+	chip, a := s.addr(p)
+	res, err := s.chips[chip].Read(a, dep)
+	var data []byte
+	if err == nil {
+		data = res.Data
+	}
+	_, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
+	_, busDone := s.busTL[s.channelOf(chip)].Reserve(cellDone, s.cfg.Timing.Xfer)
+	return data, busDone
+}
+
+// Program implements ftl.Target: page transfer on the bus, then tPROG on
+// the chip.
+func (s *SSD) Program(p ftl.PPA, data []byte, dep sim.Micros) sim.Micros {
+	chip, a := s.addr(p)
+	if _, err := s.chips[chip].Program(a, data, dep); err != nil {
+		panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", a, err))
+	}
+	_, busDone := s.busTL[s.channelOf(chip)].Reserve(dep, s.cfg.Timing.Xfer)
+	_, done := s.chipTL[chip].Reserve(busDone, s.cfg.Timing.Prog)
+	return done
+}
+
+// Copyback implements ftl.Target: an internal data move — tREAD then
+// tPROG on the chip, no channel-bus occupancy.
+func (s *SSD) Copyback(src, dst ftl.PPA, dep sim.Micros) sim.Micros {
+	chipS, aSrc := s.addr(src)
+	chipD, aDst := s.addr(dst)
+	if chipS != chipD {
+		panic("ssd: copyback across chips")
+	}
+	if _, err := s.chips[chipS].Copyback(aSrc, aDst, dep); err != nil {
+		panic(fmt.Sprintf("ssd: copyback failed: %v", err))
+	}
+	_, readDone := s.chipTL[chipS].Reserve(dep, s.cfg.Timing.Read)
+	_, done := s.chipTL[chipS].Reserve(readDone, s.cfg.Timing.Prog)
+	return done
+}
+
+// Erase implements ftl.Target.
+func (s *SSD) Erase(block int, dep sim.Micros) sim.Micros {
+	chip := s.geo.ChipOfBlock(block)
+	if _, err := s.chips[chip].Erase(s.geo.BlockInChip(block), dep); err != nil {
+		panic(fmt.Sprintf("ssd: erase failed: %v", err))
+	}
+	_, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Erase)
+	return done
+}
+
+// PLock implements ftl.Target.
+func (s *SSD) PLock(p ftl.PPA, dep sim.Micros) sim.Micros {
+	chip, a := s.addr(p)
+	if _, err := s.chips[chip].PLock(a, dep); err != nil {
+		panic(fmt.Sprintf("ssd: pLock failed: %v", err))
+	}
+	_, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.PLock)
+	return done
+}
+
+// BLock implements ftl.Target.
+func (s *SSD) BLock(block int, dep sim.Micros) sim.Micros {
+	chip := s.geo.ChipOfBlock(block)
+	if _, err := s.chips[chip].BLock(s.geo.BlockInChip(block), dep); err != nil {
+		panic(fmt.Sprintf("ssd: bLock failed: %v", err))
+	}
+	_, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.BLock)
+	return done
+}
+
+// Scrub implements ftl.Target.
+func (s *SSD) Scrub(p ftl.PPA, dep sim.Micros) sim.Micros {
+	chip, a := s.addr(p)
+	if _, err := s.chips[chip].Scrub(a, dep); err != nil {
+		panic(fmt.Sprintf("ssd: scrub failed: %v", err))
+	}
+	_, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Scrub)
+	return done
+}
+
+// --- host interface ------------------------------------------------------
+
+// Submit runs one host request through the closed-loop model and returns
+// its completion time.
+func (s *SSD) Submit(req blockio.Request) (sim.Micros, error) {
+	start := s.window[s.wIdx]
+	done, err := s.ftl.Submit(req, start)
+	if err != nil {
+		return done, err
+	}
+	s.window[s.wIdx] = done
+	s.wIdx = (s.wIdx + 1) % len(s.window)
+	if done > s.makespan {
+		s.makespan = done
+	}
+	s.requests++
+	s.latencies.Add(float64(done - start))
+	return done, nil
+}
+
+// MustSubmit is Submit that panics on error (replayer convenience).
+func (s *SSD) MustSubmit(req blockio.Request) sim.Micros {
+	done, err := s.Submit(req)
+	if err != nil {
+		panic(err)
+	}
+	return done
+}
+
+// ReadLogical fetches the current contents of a logical page directly
+// from the chips (the host read data path). It returns nil when the page
+// is unmapped.
+func (s *SSD) ReadLogical(lpa int64) ([]byte, error) {
+	p := s.ftl.Lookup(lpa)
+	if p == ftl.NoPPA {
+		return nil, nil
+	}
+	chip, a := s.addr(p)
+	res, err := s.chips[chip].Read(a, s.makespan)
+	if err != nil {
+		return nil, err
+	}
+	return res.Data, nil
+}
+
+// Mark snapshots the measurement window: Report()'s rates cover activity
+// after the latest Mark. Use it to exclude prefill from measurements.
+func (s *SSD) Mark() {
+	s.markSpan = s.makespan
+	s.markReqs = s.requests
+	s.markStats = s.ftl.Stats()
+	s.latencies = metrics.Sample{}
+}
+
+// Report summarizes the device activity since the last Mark.
+type Report struct {
+	Requests   uint64
+	Elapsed    sim.Micros
+	IOPS       float64
+	WAF        float64
+	Stats      ftl.Stats // deltas since Mark
+	ChipUtil   float64   // mean chip utilization over the window
+	ErasesFreq float64   // erases per million host pages written
+	// Request service-time percentiles over the window, in µs.
+	LatencyP50, LatencyP99, LatencyMax float64
+}
+
+// Report computes the measurement window summary.
+func (s *SSD) Report() Report {
+	cur := s.ftl.Stats()
+	d := deltaStats(cur, s.markStats)
+	elapsed := s.makespan - s.markSpan
+	r := Report{
+		Requests: s.requests - s.markReqs,
+		Elapsed:  elapsed,
+		Stats:    d,
+	}
+	if elapsed > 0 {
+		r.IOPS = float64(r.Requests) / elapsed.Seconds()
+	}
+	if d.HostWrittenPages > 0 {
+		r.WAF = float64(d.FlashPrograms) / float64(d.HostWrittenPages)
+		r.ErasesFreq = float64(d.Erases) / float64(d.HostWrittenPages) * 1e6
+	}
+	var busy sim.Micros
+	for i := range s.chipTL {
+		busy += s.chipTL[i].BusyTotal()
+	}
+	if s.makespan > 0 {
+		r.ChipUtil = float64(busy) / float64(int64(s.makespan)*int64(len(s.chipTL)))
+	}
+	if s.latencies.N() > 0 {
+		r.LatencyP50 = s.latencies.Quantile(0.5)
+		r.LatencyP99 = s.latencies.Quantile(0.99)
+		r.LatencyMax = s.latencies.Max()
+	}
+	return r
+}
+
+func deltaStats(a, b ftl.Stats) ftl.Stats {
+	return ftl.Stats{
+		HostReadPages:    a.HostReadPages - b.HostReadPages,
+		HostWrittenPages: a.HostWrittenPages - b.HostWrittenPages,
+		HostTrimmedPages: a.HostTrimmedPages - b.HostTrimmedPages,
+		FlashReads:       a.FlashReads - b.FlashReads,
+		FlashPrograms:    a.FlashPrograms - b.FlashPrograms,
+		Erases:           a.Erases - b.Erases,
+		PLocks:           a.PLocks - b.PLocks,
+		BLocks:           a.BLocks - b.BLocks,
+		Scrubs:           a.Scrubs - b.Scrubs,
+		GCRuns:           a.GCRuns - b.GCRuns,
+		GCCopies:         a.GCCopies - b.GCCopies,
+		Copybacks:        a.Copybacks - b.Copybacks,
+		SanitizeCopies:   a.SanitizeCopies - b.SanitizeCopies,
+	}
+}
+
+// Prefill sequentially writes the first fraction of the logical space
+// (insecure, so no sanitization cost is incurred for later overwrites of
+// the fill pattern is not desired — pass secure=true to prefill with
+// secured data as the paper's steady-state runs do).
+func (s *SSD) Prefill(fraction float64, secure bool) error {
+	if fraction < 0 || fraction > 1 {
+		return fmt.Errorf("ssd: prefill fraction %v out of [0,1]", fraction)
+	}
+	total := int64(float64(s.ftl.LogicalPages()) * fraction)
+	const batch = 64
+	for lpa := int64(0); lpa < total; lpa += batch {
+		n := int32(batch)
+		if lpa+int64(n) > total {
+			n = int32(total - lpa)
+		}
+		if _, err := s.Submit(blockio.Request{
+			Op: blockio.OpWrite, LPA: lpa, Pages: n, Insecure: !secure,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SanitizeAll purges the whole device: every physical page holding stale
+// data is locked (bLock for fully-stale blocks, pLock otherwise),
+// regardless of its original security requirement. This is the
+// drive-level "purge" operation of the secure-erase standards, built on
+// the Evanesco commands instead of a full-device erase — live data is
+// untouched and no block is erased.
+func (s *SSD) SanitizeAll() error {
+	f := s.ftl
+	for block := 0; block < s.geo.TotalBlocks(); block++ {
+		first := s.geo.FirstPPA(block)
+		var stale []ftl.PPA
+		for i := 0; i < s.geo.PagesPerBlock; i++ {
+			p := first + ftl.PPA(i)
+			if f.Status(p) == ftl.PageInvalid {
+				stale = append(stale, p)
+			}
+		}
+		if len(stale) == 0 {
+			continue
+		}
+		if f.BlockFullyStale(block) {
+			f.IssueBLock(block, stale)
+			continue
+		}
+		for _, p := range stale {
+			f.IssuePLock(p)
+		}
+	}
+	return nil
+}
+
+// Replay submits every request of a recorded trace in order. Requests
+// whose extents exceed this device's logical capacity are clipped; the
+// function returns the number of requests actually submitted.
+func (s *SSD) Replay(t *blockio.Trace) (int, error) {
+	logical := int64(s.ftl.LogicalPages())
+	submitted := 0
+	for _, req := range t.Requests {
+		if req.LPA >= logical {
+			continue
+		}
+		if req.LPA+int64(req.Pages) > logical {
+			req.Pages = int32(logical - req.LPA)
+		}
+		if req.Pages <= 0 {
+			continue
+		}
+		if _, err := s.Submit(req); err != nil {
+			return submitted, err
+		}
+		submitted++
+	}
+	return submitted, nil
+}

@@ -1,0 +1,473 @@
+package ssd
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blockio"
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/nand/vth"
+	"repro/internal/sanitize"
+)
+
+// smallConfig: 2 channels × 2 chips, 16 blocks × 8 TLC WLs (24 pages).
+func smallConfig(policy ftl.Policy) Config {
+	return Config{
+		Channels:        2,
+		ChipsPerChannel: 2,
+		Chip: nand.Geometry{
+			Blocks:          16,
+			WLsPerBlock:     8,
+			CellKind:        vth.TLC,
+			PageBytes:       4096,
+			FlagCells:       9,
+			EnduranceCycles: 1000,
+		},
+		OverProvision:   0.25,
+		GCFreeBlocksLow: 2,
+		QueueDepth:      8,
+		Policy:          policy,
+		Seed:            7,
+	}
+}
+
+func newSSD(t testing.TB, policy ftl.Policy) *SSD {
+	t.Helper()
+	s, err := New(smallConfig(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := smallConfig(nil)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(sanitize.SecSSD())
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.Geometry()
+	if g.Chips != 8 {
+		t.Fatalf("chips = %d, want 8 (2 channels × 4)", g.Chips)
+	}
+	if g.PagesPerBlock != 576 || g.BlocksPerChip != 428 {
+		t.Fatalf("geometry %+v", g)
+	}
+	raw := int64(g.TotalPages()) * int64(g.PageBytes)
+	if raw < 30<<30 || raw > 32<<30 {
+		t.Fatalf("raw capacity %d bytes, want ≈32 GiB", raw)
+	}
+}
+
+func TestWriteReadBackData(t *testing.T) {
+	s := newSSD(t, sanitize.SecSSD())
+	payload := make([]byte, 2*4096)
+	rand.New(rand.NewSource(1)).Read(payload)
+	s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: 10, Pages: 2, Data: payload})
+	got0, err := s.ReadLogical(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := s.ReadLogical(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got0, payload[:4096]) || !bytes.Equal(got1, payload[4096:]) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestReadLogicalUnmapped(t *testing.T) {
+	s := newSSD(t, sanitize.SecSSD())
+	data, err := s.ReadLogical(5)
+	if err != nil || data != nil {
+		t.Fatalf("unmapped read = (%v, %v), want (nil, nil)", data, err)
+	}
+}
+
+func TestDataSurvivesGC(t *testing.T) {
+	s := newSSD(t, sanitize.SecSSD())
+	// Write a marker file, then churn the device so GC relocates it.
+	marker := bytes.Repeat([]byte{0xCD}, 4096)
+	s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: 0, Pages: 1, Data: marker})
+	rng := rand.New(rand.NewSource(2))
+	logical := int64(s.LogicalPages())
+	for i := 0; i < int(logical)*4; i++ {
+		lpa := 1 + rng.Int63n(logical-1)
+		s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: lpa, Pages: 1})
+	}
+	if s.FTL().Stats().GCRuns == 0 {
+		t.Fatal("workload did not trigger GC")
+	}
+	got, err := s.ReadLogical(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, marker) {
+		t.Fatal("GC lost or corrupted relocated data")
+	}
+}
+
+// End-to-end security: delete a secured file, then dump every chip raw.
+// The deleted content must be gone even though no erase happened.
+func TestDeletedDataUnrecoverableFromRawChips(t *testing.T) {
+	s := newSSD(t, sanitize.SecSSD())
+	secret := bytes.Repeat([]byte("TOPSECRET!"), 400) // 4000 bytes
+	s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: 3, Pages: 1, Data: secret})
+	s.MustSubmit(blockio.Request{Op: blockio.OpTrim, LPA: 3, Pages: 1})
+	if s.FTL().Stats().Erases != 0 {
+		t.Fatal("trim should not have erased anything (locks are the point)")
+	}
+	for ci, chip := range s.Chips() {
+		for b := 0; b < chip.Geometry().Blocks; b++ {
+			for _, page := range chip.ForensicDump(b, 0) {
+				if bytes.Contains(page, []byte("TOPSECRET!")) {
+					t.Fatalf("secret recovered from chip %d block %d", ci, b)
+				}
+			}
+		}
+	}
+}
+
+// With the baseline policy the same attack succeeds — demonstrating the
+// data versioning vulnerability the paper opens with.
+func TestBaselineLeaksDeletedData(t *testing.T) {
+	s := newSSD(t, sanitize.Baseline())
+	secret := bytes.Repeat([]byte("TOPSECRET!"), 400)
+	s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: 3, Pages: 1, Data: secret})
+	s.MustSubmit(blockio.Request{Op: blockio.OpTrim, LPA: 3, Pages: 1})
+	found := false
+	for _, chip := range s.Chips() {
+		for b := 0; b < chip.Geometry().Blocks; b++ {
+			for _, page := range chip.ForensicDump(b, 0) {
+				if bytes.Contains(page, []byte("TOPSECRET!")) {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("baseline SSD should leak trimmed data to a forensic dump")
+	}
+}
+
+func TestClosedLoopTimeAdvances(t *testing.T) {
+	s := newSSD(t, sanitize.Baseline())
+	var last, prev int64
+	for i := 0; i < 100; i++ {
+		done := s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: int64(i), Pages: 1})
+		prev = last
+		last = int64(done)
+		_ = prev
+	}
+	r := s.Report()
+	if r.Requests != 100 {
+		t.Fatalf("requests = %d", r.Requests)
+	}
+	if r.IOPS <= 0 {
+		t.Fatal("IOPS must be positive")
+	}
+	if r.Elapsed <= 0 {
+		t.Fatal("time must advance")
+	}
+}
+
+func TestParallelismAcrossChips(t *testing.T) {
+	// 4 chips: a burst of single-page writes must overlap across chips, so
+	// the makespan is far below the serial sum.
+	s := newSSD(t, sanitize.Baseline())
+	const n = 64
+	for i := 0; i < n; i++ {
+		s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: int64(i), Pages: 1})
+	}
+	r := s.Report()
+	serial := int64(n) * int64(nand.DefaultTiming().Prog)
+	if int64(r.Elapsed) > serial/2 {
+		t.Fatalf("elapsed %v vs serial %vµs: no parallelism", r.Elapsed, serial)
+	}
+}
+
+func TestMarkExcludesPrefill(t *testing.T) {
+	s := newSSD(t, sanitize.SecSSD())
+	if err := s.Prefill(0.5, true); err != nil {
+		t.Fatal(err)
+	}
+	s.Mark()
+	pre := s.Report()
+	if pre.Requests != 0 || pre.Stats.HostWrittenPages != 0 {
+		t.Fatalf("report after Mark should be empty, got %+v", pre)
+	}
+	s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: 0, Pages: 1})
+	r := s.Report()
+	if r.Stats.HostWrittenPages != 1 {
+		t.Fatalf("delta written = %d, want 1", r.Stats.HostWrittenPages)
+	}
+}
+
+func TestPrefillValidation(t *testing.T) {
+	s := newSSD(t, sanitize.Baseline())
+	if err := s.Prefill(1.5, false); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if err := s.Prefill(0.25, false); err != nil {
+		t.Fatal(err)
+	}
+	mapped := 0
+	for lpa := int64(0); lpa < int64(s.LogicalPages()); lpa++ {
+		if s.FTL().Lookup(lpa) != ftl.NoPPA {
+			mapped++
+		}
+	}
+	want := int(float64(s.LogicalPages()) * 0.25)
+	if mapped != want {
+		t.Fatalf("prefill mapped %d pages, want %d", mapped, want)
+	}
+}
+
+func TestSubmitErrorPropagates(t *testing.T) {
+	s := newSSD(t, sanitize.Baseline())
+	_, err := s.Submit(blockio.Request{Op: blockio.OpWrite, LPA: 1 << 40, Pages: 1})
+	if err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	var e error = err
+	if errors.Is(e, nil) {
+		t.Fatal("impossible")
+	}
+}
+
+// The headline comparison at small scale: secSSD ~ baseline, scrSSD
+// slower, erSSD dramatically slower; same ordering for WAF.
+func TestPolicyPerformanceOrdering(t *testing.T) {
+	run := func(policy ftl.Policy) Report {
+		s := newSSD(t, policy)
+		if err := s.Prefill(0.75, true); err != nil {
+			t.Fatal(err)
+		}
+		s.Mark()
+		rng := rand.New(rand.NewSource(3))
+		logical := int64(s.LogicalPages())
+		for i := 0; i < 1500; i++ {
+			lpa := rng.Int63n(logical)
+			s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: lpa, Pages: 1})
+		}
+		return s.Report()
+	}
+	base := run(sanitize.Baseline())
+	sec := run(sanitize.SecSSD())
+	scr := run(sanitize.ScrSSD())
+	er := run(sanitize.ErSSD())
+
+	// 100%-secured single-page random overwrites are the worst case for
+	// Evanesco (every host write pays one pLock and GC flushes batch
+	// locks); the paper-scale Fig. 14 benches show the 90%+ averages.
+	if sec.IOPS < base.IOPS*0.70 {
+		t.Errorf("secSSD IOPS %.0f below 70%% of baseline %.0f", sec.IOPS, base.IOPS)
+	}
+	if scr.IOPS >= sec.IOPS {
+		t.Errorf("scrSSD IOPS %.0f should trail secSSD %.0f", scr.IOPS, sec.IOPS)
+	}
+	if er.IOPS >= scr.IOPS {
+		t.Errorf("erSSD IOPS %.0f should trail scrSSD %.0f", er.IOPS, scr.IOPS)
+	}
+	if er.WAF <= scr.WAF || scr.WAF <= sec.WAF {
+		t.Errorf("WAF ordering wrong: er=%.2f scr=%.2f sec=%.2f", er.WAF, scr.WAF, sec.WAF)
+	}
+}
+
+func TestSecSSDUsesLocksUnderChurn(t *testing.T) {
+	s := newSSD(t, sanitize.SecSSD())
+	if err := s.Prefill(0.75, true); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	logical := int64(s.LogicalPages())
+	for i := 0; i < 2000; i++ {
+		s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: rng.Int63n(logical), Pages: 1})
+	}
+	st := s.FTL().Stats()
+	if st.PLocks == 0 {
+		t.Fatal("expected pLocks under secured churn")
+	}
+	if st.BLocks == 0 {
+		t.Fatal("expected bLocks from GC-drained blocks")
+	}
+	if st.SanitizeCopies != 0 {
+		t.Fatal("Evanesco must not copy pages to sanitize")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() Report {
+		s := newSSD(t, sanitize.SecSSD())
+		rng := rand.New(rand.NewSource(5))
+		logical := int64(s.LogicalPages())
+		for i := 0; i < 500; i++ {
+			s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: rng.Int63n(logical), Pages: 1})
+		}
+		return s.Report()
+	}
+	a, b := run(), run()
+	if a.Elapsed != b.Elapsed || a.Stats != b.Stats {
+		t.Fatalf("nondeterministic simulation:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	s := newSSD(t, sanitize.SecSSD())
+	if err := s.Prefill(0.6, true); err != nil {
+		t.Fatal(err)
+	}
+	s.Mark()
+	rng := rand.New(rand.NewSource(6))
+	logical := int64(s.LogicalPages())
+	for i := 0; i < 600; i++ {
+		s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: rng.Int63n(logical), Pages: 1})
+	}
+	r := s.Report()
+	if r.LatencyP50 <= 0 {
+		t.Fatal("no latency sampled")
+	}
+	if !(r.LatencyP50 <= r.LatencyP99 && r.LatencyP99 <= r.LatencyMax) {
+		t.Fatalf("percentile ordering: p50=%v p99=%v max=%v", r.LatencyP50, r.LatencyP99, r.LatencyMax)
+	}
+	// A single-page write cannot complete faster than tPROG.
+	if r.LatencyP50 < float64(nand.DefaultTiming().Prog) {
+		t.Fatalf("p50 latency %vµs below tPROG", r.LatencyP50)
+	}
+}
+
+// SanitizeAll must leave every stale page unreadable and keep live data.
+func TestSanitizeAll(t *testing.T) {
+	s := newSSD(t, sanitize.Baseline()) // even a baseline device can be purged
+	payload := bytes.Repeat([]byte{0xEE}, 512)
+	s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: 0, Pages: 1, Data: payload})
+	s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: 1, Pages: 1, Data: payload})
+	s.MustSubmit(blockio.Request{Op: blockio.OpTrim, LPA: 1, Pages: 1})
+	if err := s.SanitizeAll(); err != nil {
+		t.Fatal(err)
+	}
+	// The stale copy of LPA 1 must be gone.
+	g := s.Geometry()
+	for p := 0; p < g.TotalPages(); p++ {
+		ppa := ftl.PPA(p)
+		if s.FTL().Status(ppa).Live() {
+			continue
+		}
+		chip, a := s.addr(ppa)
+		if res, err := s.chips[chip].Read(a, 0); err == nil {
+			for _, b := range res.Data {
+				if b != 0 {
+					t.Fatalf("stale page %d readable after SanitizeAll", p)
+				}
+			}
+		}
+	}
+	// Live data survives.
+	got, err := s.ReadLogical(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("SanitizeAll destroyed live data")
+	}
+}
+
+func TestReplayTrace(t *testing.T) {
+	s := newSSD(t, sanitize.SecSSD())
+	trace := &blockio.Trace{
+		PageBytes: 4096,
+		Requests: []blockio.Request{
+			{Op: blockio.OpWrite, LPA: 0, Pages: 4},
+			{Op: blockio.OpRead, LPA: 0, Pages: 2},
+			{Op: blockio.OpTrim, LPA: 0, Pages: 4},
+			{Op: blockio.OpWrite, LPA: 1 << 40, Pages: 4},                     // beyond capacity: skipped
+			{Op: blockio.OpWrite, LPA: int64(s.LogicalPages()) - 2, Pages: 8}, // clipped to 2
+		},
+	}
+	n, err := s.Replay(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("replayed %d requests, want 4 (one skipped)", n)
+	}
+	st := s.FTL().Stats()
+	if st.HostWrittenPages != 6 { // 4 + clipped 2
+		t.Fatalf("written pages %d, want 6", st.HostWrittenPages)
+	}
+	if st.PLocks == 0 {
+		t.Fatal("trim of secured pages should have locked")
+	}
+}
+
+// The channel bus is a shared resource: two chips on one channel cannot
+// both transfer at the same instant, so a read burst against a single
+// channel takes longer than the same burst spread over two channels.
+func TestChannelBusContention(t *testing.T) {
+	s := newSSD(t, sanitize.Baseline())
+	// Fill a few pages on chips 0 and 1 (channel 0) and 2,3 (channel 1).
+	for i := 0; i < 32; i++ {
+		s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: int64(i), Pages: 1})
+	}
+	s.Mark()
+	for i := 0; i < 32; i++ {
+		s.MustSubmit(blockio.Request{Op: blockio.OpRead, LPA: int64(i), Pages: 1})
+	}
+	r := s.Report()
+	// 32 reads over 4 chips: tREAD (80µs) overlaps, transfers (40µs)
+	// serialize per channel: per channel 16 transfers = 640µs minimum.
+	if int64(r.Elapsed) < 640 {
+		t.Fatalf("read burst finished in %v, faster than the channel bus allows", r.Elapsed)
+	}
+}
+
+// GC relocations stay on-chip via copyback by default; the ablation
+// forces them over the bus and must not change WAF, only timing.
+func TestCopybackAblation(t *testing.T) {
+	run := func(noCopyback bool) Report {
+		cfg := smallConfig(sanitize.Baseline())
+		cfg.NoCopyback = noCopyback
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Prefill(0.8, true); err != nil {
+			t.Fatal(err)
+		}
+		s.Mark()
+		rng := rand.New(rand.NewSource(12))
+		logical := int64(s.LogicalPages())
+		for i := 0; i < 2000; i++ {
+			s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: rng.Int63n(logical), Pages: 1})
+		}
+		return s.Report()
+	}
+	with := run(false)
+	without := run(true)
+	if with.Stats.Copybacks == 0 {
+		t.Fatal("default config should use copyback for GC")
+	}
+	if without.Stats.Copybacks != 0 {
+		t.Fatal("NoCopyback still issued copybacks")
+	}
+	if with.Stats.GCCopies != without.Stats.GCCopies {
+		t.Fatalf("copyback changed GC work: %d vs %d", with.Stats.GCCopies, without.Stats.GCCopies)
+	}
+	if with.IOPS < without.IOPS {
+		t.Errorf("copyback should not be slower (%.0f vs %.0f IOPS)", with.IOPS, without.IOPS)
+	}
+}
