@@ -17,6 +17,7 @@ import (
 	"repro/internal/nand/vth"
 	"repro/internal/sanitize"
 	"repro/internal/ssd"
+	"repro/internal/trace"
 	"repro/internal/vertrace"
 	"repro/internal/workload"
 
@@ -341,6 +342,42 @@ func BenchmarkAblationLazyErase(b *testing.B) {
 	}
 	b.Run("lazy", func(b *testing.B) { run(b, false) })
 	b.Run("eager", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkTraceOverhead measures the tracing subsystem's cost on the hot
+// simulation path: "disabled" runs with no collector (the production
+// default — each instrumentation site pays one predictable branch),
+// "recorder" attaches a full trace.Recorder. The disabled case is the
+// <5%-regression acceptance bar for the telemetry layer.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, tr trace.Collector) {
+		for i := 0; i < b.N; i++ {
+			s, err := ssd.New(ssd.Config{
+				Channels: 2, ChipsPerChannel: 2,
+				Chip: nand.Geometry{
+					Blocks: 24, WLsPerBlock: 16, CellKind: vth.TLC,
+					PageBytes: 4096, FlagCells: 9, EnduranceCycles: 1000,
+				},
+				OverProvision: 0.25, GCFreeBlocksLow: 2, QueueDepth: 16,
+				Policy: sanitize.SecSSD(), Seed: 3, Trace: tr,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Prefill(0.85, true); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(4))
+			logical := int64(s.LogicalPages())
+			for j := 0; j < 4000; j++ {
+				s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: rng.Int63n(logical), Pages: 1})
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("recorder", func(b *testing.B) {
+		run(b, trace.NewRecorder(trace.RecorderConfig{Chips: 4, Channels: 2}))
+	})
 }
 
 // BenchmarkFlashOps measures the raw command path of the emulated chip.

@@ -10,6 +10,16 @@
 //	             [-workloads MailServer,DBServer,FileServer,Mobile]
 //	             [-csv]
 //
+// Tracing mode (runs ONE workload×policy instead of the figure sweep):
+//
+//	secssd-bench -trace run.trace.json [-trace-jsonl run.jsonl]
+//	             [-stats-json run.stats.json] [-trace-policy secSSD]
+//	             [-scale small] [-workloads MailServer]
+//
+// The -trace file is Chrome trace_event JSON: open it at
+// ui.perfetto.dev or chrome://tracing to see every NAND operation laid
+// out per chip and channel, with GC passes and live gauges alongside.
+//
 // Absolute IOPS values come from the emulated timing model; the paper's
 // claims are about the normalized shape, which is what the tables print.
 package main
@@ -21,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -29,6 +40,10 @@ func main() {
 	scaleName := flag.String("scale", "default", "small, default, or paper")
 	workloads := flag.String("workloads", "", "comma-separated subset of workloads (default all four)")
 	csv := flag.Bool("csv", false, "emit CSV")
+	traceFile := flag.String("trace", "", "capture one traced run and write Chrome trace_event JSON here")
+	traceJSONL := flag.String("trace-jsonl", "", "also write the raw event log as JSONL here")
+	statsJSON := flag.String("stats-json", "", "write the telemetry snapshot JSON here")
+	tracePolicy := flag.String("trace-policy", "secSSD", "policy for the traced run")
 	flag.Parse()
 
 	var sc experiment.Scale
@@ -54,6 +69,14 @@ func main() {
 			}
 			profiles = append(profiles, p)
 		}
+	}
+
+	if *traceFile != "" || *traceJSONL != "" || *statsJSON != "" {
+		if err := runTraced(sc, profiles, *tracePolicy, *traceFile, *traceJSONL, *statsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "secssd-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	needAB := *fig == "all" || *fig == "14a" || *fig == "14b" || *fig == "headline"
@@ -83,6 +106,48 @@ func main() {
 	if *fig == "all" || *fig == "headline" {
 		printHeadline(experiment.ComputeHeadline(rows))
 	}
+}
+
+// runTraced executes one workload×policy run with a trace.Recorder
+// attached and writes the requested artifacts.
+func runTraced(sc experiment.Scale, profiles []workload.Profile, policyName, traceFile, traceJSONL, statsJSON string) error {
+	policy, err := experiment.PolicyByName(policyName)
+	if err != nil {
+		return err
+	}
+	prof := workload.MailServer()
+	if len(profiles) > 0 {
+		prof = profiles[0]
+	}
+	rec := trace.NewRecorder(trace.RecorderConfig{
+		Chips:    experiment.Channels * experiment.ChipsPerChannel,
+		Channels: experiment.Channels,
+	})
+	run, err := experiment.ExecuteTraced(prof, policy, 1.0, sc, rec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced run: %s × %s — %d requests, %d events (%d dropped), horizon %v\n",
+		run.Workload, run.Policy, run.Report.Requests, rec.TotalEvents(), rec.Dropped(), rec.Horizon())
+	if traceFile != "" {
+		if err := rec.WriteChromeFile(traceFile); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s (open at ui.perfetto.dev)\n", traceFile)
+	}
+	if traceJSONL != "" {
+		if err := rec.WriteJSONLFile(traceJSONL); err != nil {
+			return err
+		}
+		fmt.Printf("event log written to %s\n", traceJSONL)
+	}
+	if statsJSON != "" {
+		if err := rec.WriteStatsFile(statsJSON); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", statsJSON)
+	}
+	return nil
 }
 
 var policyOrder = []string{"erSSD", "scrSSD", "secSSD_nobLock", "secSSD"}

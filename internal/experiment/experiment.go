@@ -15,7 +15,15 @@ import (
 	"repro/internal/nand/vth"
 	"repro/internal/sanitize"
 	"repro/internal/ssd"
+	"repro/internal/trace"
 	"repro/internal/workload"
+)
+
+// Device shape shared by every experiment (§7: 2 channels × 4 chips).
+// Exported so trace consumers can size a Recorder to match.
+const (
+	Channels        = 2
+	ChipsPerChannel = 4
 )
 
 // Scale sizes a Fig. 14 run. The paper's SecureSSD is 32 GiB with 16-KiB
@@ -127,7 +135,16 @@ func (r Run) WAF() float64 { return r.Report.WAF }
 
 // Execute runs one configuration to completion.
 func Execute(prof workload.Profile, policy ftl.Policy, secureFraction float64, sc Scale) (Run, error) {
-	dev, err := buildDevice(policy, sc)
+	return ExecuteTraced(prof, policy, secureFraction, sc, nil)
+}
+
+// ExecuteTraced is Execute with a trace collector attached to the device
+// (nil behaves exactly like Execute). Pass a *trace.Recorder sized with
+// Channels and ChipsPerChannel to capture the run for export; note the
+// trace covers the prefill phase too — use the recorded horizon and the
+// host events to separate phases if needed.
+func ExecuteTraced(prof workload.Profile, policy ftl.Policy, secureFraction float64, sc Scale, tr trace.Collector) (Run, error) {
+	dev, err := buildDevice(policy, sc, tr)
 	if err != nil {
 		return Run{}, err
 	}
@@ -155,10 +172,10 @@ func Execute(prof workload.Profile, policy ftl.Policy, secureFraction float64, s
 	}, nil
 }
 
-func buildDevice(policy ftl.Policy, sc Scale) (*ssd.SSD, error) {
+func buildDevice(policy ftl.Policy, sc Scale, tr trace.Collector) (*ssd.SSD, error) {
 	const (
-		channels        = 2
-		chipsPerChannel = 4
+		channels        = Channels
+		chipsPerChannel = ChipsPerChannel
 		gcLow           = 3
 	)
 	// The FTL reserves (gcLow+1) blocks per chip absolutely; on scaled-
@@ -186,6 +203,7 @@ func buildDevice(policy ftl.Policy, sc Scale) (*ssd.SSD, error) {
 		QueueDepth:      32,
 		Policy:          policy,
 		Seed:            sc.Seed,
+		Trace:           tr,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blockio"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Hooks receive FTL lifecycle events; the vertrace package uses them to
@@ -29,10 +30,17 @@ type FTL struct {
 	policy Policy
 	hooks  Hooks
 
+	tracer  trace.Collector
+	traceOn bool
+
 	l2p    []PPA    // logical page -> physical page
 	p2l    []int64  // physical page -> logical page (-1 when none)
 	fileOf []uint64 // physical page -> owning file annotation
 	status []PageStatus
+	// statusCount tracks the page population per PageStatus; every status
+	// transition goes through setStatus to keep it exact. It feeds the
+	// valid/secured/invalid telemetry gauges.
+	statusCount [4]int64
 
 	liveInBlock []int32 // live (valid+secured) pages per global block
 	usedInBlock []int32 // programmed pages per global block (free = total-used)
@@ -90,6 +98,12 @@ func New(cfg Config, target Target, policy Policy) (*FTL, error) {
 		chips:           make([]chipState, g.Chips),
 		pendingSanitize: make(map[int][]PPA),
 	}
+	f.tracer = cfg.Tracer
+	if f.tracer == nil {
+		f.tracer = trace.Nop{}
+	}
+	f.traceOn = f.tracer.Enabled()
+	f.statusCount[PageFree] = int64(g.TotalPages())
 	for i := range f.l2p {
 		f.l2p[i] = NoPPA
 	}
@@ -122,6 +136,20 @@ func (f *FTL) PolicyName() string { return f.policy.Name() }
 
 // Status returns the page-status-table entry for a physical page.
 func (f *FTL) Status(p PPA) PageStatus { return f.status[p] }
+
+// setStatus is the single page-status transition point; it keeps the
+// per-status population counters exact for the telemetry gauges.
+func (f *FTL) setStatus(p PPA, st PageStatus) {
+	f.statusCount[f.status[p]]--
+	f.statusCount[st]++
+	f.status[p] = st
+}
+
+// PageStatusCounts returns the device-wide page population per status.
+func (f *FTL) PageStatusCounts() (free, valid, secured, invalid int64) {
+	return f.statusCount[PageFree], f.statusCount[PageValid],
+		f.statusCount[PageSecured], f.statusCount[PageInvalid]
+}
 
 // Lookup returns the physical page currently mapped to lpa (NoPPA if
 // unmapped).
@@ -178,9 +206,24 @@ func (f *FTL) Submit(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
 			}
 		}
 	}
+	if f.traceOn {
+		// Lock-queue depth as the lock manager sees it, right before the
+		// request-level flush drains it.
+		depth := 0
+		for _, ps := range f.pendingSanitize {
+			depth += len(ps)
+		}
+		f.tracer.Gauge(trace.GaugeLockQueue, f.reqClock, float64(depth))
+	}
 	f.policy.Flush(f)
 	if f.reqClock > done {
 		done = f.reqClock
+	}
+	if f.traceOn {
+		f.tracer.Gauge(trace.GaugeValidPages, done, float64(f.statusCount[PageValid]))
+		f.tracer.Gauge(trace.GaugeSecuredPages, done, float64(f.statusCount[PageSecured]))
+		f.tracer.Gauge(trace.GaugeInvalidPages, done, float64(f.statusCount[PageInvalid]))
+		f.tracer.Gauge(trace.GaugeFreeBlocks, done, float64(f.FreeBlocks()))
 	}
 	return done, nil
 }
@@ -199,9 +242,9 @@ func (f *FTL) writePage(lpa int64, secure bool, file uint64, data []byte, dep si
 	f.p2l[p] = lpa
 	f.fileOf[p] = file
 	if secure {
-		f.status[p] = PageSecured
+		f.setStatus(p, PageSecured)
 	} else {
-		f.status[p] = PageValid
+		f.setStatus(p, PageValid)
 	}
 	f.liveInBlock[f.geo.BlockOf(p)]++
 	if f.hooks.Programmed != nil {
@@ -227,13 +270,16 @@ func (f *FTL) invalidate(p PPA) {
 	if f.hooks.Invalidated != nil {
 		f.hooks.Invalidated(p, f.fileOf[p])
 	}
+	if f.traceOn {
+		f.tracer.Invalidated(uint32(p), st == PageSecured, f.reqStart)
+	}
 	f.policy.Invalidate(f, p, st == PageSecured)
 }
 
 // --- primitives exposed to sanitization policies -----------------------
 
 // MarkInvalid finalizes the status-table transition to invalid.
-func (f *FTL) MarkInvalid(p PPA) { f.status[p] = PageInvalid }
+func (f *FTL) MarkInvalid(p PPA) { f.setStatus(p, PageInvalid) }
 
 // IssuePLock emits a pLock for the page and marks it invalid. The lock
 // occupies the chip but does not gate the host request's completion: the
@@ -241,10 +287,13 @@ func (f *FTL) MarkInvalid(p PPA) { f.status[p] = PageInvalid }
 // updated synchronously, so the FTL's security state is immediate).
 func (f *FTL) IssuePLock(p PPA) {
 	f.stats.PLocks++
-	f.target.PLock(p, f.reqStart)
-	f.status[p] = PageInvalid
+	done := f.target.PLock(p, f.reqStart)
+	f.setStatus(p, PageInvalid)
 	if f.hooks.Destroyed != nil {
 		f.hooks.Destroyed(p, f.fileOf[p])
+	}
+	if f.traceOn {
+		f.tracer.Destroyed(uint32(p), done)
 	}
 }
 
@@ -252,11 +301,14 @@ func (f *FTL) IssuePLock(p PPA) {
 // given pages are marked invalid.
 func (f *FTL) IssueBLock(block int, pages []PPA) {
 	f.stats.BLocks++
-	f.target.BLock(block, f.reqStart)
+	done := f.target.BLock(block, f.reqStart)
 	for _, p := range pages {
-		f.status[p] = PageInvalid
+		f.setStatus(p, PageInvalid)
 		if f.hooks.Destroyed != nil {
 			f.hooks.Destroyed(p, f.fileOf[p])
+		}
+		if f.traceOn {
+			f.tracer.Destroyed(uint32(p), done)
 		}
 	}
 }
@@ -270,7 +322,7 @@ func (f *FTL) IssueBLock(block int, pages []PPA) {
 // wordline — a real cost of scrubbing the write frontier.
 func (f *FTL) IssueScrub(p PPA) {
 	f.stats.Scrubs++
-	f.target.Scrub(p, f.reqStart)
+	done := f.target.Scrub(p, f.reqStart)
 	siblings := f.geo.WLSiblings(p)
 	block := f.geo.BlockOf(p)
 	cs := &f.chips[f.geo.ChipOfBlock(block)]
@@ -284,9 +336,12 @@ func (f *FTL) IssueScrub(p PPA) {
 		if s != p && f.status[s].Live() {
 			panic(fmt.Sprintf("ftl: scrubbing wordline of page %d would destroy live page %d", p, s))
 		}
-		f.status[s] = PageInvalid
+		f.setStatus(s, PageInvalid)
 		if f.hooks.Destroyed != nil {
 			f.hooks.Destroyed(s, f.fileOf[s])
+		}
+		if f.traceOn {
+			f.tracer.Destroyed(uint32(s), done)
 		}
 	}
 }
@@ -387,7 +442,7 @@ func (f *FTL) relocatePage(p PPA, sanitizeOld bool) {
 	}
 	f.p2l[np] = lpa
 	f.fileOf[np] = file
-	f.status[np] = st
+	f.setStatus(np, st)
 	f.liveInBlock[f.geo.BlockOf(np)]++
 	if f.hooks.Programmed != nil {
 		f.hooks.Programmed(np, lpa, file)
@@ -399,10 +454,13 @@ func (f *FTL) relocatePage(p PPA, sanitizeOld bool) {
 	if f.hooks.Invalidated != nil {
 		f.hooks.Invalidated(p, f.fileOf[p])
 	}
+	if f.traceOn {
+		f.tracer.Invalidated(uint32(p), st == PageSecured, f.reqClock)
+	}
 	if sanitizeOld {
 		f.policy.Invalidate(f, p, st == PageSecured)
 	} else {
-		f.status[p] = PageInvalid
+		f.setStatus(p, PageInvalid)
 	}
 	// Sanitization-driven relocations (erSSD evacuations, scrSSD sibling
 	// moves) consume free pages outside the host-write path; keep the
@@ -432,8 +490,9 @@ func (f *FTL) EraseNow(block int) {
 
 func (f *FTL) eraseBlock(block int) {
 	f.stats.Erases++
-	if t := f.target.Erase(block, f.reqClock); t > f.reqClock {
-		f.reqClock = t
+	eraseDone := f.target.Erase(block, f.reqClock)
+	if eraseDone > f.reqClock {
+		f.reqClock = eraseDone
 	}
 	first := f.geo.FirstPPA(block)
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
@@ -441,10 +500,15 @@ func (f *FTL) eraseBlock(block int) {
 		if f.status[p].Live() {
 			panic(fmt.Sprintf("ftl: erasing block %d with live page %d", block, p))
 		}
-		if f.status[p] == PageInvalid && f.hooks.Destroyed != nil {
-			f.hooks.Destroyed(p, f.fileOf[p])
+		if f.status[p] == PageInvalid {
+			if f.hooks.Destroyed != nil {
+				f.hooks.Destroyed(p, f.fileOf[p])
+			}
+			if f.traceOn {
+				f.tracer.Destroyed(uint32(p), eraseDone)
+			}
 		}
-		f.status[p] = PageFree
+		f.setStatus(p, PageFree)
 		f.p2l[p] = -1
 		f.fileOf[p] = 0
 	}

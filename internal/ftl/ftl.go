@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // PPA is a device-global physical page address.
@@ -191,6 +192,11 @@ type Config struct {
 	NoCopyback bool
 	// Timing is used by the lock manager's pLock-vs-bLock decision rule.
 	Timing LockTiming
+	// Tracer receives FTL telemetry: secured-page invalidation and
+	// destruction times (the T_insecure window), GC pass spans, and the
+	// lock-queue / page-status / free-block gauges. Nil disables tracing
+	// at the cost of one predictable branch per site.
+	Tracer trace.Collector
 }
 
 // LockTiming carries the two latencies the §6 decision rule compares.

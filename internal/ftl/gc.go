@@ -1,5 +1,7 @@
 package ftl
 
+import "repro/internal/trace"
+
 // maybeGC runs garbage collection on the chip while its reusable-block
 // count sits below the configured low-water mark.
 func (f *FTL) maybeGC(chip int) {
@@ -28,6 +30,7 @@ func (f *FTL) gcOnce(chip int) bool {
 	}
 	f.stats.GCRuns++
 	f.inGC = true
+	gcStart := f.reqClock
 	first := f.geo.FirstPPA(victim)
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
 		p := first + PPA(i)
@@ -39,6 +42,12 @@ func (f *FTL) gcOnce(chip int) bool {
 	// whole victim now stale this is the prime bLock opportunity.
 	f.policy.Flush(f)
 	f.inGC = false
+	if f.traceOn {
+		f.tracer.Op(trace.Event{
+			Class: trace.OpGC, Start: gcStart, End: f.reqClock, Queued: gcStart,
+			Chip: chip, Channel: -1, Block: victim, Page: -1, LPA: -1,
+		})
+	}
 
 	// A sanitization policy may have erased the victim during Flush
 	// (erSSD) — it is then on the free list, or even reopened as the

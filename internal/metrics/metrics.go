@@ -92,11 +92,27 @@ func (s *Sample) AddAll(xs ...float64) {
 // N returns the number of values.
 func (s *Sample) N() int { return len(s.xs) }
 
-// Values returns the values in sorted order. The returned slice is owned by
-// the Sample; callers must not modify it.
+// Values returns the values in sorted order.
+//
+// Aliasing hazard: the returned slice is the Sample's internal storage,
+// not a copy, and the call silently sorts it in place — insertion order
+// is lost and later Adds re-disturb the ordering. Callers must not
+// modify the slice or hold it across Adds; use Sorted for a stable,
+// caller-owned copy (the trace exporters do).
 func (s *Sample) Values() []float64 {
 	s.ensureSorted()
 	return s.xs
+}
+
+// Sorted returns the values in ascending order as a freshly allocated
+// slice the caller owns. Unlike Values it never exposes internal
+// storage, so the copy stays valid (and stays sorted) no matter what is
+// added to the Sample afterwards.
+func (s *Sample) Sorted() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	sort.Float64s(out)
+	return out
 }
 
 func (s *Sample) ensureSorted() {
@@ -241,6 +257,9 @@ func (h *Histogram) BinCenter(i int) float64 {
 func (h *Histogram) OutOfRange() (under, over uint64) { return h.underflow, h.overflow }
 
 // Render returns a crude ASCII rendering, useful in example programs.
+// Nonzero underflow/overflow counts get their own "< lo" / ">= hi" rows
+// (scaled against the same maximum), so saturated bins are visible
+// instead of silently vanishing off the ends of the range.
 func (h *Histogram) Render(width int) string {
 	var max uint64
 	for _, c := range h.bins {
@@ -248,13 +267,27 @@ func (h *Histogram) Render(width int) string {
 			max = c
 		}
 	}
-	var sb strings.Builder
-	for i, c := range h.bins {
-		bar := 0
-		if max > 0 {
-			bar = int(float64(c) / float64(max) * float64(width))
+	if h.underflow > max {
+		max = h.underflow
+	}
+	if h.overflow > max {
+		max = h.overflow
+	}
+	bar := func(c uint64) string {
+		if max == 0 {
+			return ""
 		}
-		fmt.Fprintf(&sb, "%10.3g | %s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+		return strings.Repeat("#", int(float64(c)/float64(max)*float64(width)))
+	}
+	var sb strings.Builder
+	if h.underflow > 0 {
+		fmt.Fprintf(&sb, "%10s | %s %d\n", fmt.Sprintf("< %.3g", h.lo), bar(h.underflow), h.underflow)
+	}
+	for i, c := range h.bins {
+		fmt.Fprintf(&sb, "%10.3g | %s %d\n", h.BinCenter(i), bar(c), c)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&sb, "%10s | %s %d\n", fmt.Sprintf(">= %.3g", h.hi), bar(h.overflow), h.overflow)
 	}
 	return sb.String()
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -345,6 +346,110 @@ func TestBoxStatsString(t *testing.T) {
 	s.AddAll(1, 2, 3)
 	if s.Box().String() == "" {
 		t.Fatal("BoxStats String empty")
+	}
+}
+
+func TestSampleSortedIsIndependentCopy(t *testing.T) {
+	var s Sample
+	s.AddAll(3, 1, 2)
+	sorted := s.Sorted()
+	if sorted[0] != 1 || sorted[1] != 2 || sorted[2] != 3 {
+		t.Fatalf("Sorted = %v, want ascending", sorted)
+	}
+	// Mutating the copy must not leak into the Sample...
+	sorted[0] = 99
+	if s.Min() != 1 {
+		t.Fatalf("Min = %v after mutating Sorted copy, want 1", s.Min())
+	}
+	// ...and later Adds must not disturb the copy (unlike Values, whose
+	// returned slice aliases internal storage).
+	snapshot := s.Sorted()
+	s.Add(0)
+	if snapshot[0] != 1 || len(snapshot) != 3 {
+		t.Fatalf("Sorted snapshot disturbed by later Add: %v", snapshot)
+	}
+	vals := s.Values()
+	if vals[0] != 0 { // documents the aliasing behaviour Sorted avoids
+		t.Fatalf("Values = %v, want re-sorted internal storage", vals)
+	}
+}
+
+func TestHistogramRenderShowsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(5)
+	out := h.Render(10)
+	if strings.Contains(out, "< 0") || strings.Contains(out, ">= 10") {
+		t.Fatalf("no out-of-range rows expected yet:\n%s", out)
+	}
+	h.Add(-3)
+	h.Add(-4)
+	h.Add(42)
+	out = h.Render(10)
+	if !strings.Contains(out, "< 0") {
+		t.Fatalf("underflow row missing:\n%s", out)
+	}
+	if !strings.Contains(out, ">= 10") {
+		t.Fatalf("overflow row missing:\n%s", out)
+	}
+	// The underflow count (2) dominates every bin, so its bar must be the
+	// full width and the counts must be printed.
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("dominant underflow bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, " 2\n") {
+		t.Fatalf("underflow count not rendered:\n%s", out)
+	}
+}
+
+func TestSeriesDownsampleToOne(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 100; i++ {
+		s.Record(int64(i), float64(i))
+	}
+	ds := s.Downsample(1)
+	if len(ds) < 2 {
+		t.Fatalf("Downsample(1) = %v, must keep first and last", ds)
+	}
+	if ds[0].T != 0 || ds[len(ds)-1].T != 99 {
+		t.Fatalf("Downsample(1) endpoints = %v, want T=0 and T=99", ds)
+	}
+}
+
+func TestSeriesDownsampleAllSameTimestamp(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 50; i++ {
+		s.Record(7, float64(i))
+	}
+	ds := s.Downsample(10)
+	if len(ds) != 2 {
+		t.Fatalf("zero-span series downsampled to %d points, want 2", len(ds))
+	}
+	if ds[0].T != 7 || ds[1].T != 7 {
+		t.Fatalf("zero-span endpoints = %v, want both at T=7", ds)
+	}
+	if ds[0].V != 0 || ds[1].V != 49 {
+		t.Fatalf("zero-span endpoints = %v, want first and last values", ds)
+	}
+}
+
+func TestSeriesDownsampleExactlyNPoints(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Record(int64(i), float64(i))
+	}
+	ds := s.Downsample(10)
+	if len(ds) != 10 {
+		t.Fatalf("n == len must return the series whole, got %d points", len(ds))
+	}
+	for i, p := range ds {
+		if p.T != int64(i) || p.V != float64(i) {
+			t.Fatalf("point %d = %v, want identity copy", i, p)
+		}
+	}
+	// The copy must be caller-owned.
+	ds[0].V = 99
+	if s.Points()[0].V != 0 {
+		t.Fatal("Downsample leaked internal storage")
 	}
 }
 

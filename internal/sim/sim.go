@@ -149,6 +149,7 @@ func (e *Engine) RunUntil(deadline Micros) {
 type Timeline struct {
 	busyUntil Micros
 	busyTotal Micros // accumulated occupied time, for utilization reports
+	waitTotal Micros // accumulated queueing delay (grant start − request)
 	count     uint64
 }
 
@@ -162,6 +163,7 @@ func (t *Timeline) Reserve(at, d Micros) (start, end Micros) {
 	end = start + d
 	t.busyUntil = end
 	t.busyTotal += d
+	t.waitTotal += start - at
 	t.count++
 	return start, end
 }
@@ -171,6 +173,11 @@ func (t *Timeline) BusyUntil() Micros { return t.busyUntil }
 
 // BusyTotal returns the total reserved time.
 func (t *Timeline) BusyTotal() Micros { return t.busyTotal }
+
+// WaitTotal returns the accumulated queueing delay: how long reservations
+// waited behind earlier ones before the resource started serving them.
+// It is the contention signal the telemetry layer reports per chip.
+func (t *Timeline) WaitTotal() Micros { return t.waitTotal }
 
 // Reservations returns the number of reservations made.
 func (t *Timeline) Reservations() uint64 { return t.count }

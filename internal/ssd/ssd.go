@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nand"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config assembles a device.
@@ -45,6 +46,11 @@ type Config struct {
 	NoCopyback bool
 	// Seed drives the chips' RNGs.
 	Seed int64
+	// Trace receives every simulated operation (NAND commands, bus
+	// transfers, host requests, GC passes) plus live gauges. Nil disables
+	// tracing; the hot paths then pay a single predictable branch per
+	// site. Use a *trace.Recorder to capture and export.
+	Trace trace.Collector
 }
 
 // DefaultConfig returns the paper's SecureSSD configuration with the
@@ -104,6 +110,16 @@ type SSD struct {
 	// latencies samples per-request service time (completion − start)
 	// within the current measurement window.
 	latencies metrics.Sample
+
+	// Tracing. traceOn caches tr.Enabled() so the per-op cost when
+	// disabled is one predictable branch.
+	tr      trace.Collector
+	traceOn bool
+	// Per-resource busy/wait snapshots taken at Mark(), so Report can
+	// expose windowed utilization without touching whole-run counters.
+	markChipBusy []sim.Micros
+	markChanBusy []sim.Micros
+	markChipWait []sim.Micros
 }
 
 // New builds the device.
@@ -118,12 +134,20 @@ func New(cfg Config) (*SSD, error) {
 	}
 	nChips := cfg.Channels * cfg.ChipsPerChannel
 	s := &SSD{
-		cfg:    cfg,
-		chips:  make([]*nand.Chip, nChips),
-		chipTL: make([]sim.Timeline, nChips),
-		busTL:  make([]sim.Timeline, cfg.Channels),
-		window: make([]sim.Micros, cfg.QueueDepth),
+		cfg:          cfg,
+		chips:        make([]*nand.Chip, nChips),
+		chipTL:       make([]sim.Timeline, nChips),
+		busTL:        make([]sim.Timeline, cfg.Channels),
+		window:       make([]sim.Micros, cfg.QueueDepth),
+		markChipBusy: make([]sim.Micros, nChips),
+		markChanBusy: make([]sim.Micros, cfg.Channels),
+		markChipWait: make([]sim.Micros, nChips),
 	}
+	s.tr = cfg.Trace
+	if s.tr == nil {
+		s.tr = trace.Nop{}
+	}
+	s.traceOn = s.tr.Enabled()
 	for i := range s.chips {
 		chip, err := nand.New(cfg.Chip, nand.WithSeed(cfg.Seed+int64(i)), nand.WithTiming(cfg.Timing))
 		if err != nil {
@@ -148,6 +172,7 @@ func New(cfg Config) (*SSD, error) {
 		WearAware:       cfg.WearAware,
 		NoCopyback:      cfg.NoCopyback,
 		Timing:          ftl.LockTiming{PLock: cfg.Timing.PLock, BLock: cfg.Timing.BLock},
+		Tracer:          s.tr,
 	}, s, cfg.Policy)
 	if err != nil {
 		return nil, err
@@ -183,6 +208,15 @@ func (s *SSD) addr(p ftl.PPA) (int, nand.PageAddr) {
 
 // --- ftl.Target implementation ------------------------------------------
 
+// emitChip records a chip-resident operation's Timeline interval.
+func (s *SSD) emitChip(class trace.OpClass, chip int, p ftl.PPA, queued, start, end sim.Micros) {
+	s.tr.Op(trace.Event{
+		Class: class, Start: start, End: end, Queued: queued,
+		Chip: chip, Channel: s.channelOf(chip),
+		Block: s.geo.BlockOf(p), Page: s.geo.PageInBlock(p), LPA: -1,
+	})
+}
+
 // Read implements ftl.Target: tREAD on the chip, then the page transfer
 // on the channel bus.
 func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
@@ -192,8 +226,12 @@ func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 	if err == nil {
 		data = res.Data
 	}
-	_, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
-	_, busDone := s.busTL[s.channelOf(chip)].Reserve(cellDone, s.cfg.Timing.Xfer)
+	cellStart, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
+	busStart, busDone := s.busTL[s.channelOf(chip)].Reserve(cellDone, s.cfg.Timing.Xfer)
+	if s.traceOn {
+		s.emitChip(trace.OpRead, chip, p, dep, cellStart, cellDone)
+		s.emitChip(trace.OpXfer, chip, p, cellDone, busStart, busDone)
+	}
 	return data, busDone
 }
 
@@ -204,8 +242,12 @@ func (s *SSD) Program(p ftl.PPA, data []byte, dep sim.Micros) sim.Micros {
 	if _, err := s.chips[chip].Program(a, data, dep); err != nil {
 		panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", a, err))
 	}
-	_, busDone := s.busTL[s.channelOf(chip)].Reserve(dep, s.cfg.Timing.Xfer)
-	_, done := s.chipTL[chip].Reserve(busDone, s.cfg.Timing.Prog)
+	busStart, busDone := s.busTL[s.channelOf(chip)].Reserve(dep, s.cfg.Timing.Xfer)
+	progStart, done := s.chipTL[chip].Reserve(busDone, s.cfg.Timing.Prog)
+	if s.traceOn {
+		s.emitChip(trace.OpXfer, chip, p, dep, busStart, busDone)
+		s.emitChip(trace.OpProgram, chip, p, busDone, progStart, done)
+	}
 	return done
 }
 
@@ -220,8 +262,13 @@ func (s *SSD) Copyback(src, dst ftl.PPA, dep sim.Micros) sim.Micros {
 	if _, err := s.chips[chipS].Copyback(aSrc, aDst, dep); err != nil {
 		panic(fmt.Sprintf("ssd: copyback failed: %v", err))
 	}
-	_, readDone := s.chipTL[chipS].Reserve(dep, s.cfg.Timing.Read)
+	readStart, readDone := s.chipTL[chipS].Reserve(dep, s.cfg.Timing.Read)
 	_, done := s.chipTL[chipS].Reserve(readDone, s.cfg.Timing.Prog)
+	if s.traceOn {
+		// One span covering the back-to-back read+program reservation;
+		// the destination page names the event.
+		s.emitChip(trace.OpCopyback, chipS, dst, dep, readStart, done)
+	}
 	return done
 }
 
@@ -231,7 +278,13 @@ func (s *SSD) Erase(block int, dep sim.Micros) sim.Micros {
 	if _, err := s.chips[chip].Erase(s.geo.BlockInChip(block), dep); err != nil {
 		panic(fmt.Sprintf("ssd: erase failed: %v", err))
 	}
-	_, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Erase)
+	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Erase)
+	if s.traceOn {
+		s.tr.Op(trace.Event{
+			Class: trace.OpErase, Start: start, End: done, Queued: dep,
+			Chip: chip, Channel: s.channelOf(chip), Block: block, Page: -1, LPA: -1,
+		})
+	}
 	return done
 }
 
@@ -241,7 +294,10 @@ func (s *SSD) PLock(p ftl.PPA, dep sim.Micros) sim.Micros {
 	if _, err := s.chips[chip].PLock(a, dep); err != nil {
 		panic(fmt.Sprintf("ssd: pLock failed: %v", err))
 	}
-	_, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.PLock)
+	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.PLock)
+	if s.traceOn {
+		s.emitChip(trace.OpPLock, chip, p, dep, start, done)
+	}
 	return done
 }
 
@@ -251,7 +307,13 @@ func (s *SSD) BLock(block int, dep sim.Micros) sim.Micros {
 	if _, err := s.chips[chip].BLock(s.geo.BlockInChip(block), dep); err != nil {
 		panic(fmt.Sprintf("ssd: bLock failed: %v", err))
 	}
-	_, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.BLock)
+	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.BLock)
+	if s.traceOn {
+		s.tr.Op(trace.Event{
+			Class: trace.OpBLock, Start: start, End: done, Queued: dep,
+			Chip: chip, Channel: s.channelOf(chip), Block: block, Page: -1, LPA: -1,
+		})
+	}
 	return done
 }
 
@@ -261,7 +323,10 @@ func (s *SSD) Scrub(p ftl.PPA, dep sim.Micros) sim.Micros {
 	if _, err := s.chips[chip].Scrub(a, dep); err != nil {
 		panic(fmt.Sprintf("ssd: scrub failed: %v", err))
 	}
-	_, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Scrub)
+	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Scrub)
+	if s.traceOn {
+		s.emitChip(trace.OpScrub, chip, p, dep, start, done)
+	}
 	return done
 }
 
@@ -282,6 +347,22 @@ func (s *SSD) Submit(req blockio.Request) (sim.Micros, error) {
 	}
 	s.requests++
 	s.latencies.Add(float64(done - start))
+	if s.traceOn {
+		var class trace.OpClass
+		switch req.Op {
+		case blockio.OpRead:
+			class = trace.OpHostRead
+		case blockio.OpTrim:
+			class = trace.OpHostTrim
+		default:
+			class = trace.OpHostWrite
+		}
+		s.tr.Op(trace.Event{
+			Class: class, Start: start, End: done, Queued: start,
+			Chip: -1, Channel: -1, Block: -1, Page: -1,
+			LPA: req.LPA, Pages: int(req.Pages),
+		})
+	}
 	return done, nil
 }
 
@@ -317,6 +398,13 @@ func (s *SSD) Mark() {
 	s.markReqs = s.requests
 	s.markStats = s.ftl.Stats()
 	s.latencies = metrics.Sample{}
+	for i := range s.chipTL {
+		s.markChipBusy[i] = s.chipTL[i].BusyTotal()
+		s.markChipWait[i] = s.chipTL[i].WaitTotal()
+	}
+	for i := range s.busTL {
+		s.markChanBusy[i] = s.busTL[i].BusyTotal()
+	}
 }
 
 // Report summarizes the device activity since the last Mark.
@@ -330,6 +418,13 @@ type Report struct {
 	ErasesFreq float64   // erases per million host pages written
 	// Request service-time percentiles over the window, in µs.
 	LatencyP50, LatencyP99, LatencyMax float64
+	// Per-resource busy-time utilization over the measurement window
+	// (busy µs since Mark / window µs).
+	ChipUtilPer []float64
+	ChanUtilPer []float64
+	// ChipWaitUs is the queueing delay accumulated on each chip's
+	// timeline over the window — the contention signal behind ChipUtil.
+	ChipWaitUs []float64
 }
 
 // Report computes the measurement window summary.
@@ -355,6 +450,20 @@ func (s *SSD) Report() Report {
 	}
 	if s.makespan > 0 {
 		r.ChipUtil = float64(busy) / float64(int64(s.makespan)*int64(len(s.chipTL)))
+	}
+	r.ChipUtilPer = make([]float64, len(s.chipTL))
+	r.ChipWaitUs = make([]float64, len(s.chipTL))
+	r.ChanUtilPer = make([]float64, len(s.busTL))
+	for i := range s.chipTL {
+		r.ChipWaitUs[i] = float64(s.chipTL[i].WaitTotal() - s.markChipWait[i])
+		if elapsed > 0 {
+			r.ChipUtilPer[i] = float64(s.chipTL[i].BusyTotal()-s.markChipBusy[i]) / float64(elapsed)
+		}
+	}
+	for i := range s.busTL {
+		if elapsed > 0 {
+			r.ChanUtilPer[i] = float64(s.busTL[i].BusyTotal()-s.markChanBusy[i]) / float64(elapsed)
+		}
 	}
 	if s.latencies.N() > 0 {
 		r.LatencyP50 = s.latencies.Quantile(0.5)

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+// writeFile creates path and streams one exporter into it.
+func (r *Recorder) writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteChromeFile writes the Chrome trace_event export to path.
+func (r *Recorder) WriteChromeFile(path string) error {
+	return r.writeFile(path, func(f *os.File) error { return r.WriteChromeTrace(f) })
+}
+
+// WriteJSONLFile writes the JSONL event log to path.
+func (r *Recorder) WriteJSONLFile(path string) error {
+	return r.writeFile(path, func(f *os.File) error { return r.WriteJSONL(f) })
+}
+
+// WriteStatsFile writes the telemetry snapshot JSON to path.
+func (r *Recorder) WriteStatsFile(path string) error {
+	return r.writeFile(path, func(f *os.File) error { return r.WriteStatsJSON(f) })
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// DefaultMaxEvents caps the retained event log (≈64 B/event). Statistics
+// keep accumulating past the cap; only the raw event list stops growing,
+// and Dropped() reports how many events it lost.
+const DefaultMaxEvents = 1 << 20
+
+// latencyHistBins configures the per-class latency histograms: 40 bins
+// over [0µs, 4000µs) spans every NAND command latency (tBERS = 3500µs is
+// the slowest); host requests and GC passes that queue longer land in the
+// overflow bin, which Histogram.Render now displays.
+const (
+	latencyHistLo   = 0
+	latencyHistHi   = 4000
+	latencyHistBins = 40
+)
+
+// RecorderConfig sizes a Recorder for a device.
+type RecorderConfig struct {
+	// Chips and Channels size the busy-time accumulators. Events with
+	// out-of-range coordinates are still recorded, just not attributed.
+	Chips    int
+	Channels int
+	// MaxEvents caps the retained event list (DefaultMaxEvents when 0,
+	// unlimited when negative).
+	MaxEvents int
+}
+
+// Recorder is the standard Collector: it retains events, accumulates
+// per-op-class latency distributions, per-chip/per-channel busy time,
+// device gauges, and the T_insecure windows of secured pages.
+type Recorder struct {
+	cfg RecorderConfig
+
+	events  []Event
+	dropped uint64
+	horizon sim.Micros // latest End seen
+
+	classCount [numOpClasses]uint64
+	classLat   [numOpClasses]metrics.Sample
+	classHist  [numOpClasses]*metrics.Histogram
+	classWait  [numOpClasses]metrics.Summary
+
+	chipBusy []sim.Micros
+	chanBusy []sim.Micros
+
+	gauges [numGaugeKinds]*metrics.Series
+
+	pendingInsec map[uint32]sim.Micros
+	tInsec       metrics.Sample
+}
+
+// NewRecorder builds a Recorder for a device with the given layout.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	}
+	r := &Recorder{
+		cfg:          cfg,
+		chipBusy:     make([]sim.Micros, max(cfg.Chips, 0)),
+		chanBusy:     make([]sim.Micros, max(cfg.Channels, 0)),
+		pendingInsec: make(map[uint32]sim.Micros),
+	}
+	for c := range r.classHist {
+		r.classHist[c] = metrics.NewHistogram(latencyHistLo, latencyHistHi, latencyHistBins)
+	}
+	for k := range r.gauges {
+		r.gauges[k] = metrics.NewSeries(GaugeKind(k).String())
+	}
+	return r
+}
+
+// Enabled implements Collector.
+func (r *Recorder) Enabled() bool { return true }
+
+// Op implements Collector.
+func (r *Recorder) Op(ev Event) {
+	if r.cfg.MaxEvents < 0 || len(r.events) < r.cfg.MaxEvents {
+		r.events = append(r.events, ev)
+	} else {
+		r.dropped++
+	}
+	if ev.End > r.horizon {
+		r.horizon = ev.End
+	}
+	r.classCount[ev.Class]++
+	d := float64(ev.Dur())
+	r.classLat[ev.Class].Add(d)
+	r.classHist[ev.Class].Add(d)
+	if ev.Queued <= ev.Start {
+		r.classWait[ev.Class].Add(float64(ev.Start - ev.Queued))
+	}
+	switch ev.Class {
+	case OpXfer:
+		if ev.Channel >= 0 && ev.Channel < len(r.chanBusy) {
+			r.chanBusy[ev.Channel] += ev.Dur()
+		}
+	case OpGC, OpHostRead, OpHostWrite, OpHostTrim:
+		// FTL/host-level spans overlap chip occupancy; not busy time.
+	default:
+		if ev.Chip >= 0 && ev.Chip < len(r.chipBusy) {
+			r.chipBusy[ev.Chip] += ev.Dur()
+		}
+	}
+}
+
+// Gauge implements Collector.
+func (r *Recorder) Gauge(kind GaugeKind, at sim.Micros, v float64) {
+	if int(kind) < len(r.gauges) {
+		r.gauges[kind].Record(int64(at), v)
+	}
+}
+
+// Invalidated implements Collector.
+func (r *Recorder) Invalidated(page uint32, secured bool, at sim.Micros) {
+	if !secured {
+		return
+	}
+	if _, open := r.pendingInsec[page]; !open {
+		r.pendingInsec[page] = at
+		r.Gauge(GaugeInsecureWindows, at, float64(len(r.pendingInsec)))
+	}
+}
+
+// Destroyed implements Collector.
+func (r *Recorder) Destroyed(page uint32, at sim.Micros) {
+	t0, ok := r.pendingInsec[page]
+	if !ok {
+		return
+	}
+	delete(r.pendingInsec, page)
+	d := at - t0
+	if d < 0 {
+		// A GC relocation can advance the invalidation clock past the
+		// lock's (request-anchored) completion; the stale copy was then
+		// locked before it was ever exposed.
+		d = 0
+	}
+	r.tInsec.Add(float64(d))
+	r.Gauge(GaugeInsecureWindows, at, float64(len(r.pendingInsec)))
+}
+
+// Events returns the retained events. The slice is owned by the Recorder.
+func (r *Recorder) Events() []Event { return r.events }
+
+// TotalEvents reports every operation observed, retained or dropped.
+func (r *Recorder) TotalEvents() uint64 {
+	var n uint64
+	for _, c := range r.classCount {
+		n += c
+	}
+	return n
+}
+
+// Dropped reports how many events the MaxEvents cap discarded.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Horizon returns the latest completion time observed.
+func (r *Recorder) Horizon() sim.Micros { return r.horizon }
+
+// Count returns how many operations of the class were recorded
+// (including any dropped from the event list).
+func (r *Recorder) Count(c OpClass) uint64 { return r.classCount[c] }
+
+// Latencies returns the class's service-time sample (µs). The Sample is
+// owned by the Recorder.
+func (r *Recorder) Latencies(c OpClass) *metrics.Sample { return &r.classLat[c] }
+
+// LatencyHist returns the class's latency histogram (µs).
+func (r *Recorder) LatencyHist(c OpClass) *metrics.Histogram { return r.classHist[c] }
+
+// Wait returns the class's queueing-delay summary (µs between issue and
+// service start).
+func (r *Recorder) Wait(c OpClass) *metrics.Summary { return &r.classWait[c] }
+
+// GaugeSeries returns the recorded time series of a gauge.
+func (r *Recorder) GaugeSeries(kind GaugeKind) *metrics.Series { return r.gauges[kind] }
+
+// TInsecure returns the closed T_insecure windows (µs from invalidation
+// of a secured page to its physical destruction).
+func (r *Recorder) TInsecure() *metrics.Sample { return &r.tInsec }
+
+// OpenInsecure reports how many secured pages are currently invalidated
+// but not yet destroyed.
+func (r *Recorder) OpenInsecure() int { return len(r.pendingInsec) }
+
+// ChipUtilization returns each chip's busy time as a fraction of the
+// horizon.
+func (r *Recorder) ChipUtilization() []float64 {
+	return utilization(r.chipBusy, r.horizon)
+}
+
+// ChannelUtilization returns each channel bus's busy time as a fraction
+// of the horizon.
+func (r *Recorder) ChannelUtilization() []float64 {
+	return utilization(r.chanBusy, r.horizon)
+}
+
+func utilization(busy []sim.Micros, horizon sim.Micros) []float64 {
+	out := make([]float64, len(busy))
+	if horizon <= 0 {
+		return out
+	}
+	for i, b := range busy {
+		out[i] = float64(b) / float64(horizon)
+	}
+	return out
+}

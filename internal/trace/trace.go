@@ -1,0 +1,192 @@
+// Package trace is the device-wide tracing and telemetry layer of the
+// SecureSSD simulator. It captures every simulated operation — NAND
+// commands (read/program/erase/pLock/bLock/scrub), channel transfers, GC
+// relocation passes, and host requests — as structured events with
+// simulated start/end timestamps and chip/channel/block/page coordinates,
+// plus live gauges (free blocks, lock-queue depth, page-status counts)
+// and a T_insecure tracker measuring how long each secured page sits
+// invalidated but not yet physically locked.
+//
+// The layer is wired behind the Collector interface. The Nop collector
+// makes every call a no-op behind a single predictable branch, so the
+// simulator's hot path pays near nothing when tracing is disabled; the
+// Recorder implementation accumulates events, per-op-class latency
+// statistics and gauges, and exports them as a JSONL event log, a Chrome
+// trace_event file (opens directly in Perfetto / chrome://tracing), or a
+// JSON telemetry snapshot.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// OpClass labels one kind of simulated activity.
+type OpClass uint8
+
+const (
+	// OpRead is a NAND page read (tREAD) on a chip.
+	OpRead OpClass = iota
+	// OpProgram is a NAND page program (tPROG) on a chip.
+	OpProgram
+	// OpErase is a NAND block erase (tBERS) on a chip.
+	OpErase
+	// OpPLock is an Evanesco page lock (tpLock) on a chip.
+	OpPLock
+	// OpBLock is an Evanesco block lock (tbLock) on a chip.
+	OpBLock
+	// OpScrub is a reprogram-based scrub pulse on a chip.
+	OpScrub
+	// OpXfer is a page transfer on a channel bus.
+	OpXfer
+	// OpCopyback is an on-chip GC data move (internal read + program).
+	OpCopyback
+	// OpGC is one FTL garbage-collection pass over a victim block.
+	OpGC
+	// OpHostRead is a host read request (arrival to completion).
+	OpHostRead
+	// OpHostWrite is a host write request.
+	OpHostWrite
+	// OpHostTrim is a host trim request.
+	OpHostTrim
+	numOpClasses
+)
+
+// NumOpClasses is the number of distinct event classes.
+const NumOpClasses = int(numOpClasses)
+
+func (c OpClass) String() string {
+	switch c {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	case OpPLock:
+		return "pLock"
+	case OpBLock:
+		return "bLock"
+	case OpScrub:
+		return "scrub"
+	case OpXfer:
+		return "xfer"
+	case OpCopyback:
+		return "copyback"
+	case OpGC:
+		return "gc"
+	case OpHostRead:
+		return "host_read"
+	case OpHostWrite:
+		return "host_write"
+	case OpHostTrim:
+		return "host_trim"
+	default:
+		return fmt.Sprintf("OpClass(%d)", uint8(c))
+	}
+}
+
+// Event is one completed simulated operation. Coordinate fields not
+// meaningful for the class are -1 (e.g. a host request has no chip, a
+// bus transfer no block). Block is the device-global block index.
+type Event struct {
+	Class   OpClass
+	Start   sim.Micros // when the resource began serving the operation
+	End     sim.Micros // completion time
+	Queued  sim.Micros // when the operation was issued (Start-Queued = queueing delay)
+	Chip    int
+	Channel int
+	Block   int
+	Page    int
+	LPA     int64 // logical page of a host request (-1 otherwise)
+	Pages   int   // host request length in pages (0 otherwise)
+}
+
+// Dur returns the event's service duration.
+func (e Event) Dur() sim.Micros { return e.End - e.Start }
+
+// GaugeKind labels a sampled device-level quantity.
+type GaugeKind uint8
+
+const (
+	// GaugeFreeBlocks is the device-wide reusable-block count.
+	GaugeFreeBlocks GaugeKind = iota
+	// GaugeLockQueue is the lock manager's pending-sanitize queue depth
+	// (pages awaiting a pLock/bLock decision) at request flush.
+	GaugeLockQueue
+	// GaugeValidPages is the count of live pages without a sanitization
+	// requirement.
+	GaugeValidPages
+	// GaugeSecuredPages is the count of live pages requiring sanitization
+	// on invalidation.
+	GaugeSecuredPages
+	// GaugeInvalidPages is the count of stale pages awaiting GC.
+	GaugeInvalidPages
+	// GaugeInsecureWindows is the number of secured pages currently
+	// invalidated but not yet physically destroyed (open T_insecure
+	// windows). The Recorder maintains it internally.
+	GaugeInsecureWindows
+	numGaugeKinds
+)
+
+// NumGaugeKinds is the number of distinct gauge kinds.
+const NumGaugeKinds = int(numGaugeKinds)
+
+func (k GaugeKind) String() string {
+	switch k {
+	case GaugeFreeBlocks:
+		return "free_blocks"
+	case GaugeLockQueue:
+		return "lock_queue"
+	case GaugeValidPages:
+		return "valid_pages"
+	case GaugeSecuredPages:
+		return "secured_pages"
+	case GaugeInvalidPages:
+		return "invalid_pages"
+	case GaugeInsecureWindows:
+		return "insecure_windows"
+	default:
+		return fmt.Sprintf("GaugeKind(%d)", uint8(k))
+	}
+}
+
+// Collector receives telemetry from the simulator. Implementations must
+// be cheap when disabled: every producer guards its calls with a single
+// Enabled() check captured at construction, and Event values are passed
+// on the stack, so a disabled collector costs one predictable branch.
+type Collector interface {
+	// Enabled reports whether the collector wants events at all.
+	// Producers cache the result; it must not change over a run.
+	Enabled() bool
+	// Op records one completed operation.
+	Op(ev Event)
+	// Gauge records one sample of a device-level quantity.
+	Gauge(kind GaugeKind, at sim.Micros, v float64)
+	// Invalidated reports that a live physical page became stale at the
+	// given simulated time. Secured pages open a T_insecure window.
+	Invalidated(page uint32, secured bool, at sim.Micros)
+	// Destroyed reports that a stale page's data physically ceased to be
+	// readable (lock, scrub, or erase completion), closing any open
+	// T_insecure window on the page.
+	Destroyed(page uint32, at sim.Micros)
+}
+
+// Nop is the disabled collector: every method is a no-op.
+type Nop struct{}
+
+// Enabled implements Collector.
+func (Nop) Enabled() bool { return false }
+
+// Op implements Collector.
+func (Nop) Op(Event) {}
+
+// Gauge implements Collector.
+func (Nop) Gauge(GaugeKind, sim.Micros, float64) {}
+
+// Invalidated implements Collector.
+func (Nop) Invalidated(uint32, bool, sim.Micros) {}
+
+// Destroyed implements Collector.
+func (Nop) Destroyed(uint32, sim.Micros) {}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNopCollectorIsDisabled(t *testing.T) {
+	var n Nop
+	if n.Enabled() {
+		t.Fatal("Nop.Enabled() must be false")
+	}
+	// The no-op methods must be callable without effect.
+	n.Op(Event{Class: OpRead, Start: 0, End: 80})
+	n.Gauge(GaugeFreeBlocks, 0, 1)
+	n.Invalidated(1, true, 0)
+	n.Destroyed(1, 10)
+}
+
+func TestOpClassStrings(t *testing.T) {
+	want := map[OpClass]string{
+		OpRead: "read", OpProgram: "program", OpErase: "erase",
+		OpPLock: "pLock", OpBLock: "bLock", OpScrub: "scrub",
+		OpXfer: "xfer", OpCopyback: "copyback", OpGC: "gc",
+		OpHostRead: "host_read", OpHostWrite: "host_write", OpHostTrim: "host_trim",
+	}
+	if len(want) != NumOpClasses {
+		t.Fatalf("test covers %d classes, enum has %d", len(want), NumOpClasses)
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("OpClass(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestRecorderCountsAndLatencies(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Chips: 2, Channels: 1})
+	r.Op(Event{Class: OpRead, Start: 100, End: 180, Queued: 90, Chip: 0, Channel: 0})
+	r.Op(Event{Class: OpRead, Start: 200, End: 280, Queued: 200, Chip: 1, Channel: 0})
+	r.Op(Event{Class: OpProgram, Start: 300, End: 1000, Queued: 300, Chip: 0, Channel: 0})
+
+	if got := r.Count(OpRead); got != 2 {
+		t.Fatalf("Count(OpRead) = %d, want 2", got)
+	}
+	if got := r.Count(OpProgram); got != 1 {
+		t.Fatalf("Count(OpProgram) = %d, want 1", got)
+	}
+	if got := r.TotalEvents(); got != 3 {
+		t.Fatalf("TotalEvents = %d, want 3", got)
+	}
+	if got := r.Horizon(); got != 1000 {
+		t.Fatalf("Horizon = %v, want 1000", got)
+	}
+	if got := r.Latencies(OpRead).Mean(); got != 80 {
+		t.Fatalf("read latency mean = %v, want 80", got)
+	}
+	// Only the first read waited (10µs); the mean wait spans both reads.
+	if got := r.Wait(OpRead).Mean(); got != 5 {
+		t.Fatalf("read wait mean = %v, want 5", got)
+	}
+	if got := r.LatencyHist(OpRead).N(); got != 2 {
+		t.Fatalf("read hist N = %d, want 2", got)
+	}
+}
+
+func TestRecorderBusyAttribution(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Chips: 2, Channels: 2})
+	// Chip-resident work on chip 0.
+	r.Op(Event{Class: OpRead, Start: 0, End: 80, Chip: 0, Channel: 0})
+	r.Op(Event{Class: OpProgram, Start: 80, End: 780, Chip: 0, Channel: 0})
+	// Bus transfer on channel 1.
+	r.Op(Event{Class: OpXfer, Start: 0, End: 40, Chip: 1, Channel: 1})
+	// FTL/host spans overlap chip occupancy; they must not add busy time.
+	r.Op(Event{Class: OpGC, Start: 0, End: 5000, Chip: 0, Channel: -1})
+	r.Op(Event{Class: OpHostWrite, Start: 0, End: 900, Chip: -1, Channel: -1})
+
+	cu := r.ChipUtilization()
+	// Horizon is 5000 (the GC span). Chip 0 busy: 80+700 = 780.
+	if got, want := cu[0], 780.0/5000.0; got != want {
+		t.Fatalf("chip 0 utilization = %v, want %v", got, want)
+	}
+	if cu[1] != 0 {
+		t.Fatalf("chip 1 utilization = %v, want 0", cu[1])
+	}
+	bu := r.ChannelUtilization()
+	if bu[0] != 0 || bu[1] != 40.0/5000.0 {
+		t.Fatalf("channel utilization = %v, want [0, 0.008]", bu)
+	}
+	// Out-of-range coordinates must not panic or be attributed.
+	r.Op(Event{Class: OpRead, Start: 0, End: 80, Chip: 99, Channel: 99})
+	r.Op(Event{Class: OpXfer, Start: 0, End: 40, Chip: -1, Channel: -1})
+}
+
+func TestRecorderMaxEventsDrops(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Chips: 1, Channels: 1, MaxEvents: 2})
+	for i := 0; i < 5; i++ {
+		r.Op(Event{Class: OpRead, Start: sim.Micros(i * 100), End: sim.Micros(i*100 + 80), Chip: 0})
+	}
+	if len(r.Events()) != 2 {
+		t.Fatalf("retained %d events, want 2", len(r.Events()))
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", r.Dropped())
+	}
+	// Statistics must keep accumulating past the cap.
+	if r.Count(OpRead) != 5 {
+		t.Fatalf("Count = %d, want 5", r.Count(OpRead))
+	}
+	if r.TotalEvents() != 5 {
+		t.Fatalf("TotalEvents = %d, want 5", r.TotalEvents())
+	}
+}
+
+func TestRecorderUnlimitedEvents(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Chips: 1, Channels: 1, MaxEvents: -1})
+	for i := 0; i < 100; i++ {
+		r.Op(Event{Class: OpRead, Start: 0, End: 80, Chip: 0})
+	}
+	if len(r.Events()) != 100 || r.Dropped() != 0 {
+		t.Fatalf("retained %d dropped %d, want 100/0", len(r.Events()), r.Dropped())
+	}
+}
+
+func TestTInsecureWindowPairing(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Chips: 1, Channels: 1})
+	// Insecure (non-secured) invalidations never open a window.
+	r.Invalidated(7, false, 100)
+	if r.OpenInsecure() != 0 {
+		t.Fatal("non-secured invalidation opened a window")
+	}
+	// Secured invalidation opens, lock completion closes.
+	r.Invalidated(1, true, 1000)
+	if r.OpenInsecure() != 1 {
+		t.Fatalf("OpenInsecure = %d, want 1", r.OpenInsecure())
+	}
+	// Re-invalidating the same page must not reset the window start.
+	r.Invalidated(1, true, 1500)
+	r.Destroyed(1, 2000)
+	if r.OpenInsecure() != 0 {
+		t.Fatalf("OpenInsecure = %d after close, want 0", r.OpenInsecure())
+	}
+	if got := r.TInsecure().Max(); got != 1000 {
+		t.Fatalf("T_insecure = %v, want 1000 (from the FIRST invalidation)", got)
+	}
+	// Destroying a page with no open window is a no-op.
+	r.Destroyed(42, 5000)
+	if r.TInsecure().N() != 1 {
+		t.Fatalf("TInsecure N = %d, want 1", r.TInsecure().N())
+	}
+}
+
+func TestTInsecureNegativeClampsToZero(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Chips: 1, Channels: 1})
+	// A GC relocation can record the invalidation (at the post-copy
+	// clock) after the lock (anchored at the request start) completed.
+	r.Invalidated(3, true, 900)
+	r.Destroyed(3, 500)
+	if got := r.TInsecure().Max(); got != 0 {
+		t.Fatalf("negative window = %v, want clamp to 0", got)
+	}
+}
+
+func TestRecorderGauges(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Chips: 1, Channels: 1})
+	r.Gauge(GaugeFreeBlocks, 100, 12)
+	r.Gauge(GaugeFreeBlocks, 200, 11)
+	r.Gauge(GaugeLockQueue, 100, 3)
+	if got := r.GaugeSeries(GaugeFreeBlocks).Len(); got != 2 {
+		t.Fatalf("free_blocks series len = %d, want 2", got)
+	}
+	if got := r.GaugeSeries(GaugeFreeBlocks).Last().V; got != 11 {
+		t.Fatalf("free_blocks last = %v, want 11", got)
+	}
+	if got := r.GaugeSeries(GaugeLockQueue).Len(); got != 1 {
+		t.Fatalf("lock_queue series len = %d, want 1", got)
+	}
+	// The insecure-window gauge tracks open windows automatically.
+	r.Invalidated(1, true, 300)
+	r.Invalidated(2, true, 400)
+	r.Destroyed(1, 500)
+	pts := r.GaugeSeries(GaugeInsecureWindows).Points()
+	if len(pts) != 3 {
+		t.Fatalf("insecure_windows points = %d, want 3", len(pts))
+	}
+	if pts[1].V != 2 || pts[2].V != 1 {
+		t.Fatalf("insecure_windows values = %v, want rise to 2 then fall to 1", pts)
+	}
+}
+
+func TestEventDur(t *testing.T) {
+	ev := Event{Start: 100, End: 180}
+	if ev.Dur() != 80 {
+		t.Fatalf("Dur = %v, want 80", ev.Dur())
+	}
+}
