@@ -7,6 +7,7 @@ package repro
 // reproduction harness at test scale (the cmd/ tools run larger scales).
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/chipchar"
@@ -407,7 +408,7 @@ func BenchmarkFlashOps(b *testing.B) {
 }
 
 func benchName(prefix string, v int) string {
-	return prefix + "=" + string(rune('0'+v/10)) + string(rune('0'+v%10))
+	return fmt.Sprintf("%s=%02d", prefix, v)
 }
 
 // BenchmarkAblationWearLeveling contrasts LIFO free-block reuse with

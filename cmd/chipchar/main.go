@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	chipchar [-fig 6|9|10|11|12|all] [-wls N] [-seed S] [-csv]
+//	chipchar [-fig 6|9|10|11|12|all] [-wls N] [-seed S] [-parallel N] [-csv]
+//
+// -parallel spreads the wordline sampling of the Monte-Carlo figures
+// across N workers (default: one per CPU). Output is bit-identical for
+// every worker count: shards own fixed wordline ranges with RNG streams
+// derived from the seed, so the split is a property of the sampling
+// scheme, not the machine.
 package main
 
 import (
@@ -20,10 +26,11 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 6, 9, 10, 11, 12 or all")
 	wls := flag.Int("wls", 20000, "wordlines sampled per scenario")
 	seed := flag.Int64("seed", 1, "model RNG seed")
+	parallelN := flag.Int("parallel", 0, "worker count for wordline sampling (<=0: one per CPU)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	flag.Parse()
 
-	cfg := chipchar.Config{WLs: *wls, Seed: *seed}
+	cfg := chipchar.Config{WLs: *wls, Seed: *seed, Workers: *parallelN}
 	run := map[string]func(chipchar.Config, bool){
 		"6":  printFig6,
 		"9":  printFig9,

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	secssd-bench [-fig 14a|14b|14c|headline|all]
-//	             [-scale small|default|paper]
+//	             [-scale small|default|paper] [-parallel N]
 //	             [-workloads MailServer,DBServer,FileServer,Mobile]
-//	             [-csv]
+//	             [-csv] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -parallel runs the independent workload×policy simulations on N
+// workers (default: one per CPU); results are bit-identical to serial.
 //
 // Tracing mode (runs ONE workload×policy instead of the figure sweep):
 //
@@ -31,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -38,13 +42,27 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "14a, 14b, 14c, headline, or all")
 	scaleName := flag.String("scale", "default", "small, default, or paper")
+	parallelN := flag.Int("parallel", 0, "worker count for independent simulations (<=0: one per CPU)")
 	workloads := flag.String("workloads", "", "comma-separated subset of workloads (default all four)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	traceFile := flag.String("trace", "", "capture one traced run and write Chrome trace_event JSON here")
 	traceJSONL := flag.String("trace-jsonl", "", "also write the raw event log as JSONL here")
 	statsJSON := flag.String("stats-json", "", "write the telemetry snapshot JSON here")
 	tracePolicy := flag.String("trace-policy", "secSSD", "policy for the traced run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secssd-bench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	die := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
 
 	var sc experiment.Scale
 	switch *scaleName {
@@ -56,7 +74,7 @@ func main() {
 		sc = experiment.PaperScale()
 	default:
 		fmt.Fprintf(os.Stderr, "secssd-bench: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		die(2)
 	}
 
 	var profiles []workload.Profile
@@ -65,7 +83,7 @@ func main() {
 			p, err := workload.ByName(strings.TrimSpace(name))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "secssd-bench:", err)
-				os.Exit(2)
+				die(2)
 			}
 			profiles = append(profiles, p)
 		}
@@ -74,7 +92,7 @@ func main() {
 	if *traceFile != "" || *traceJSONL != "" || *statsJSON != "" {
 		if err := runTraced(sc, profiles, *tracePolicy, *traceFile, *traceJSONL, *statsJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "secssd-bench:", err)
-			os.Exit(1)
+			die(1)
 		}
 		return
 	}
@@ -83,10 +101,10 @@ func main() {
 	var rows []experiment.Fig14Row
 	if needAB {
 		var err error
-		rows, err = experiment.Figure14(sc, profiles)
+		rows, err = experiment.Figure14Parallel(sc, profiles, *parallelN)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "secssd-bench:", err)
-			os.Exit(1)
+			die(1)
 		}
 	}
 	if *fig == "all" || *fig == "14a" {
@@ -96,10 +114,10 @@ func main() {
 		printFig14b(rows, *csv)
 	}
 	if *fig == "all" || *fig == "14c" {
-		pts, err := experiment.Figure14c(sc, profiles, nil)
+		pts, err := experiment.Figure14cParallel(sc, profiles, nil, *parallelN)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "secssd-bench:", err)
-			os.Exit(1)
+			die(1)
 		}
 		printFig14c(pts, *csv)
 	}

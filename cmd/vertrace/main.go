@@ -6,7 +6,11 @@
 // Usage:
 //
 //	vertrace [-workloads Mobile,MailServer,DBServer] [-capacity-mib N]
-//	         [-writes-gib N] [-timeplot] [-seed S]
+//	         [-writes-gib N] [-timeplot] [-seed S] [-parallel N]
+//
+// -parallel runs the per-workload studies concurrently (default: one
+// worker per CPU); each study is independently seeded, so the table is
+// bit-identical to a serial run.
 //
 // The paper uses a 16-GiB device with 4-KiB pages and 64 GiB of writes;
 // the defaults here are scaled down for minute-scale runs and can be
@@ -29,6 +33,7 @@ func main() {
 	writesMiB := flag.Int64("writes-mib", 1024, "study write volume in MiB (paper: 65536)")
 	timeplot := flag.Bool("timeplot", false, "also emit Fig. 4 time plots for representative files")
 	seed := flag.Int64("seed", 11, "workload seed")
+	parallelN := flag.Int("parallel", 0, "worker count for the per-workload studies (<=0: one per CPU)")
 	flag.Parse()
 
 	const pageBytes = 4096
@@ -41,24 +46,34 @@ func main() {
 	fmt.Printf("%-12s | %6s %6s %6s %6s | %6s %6s %6s %6s\n",
 		"Workload", "VAFavg", "VAFmax", "Tavg", "Tmax", "VAFavg", "VAFmax", "Tavg", "Tmax")
 
+	var profiles []workload.Profile
 	for _, name := range strings.Split(*workloads, ",") {
 		prof, err := workload.ByName(strings.TrimSpace(name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vertrace:", err)
 			os.Exit(2)
 		}
-		res, err := vertrace.RunStudy(vertrace.StudyConfig{
+		profiles = append(profiles, prof)
+	}
+
+	cfgs := make([]vertrace.StudyConfig, len(profiles))
+	for i, prof := range profiles {
+		cfgs[i] = vertrace.StudyConfig{
 			Workload:      prof,
 			CapacityPages: capacityPages,
 			PageBytes:     pageBytes,
 			FillFraction:  0.75,
 			StudyPages:    studyPages,
 			Seed:          *seed,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vertrace:", err)
-			os.Exit(1)
 		}
+	}
+	results, err := vertrace.RunStudies(cfgs, *parallelN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vertrace:", err)
+		os.Exit(1)
+	}
+
+	for i, res := range results {
 		row := res.Row
 		fmt.Printf("%-12s | %6.2f %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f %6.2f\n",
 			row.Workload,
@@ -66,7 +81,7 @@ func main() {
 			row.MV.VAFAvg, row.MV.VAFMax, row.MV.TInsecAvg, row.MV.TInsecMax)
 
 		if *timeplot {
-			emitTimeplots(prof, capacityPages, studyPages, *seed, res)
+			emitTimeplots(profiles[i], capacityPages, studyPages, *seed, res)
 		}
 	}
 	fmt.Println("\npaper's Table 1 (for shape comparison):")

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/nand/vth"
+	"repro/internal/parallel"
 )
 
 // Config sizes the sampled populations.
@@ -27,12 +28,52 @@ type Config struct {
 	// tests 3.69M; the default CLI uses 20k, tests less).
 	WLs  int
 	Seed int64
+	// Workers bounds the Monte-Carlo fan-out (<= 0: one per CPU). The
+	// result is bit-identical for every worker count: sampling is split
+	// into fixed-width wordline shards with per-shard RNGs derived from
+	// Seed, and the partial samples are merged in shard order.
+	Workers int
 }
 
 // DefaultConfig returns a population large enough for stable statistics.
 func DefaultConfig() Config { return Config{WLs: 20000, Seed: 1} }
 
-func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+// shardWLs is the fixed shard width of the Monte-Carlo campaigns. It is
+// a property of the sampling scheme, not of the machine: the shard
+// layout (and therefore every drawn value) depends only on WLs and Seed,
+// never on the worker count.
+const shardWLs = 512
+
+// shardRange returns shard s's wordline interval [lo, hi).
+func shardRange(s, wls int) (lo, hi int) {
+	lo = s * shardWLs
+	hi = lo + shardWLs
+	if hi > wls {
+		hi = wls
+	}
+	return lo, hi
+}
+
+func numShards(wls int) int { return (wls + shardWLs - 1) / shardWLs }
+
+// mix64 is the splitmix64 finalizer, used to derive well-separated
+// per-shard seeds from (Seed, stream, shard).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// shardSeed derives the RNG seed of one shard of one sampling stream
+// (streams keep e.g. Figure 6's MLC and TLC populations independent).
+func shardSeed(seed int64, stream, shard uint64) int64 {
+	z := mix64(uint64(seed) + 0x9E3779B97F4A7C15*(stream+1))
+	return int64(mix64(z + 0x9E3779B97F4A7C15*(shard+1)))
+}
+
+func shardRNG(seed int64, stream, shard uint64) *rand.Rand {
+	return rand.New(rand.NewSource(shardSeed(seed, stream, shard)))
+}
 
 // ---------------------------------------------------------------------
 // Figure 6 — OSR reliability
@@ -56,18 +97,43 @@ type Fig6Result struct {
 // Figure6 reproduces Fig. 6: program a wordline population, OSR-sanitize
 // sibling pages, and measure MSB-page RBER initially, right after OSR,
 // and after a 1-year retention at the technology's rated endurance
-// (3K P/E for MLC, 1K for TLC).
+// (3K P/E for MLC, 1K for TLC). The population is sampled in fixed-width
+// wordline shards (see shardWLs) so the campaign parallelizes without
+// changing a single drawn value.
 func Figure6(cfg Config) Fig6Result {
-	rng := cfg.rng()
-	sample := func(m *vth.Model, pe int, sanitize []vth.PageKind) []Fig6Box {
+	sample := func(stream uint64, newModel func() *vth.Model, pe int, sanitize []vth.PageKind) []Fig6Box {
+		type partial struct {
+			init, osr, ret []float64
+		}
+		// fn never fails, so Map cannot return an error here.
+		parts, _ := parallel.Map(cfg.Workers, numShards(cfg.WLs), func(s int) (partial, error) {
+			// Per-shard model and RNG: nothing is shared across workers.
+			m := newModel()
+			rng := shardRNG(cfg.Seed, stream, uint64(s))
+			lo, hi := shardRange(s, cfg.WLs)
+			p := partial{
+				init: make([]float64, 0, hi-lo),
+				osr:  make([]float64, 0, hi-lo),
+				ret:  make([]float64, 0, hi-lo),
+			}
+			for i := lo; i < hi; i++ {
+				c := vth.Condition{PECycles: pe, WLVariation: m.SampleWLVariation(rng)}
+				p.init = append(p.init, m.NormalizedPageRBER(vth.MSB, c))
+				p.osr = append(p.osr, m.OSRPageRBER(vth.MSB, c, sanitize)/m.ECCLimitRBER)
+				cr := c
+				cr.RetentionDays = 365
+				p.ret = append(p.ret, m.OSRPageRBER(vth.MSB, cr, sanitize)/m.ECCLimitRBER)
+			}
+			return p, nil
+		})
 		var init, osr, ret metrics.Sample
-		for i := 0; i < cfg.WLs; i++ {
-			c := vth.Condition{PECycles: pe, WLVariation: m.SampleWLVariation(rng)}
-			init.Add(m.NormalizedPageRBER(vth.MSB, c))
-			osr.Add(m.OSRPageRBER(vth.MSB, c, sanitize) / m.ECCLimitRBER)
-			cr := c
-			cr.RetentionDays = 365
-			ret.Add(m.OSRPageRBER(vth.MSB, cr, sanitize) / m.ECCLimitRBER)
+		init.Reserve(cfg.WLs)
+		osr.Reserve(cfg.WLs)
+		ret.Reserve(cfg.WLs)
+		for _, p := range parts {
+			init.AddAll(p.init...)
+			osr.AddAll(p.osr...)
+			ret.AddAll(p.ret...)
 		}
 		mk := func(label string, s *metrics.Sample) Fig6Box {
 			return Fig6Box{Label: label, Box: s.Box(), FracAboveLimit: s.FractionAbove(1)}
@@ -79,8 +145,8 @@ func Figure6(cfg Config) Fig6Result {
 		}
 	}
 	return Fig6Result{
-		MLC: sample(vth.NewMLC(), 3000, []vth.PageKind{vth.LSB}),
-		TLC: sample(vth.NewTLC(), 1000, []vth.PageKind{vth.LSB, vth.CSB}),
+		MLC: sample(0, vth.NewMLC, 3000, []vth.PageKind{vth.LSB}),
+		TLC: sample(1, vth.NewTLC, 1000, []vth.PageKind{vth.LSB, vth.CSB}),
 	}
 }
 
@@ -384,25 +450,42 @@ type FlagRetentionSample struct {
 	MajorityFlipPr float64
 }
 
-// SampleFlagRetention draws cfg.WLs flags of k cells each.
+// SampleFlagRetention draws cfg.WLs flags of k cells each, sharded the
+// same way as Figure6 (stream 2) so the draw is worker-count invariant.
 func SampleFlagRetention(cfg Config, k int, v, t, days float64, peCycles int) FlagRetentionSample {
-	fm := vth.DefaultFlagModel()
-	rng := cfg.rng()
-	out := FlagRetentionSample{V: v, T: t, Days: days, Flags: cfg.WLs}
-	var totalErrs int
-	for i := 0; i < cfg.WLs; i++ {
-		errs := 0
-		for c := 0; c < k; c++ {
-			if fm.SampleCellVth(v, t, days, peCycles, rng) <= fm.ReadRef {
-				errs++
+	type partial struct {
+		totalErrs, maxErrs, flips int
+	}
+	// fn never fails, so Map cannot return an error here.
+	parts, _ := parallel.Map(cfg.Workers, numShards(cfg.WLs), func(s int) (partial, error) {
+		fm := vth.DefaultFlagModel()
+		rng := shardRNG(cfg.Seed, 2, uint64(s))
+		lo, hi := shardRange(s, cfg.WLs)
+		var p partial
+		for i := lo; i < hi; i++ {
+			errs := 0
+			for c := 0; c < k; c++ {
+				if fm.SampleCellVth(v, t, days, peCycles, rng) <= fm.ReadRef {
+					errs++
+				}
+			}
+			p.totalErrs += errs
+			if errs > p.maxErrs {
+				p.maxErrs = errs
+			}
+			if errs*2 > k {
+				p.flips++
 			}
 		}
-		totalErrs += errs
-		if errs > out.MaxErrors {
-			out.MaxErrors = errs
-		}
-		if errs*2 > k {
-			out.MajorityFlips++
+		return p, nil
+	})
+	out := FlagRetentionSample{V: v, T: t, Days: days, Flags: cfg.WLs}
+	var totalErrs int
+	for _, p := range parts {
+		totalErrs += p.totalErrs
+		out.MajorityFlips += p.flips
+		if p.maxErrs > out.MaxErrors {
+			out.MaxErrors = p.maxErrs
 		}
 	}
 	if cfg.WLs > 0 {

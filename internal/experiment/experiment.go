@@ -13,6 +13,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/nand"
 	"repro/internal/nand/vth"
+	"repro/internal/parallel"
 	"repro/internal/sanitize"
 	"repro/internal/ssd"
 	"repro/internal/trace"
@@ -219,11 +220,35 @@ type Fig14Row struct {
 
 // Figure14 runs all four workloads over all five configurations.
 func Figure14(sc Scale, profiles []workload.Profile) ([]Fig14Row, error) {
+	return Figure14Parallel(sc, profiles, 1)
+}
+
+// Figure14Parallel fans the (workload × policy) grid across up to
+// workers goroutines (<= 0: one per CPU). Every cell is an independent
+// seeded simulation — its own device, chips, and RNGs — and results are
+// gathered in grid order, so the rows are bit-identical to the serial
+// path for any worker count.
+func Figure14Parallel(sc Scale, profiles []workload.Profile, workers int) ([]Fig14Row, error) {
 	if profiles == nil {
 		profiles = workload.Profiles()
 	}
+	nPol := len(Policies())
+	runs, err := parallel.Map(workers, len(profiles)*nPol, func(i int) (Run, error) {
+		prof := profiles[i/nPol]
+		// Fresh policy instances per cell: a policy must never be shared
+		// between concurrently running devices.
+		policy := Policies()[i%nPol]
+		run, err := Execute(prof, policy, 1.0, sc)
+		if err != nil {
+			return Run{}, fmt.Errorf("%s/%s: %w", prof.Name, policy.Name(), err)
+		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig14Row
-	for _, prof := range profiles {
+	for pi, prof := range profiles {
 		row := Fig14Row{
 			Workload: prof.Name,
 			IOPS:     map[string]float64{},
@@ -231,11 +256,8 @@ func Figure14(sc Scale, profiles []workload.Profile) ([]Fig14Row, error) {
 			Runs:     map[string]Run{},
 		}
 		var base Run
-		for _, policy := range Policies() {
-			run, err := Execute(prof, policy, 1.0, sc)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", prof.Name, policy.Name(), err)
-			}
+		for k := 0; k < nPol; k++ {
+			run := runs[pi*nPol+k]
 			row.Runs[run.Policy] = run
 			if run.Policy == "baseline" {
 				base = run
@@ -264,23 +286,37 @@ type Fig14cPoint struct {
 
 // Figure14c sweeps the secured-data fraction for secSSD.
 func Figure14c(sc Scale, profiles []workload.Profile, fractions []float64) ([]Fig14cPoint, error) {
+	return Figure14cParallel(sc, profiles, fractions, 1)
+}
+
+// Figure14cParallel is Figure14c with the (workload × fraction) grid —
+// plus each workload's baseline run — fanned across up to workers
+// goroutines, bit-identical to the serial sweep.
+func Figure14cParallel(sc Scale, profiles []workload.Profile, fractions []float64, workers int) ([]Fig14cPoint, error) {
 	if profiles == nil {
 		profiles = workload.Profiles()
 	}
 	if fractions == nil {
 		fractions = []float64{0.6, 0.7, 0.8, 0.9, 1.0}
 	}
-	var pts []Fig14cPoint
-	for _, prof := range profiles {
-		base, err := Execute(prof, sanitize.Baseline(), 1.0, sc)
-		if err != nil {
-			return nil, err
+	// Per profile: one baseline cell followed by the fraction sweep, in
+	// the same order the serial loop ran them.
+	per := 1 + len(fractions)
+	runs, err := parallel.Map(workers, len(profiles)*per, func(i int) (Run, error) {
+		prof := profiles[i/per]
+		if k := i % per; k > 0 {
+			return Execute(prof, sanitize.SecSSD(), fractions[k-1], sc)
 		}
-		for _, frac := range fractions {
-			run, err := Execute(prof, sanitize.SecSSD(), frac, sc)
-			if err != nil {
-				return nil, err
-			}
+		return Execute(prof, sanitize.Baseline(), 1.0, sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pts []Fig14cPoint
+	for pi, prof := range profiles {
+		base := runs[pi*per]
+		for fi, frac := range fractions {
+			run := runs[pi*per+1+fi]
 			norm := 0.0
 			if base.IOPS() > 0 {
 				norm = run.IOPS() / base.IOPS()

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// parTestScale is a cut-down SmallScale so the serial+parallel double
+// run stays fast.
+func parTestScale() Scale {
+	sc := SmallScale()
+	sc.StudyPages = 1500
+	return sc
+}
+
+// TestFigure14WorkerInvariant is the golden determinism check for the
+// system-level grid: -parallel 4 must reproduce the serial rows exactly
+// (reflect.DeepEqual down to every latency percentile in the reports).
+func TestFigure14WorkerInvariant(t *testing.T) {
+	profiles := []workload.Profile{workload.MailServer()}
+	serial, err := Figure14Parallel(parTestScale(), profiles, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure14Parallel(parTestScale(), profiles, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("Figure14 differs between 1 and 4 workers:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+func TestFigure14cWorkerInvariant(t *testing.T) {
+	profiles := []workload.Profile{workload.Mobile()}
+	fractions := []float64{0.6, 1.0}
+	serial, err := Figure14cParallel(parTestScale(), profiles, fractions, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure14cParallel(parTestScale(), profiles, fractions, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("Figure14c differs between 1 and 3 workers:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}

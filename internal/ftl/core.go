@@ -2,6 +2,7 @@ package ftl
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/blockio"
 	"repro/internal/sim"
@@ -353,9 +354,25 @@ func (f *FTL) PendSanitize(p PPA) {
 	f.pendingSanitize[b] = append(f.pendingSanitize[b], p)
 }
 
-// DrainPending returns and clears the pending sanitize sets.
-func (f *FTL) DrainPending() map[int][]PPA {
-	out := f.pendingSanitize
+// PendingBlock is one block's queued secured invalidations.
+type PendingBlock struct {
+	Block int
+	Pages []PPA // in invalidation order
+}
+
+// DrainPending returns and clears the pending sanitize sets, ordered by
+// block index. The deterministic order matters: policies issue lock and
+// erase commands while iterating, and map-order iteration would make
+// simulated timing vary run to run.
+func (f *FTL) DrainPending() []PendingBlock {
+	if len(f.pendingSanitize) == 0 {
+		return nil
+	}
+	out := make([]PendingBlock, 0, len(f.pendingSanitize))
+	for b, pages := range f.pendingSanitize {
+		out = append(out, PendingBlock{Block: b, Pages: pages})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Block < out[j].Block })
 	f.pendingSanitize = make(map[int][]PPA)
 	return out
 }

@@ -89,6 +89,18 @@ func (s *Sample) AddAll(xs ...float64) {
 	s.sorted = false
 }
 
+// Reserve grows the backing storage so at least n further Adds proceed
+// without reallocation. It never shrinks and does not change N(). The
+// Monte-Carlo campaigns size their samples up front with it.
+func (s *Sample) Reserve(n int) {
+	if cap(s.xs)-len(s.xs) >= n {
+		return
+	}
+	xs := make([]float64, len(s.xs), len(s.xs)+n)
+	copy(xs, s.xs)
+	s.xs = xs
+}
+
 // N returns the number of values.
 func (s *Sample) N() int { return len(s.xs) }
 

@@ -217,6 +217,45 @@ type Chip struct {
 	eccLimit     float64 // per-page RBER limit when injecting
 
 	opCount [opKinds]uint64
+
+	// Hot-path scratch and recycle pools. A chip is driven by one
+	// goroutine at a time (the device model serializes operations per
+	// chip), so a single scratch buffer per chip suffices.
+	readBuf  []byte      // backs ReadResult.Data — see Read's aliasing rule
+	agedBuf  []float64   // pageLockedAt's decayed-flag scratch
+	pagePool [][]byte    // retired page payload buffers, refilled by Erase
+	flagPool [][]float64 // retired pAP flag-cell slices, refilled by Erase
+}
+
+// emptyPage marks a programmed page with a zero-length payload (distinct
+// from nil = erased). It is shared: zero-length slices are immutable.
+var emptyPage = []byte{}
+
+// takePage returns a payload buffer of length n, recycling a retired
+// page buffer when one fits. Contents are undefined; callers overwrite.
+func (c *Chip) takePage(n int) []byte {
+	if n == 0 {
+		return emptyPage
+	}
+	if k := len(c.pagePool); k > 0 && cap(c.pagePool[k-1]) >= n {
+		buf := c.pagePool[k-1][:n]
+		c.pagePool[k-1] = nil
+		c.pagePool = c.pagePool[:k-1]
+		return buf
+	}
+	// Full page capacity so the buffer is reusable for any later payload.
+	return make([]byte, n, c.geo.PageBytes)
+}
+
+// takeFlags returns a flag-cell slice of length k = FlagCells.
+func (c *Chip) takeFlags() []float64 {
+	if k := len(c.flagPool); k > 0 {
+		cells := c.flagPool[k-1]
+		c.flagPool[k-1] = nil
+		c.flagPool = c.flagPool[:k-1]
+		return cells
+	}
+	return make([]float64, c.geo.FlagCells)
 }
 
 // Option configures a Chip.
@@ -267,6 +306,8 @@ func New(geo Geometry, opts ...Option) (*Chip, error) {
 		blockT:   300,
 		rng:      rand.New(rand.NewSource(1)),
 		eccLimit: model.ECCLimitRBER,
+		readBuf:  make([]byte, geo.PageBytes),
+		agedBuf:  make([]float64, geo.FlagCells),
 	}
 	ppb := geo.PagesPerBlock()
 	for b := range c.blocks {

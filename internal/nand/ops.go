@@ -14,6 +14,12 @@ type ReadResult struct {
 	// Data is the page payload. For a locked page or block it is all
 	// zeros, matching the paper's "a read request to a sanitized page
 	// always returns data with all bits set to 0".
+	//
+	// Aliasing rule: Data points into a per-chip scratch buffer and is
+	// only valid until the next operation on the same chip. Callers must
+	// either consume it immediately (compare, stream out) or copy it;
+	// Program copies its payload, so the common Read→Program relocation
+	// chain is safe without an extra copy.
 	Data []byte
 	// Latency is tREAD (the lock check happens during the normal read
 	// flow, adding no latency).
@@ -41,14 +47,14 @@ func (c *Chip) Read(a PageAddr, now sim.Micros) (ReadResult, error) {
 
 	// bAP check first (Fig. 7(b)): a disabled block blocks every page.
 	if c.blockLockedAt(blk, day) {
-		res.Data = make([]byte, c.zeroLenFor(blk, a.Page))
+		res.Data = c.zeroScratch(c.zeroLenFor(blk, a.Page))
 		return res, ErrBlockLocked
 	}
 	// pAP check (Fig. 7(a)): the flag is read from the spare area
 	// concurrently with the data, decided by the k-cell majority circuit.
 	wl, slot := c.wlOf(a.Page)
 	if c.pageLockedAt(&blk.wls[wl], slot, day) {
-		res.Data = make([]byte, c.zeroLenFor(blk, a.Page))
+		res.Data = c.zeroScratch(c.zeroLenFor(blk, a.Page))
 		return res, ErrPageLocked
 	}
 
@@ -67,7 +73,7 @@ func (c *Chip) Read(a PageAddr, now sim.Micros) (ReadResult, error) {
 		res.Data = nil
 		return res, nil
 	}
-	data := make([]byte, len(blk.pages[a.Page]))
+	data := c.readBuf[:len(blk.pages[a.Page])]
 	copy(data, blk.pages[a.Page])
 
 	if c.injectErrors {
@@ -88,6 +94,13 @@ func (c *Chip) zeroLenFor(blk *block, page int) int {
 		return len(blk.pages[page])
 	}
 	return 0
+}
+
+// zeroScratch returns the first n bytes of the read scratch, zeroed.
+func (c *Chip) zeroScratch(n int) []byte {
+	buf := c.readBuf[:n]
+	clear(buf)
+	return buf
 }
 
 // blockLockedAt evaluates the bAP flag: the SSL center Vth (after
@@ -116,7 +129,7 @@ func (c *Chip) pageLockedAt(wl *wordline, slot int, day float64) bool {
 	}
 	decay := c.flagModel.ProgrammedMean(c.plockV, c.plockT) -
 		c.flagModel.MeanAfter(c.plockV, c.plockT, elapsed, 0)
-	aged := make([]float64, len(cells))
+	aged := c.agedBuf[:len(cells)]
 	for i, v := range cells {
 		aged[i] = v - decay
 	}
@@ -212,7 +225,7 @@ func (c *Chip) Program(a PageAddr, data []byte, now sim.Micros) (sim.Micros, err
 		return 0, fmt.Errorf("%w: page %d before pointer %d", ErrOutOfOrder, a.Page, blk.writePtr)
 	}
 	c.opCount[OpProgram]++
-	stored := make([]byte, len(data))
+	stored := c.takePage(len(data))
 	copy(stored, data)
 	blk.pages[a.Page] = stored
 	blk.pageBits[a.Page] = len(data)
@@ -238,12 +251,20 @@ func (c *Chip) Erase(blockIdx int, now sim.Micros) (sim.Micros, error) {
 	c.opCount[OpErase]++
 	blk := &c.blocks[blockIdx]
 	for i := range blk.pages {
+		// Retire payload buffers into the recycle pool for later
+		// Program/Scrub calls instead of dropping them on the GC.
+		if cap(blk.pages[i]) > 0 {
+			c.pagePool = append(c.pagePool, blk.pages[i][:0])
+		}
 		blk.pages[i] = nil
 		blk.pageBits[i] = 0
 	}
 	for w := range blk.wls {
 		wl := &blk.wls[w]
 		for s := range wl.flags {
+			if wl.flags[s] != nil {
+				c.flagPool = append(c.flagPool, wl.flags[s])
+			}
 			wl.flags[s] = nil
 			wl.lockDay[s] = 0
 		}
@@ -274,7 +295,7 @@ func (c *Chip) PLock(a PageAddr, now sim.Micros) (sim.Micros, error) {
 	wl, slot := c.wlOf(a.Page)
 	w := &blk.wls[wl]
 	if w.flags[slot] == nil {
-		cells := make([]float64, c.geo.FlagCells)
+		cells := c.takeFlags()
 		for i := range cells {
 			cells[i] = c.flagModel.SampleCellVth(c.plockV, c.plockT, 0, blk.peCycles, c.rng)
 		}
@@ -318,7 +339,7 @@ func (c *Chip) Scrub(a PageAddr, now sim.Micros) (sim.Micros, error) {
 	for slot := 0; slot < bits; slot++ {
 		page := wl*bits + slot
 		if blk.pages[page] != nil {
-			blk.pages[page] = make([]byte, blk.pageBits[page]) // reads as zeros
+			clear(blk.pages[page]) // reads as zeros; buffers are chip-private
 		}
 	}
 	// Scrubbing programs every cell of the wordline, so any not-yet-
@@ -327,7 +348,7 @@ func (c *Chip) Scrub(a PageAddr, now sim.Micros) (sim.Micros, error) {
 	wlEnd := (wl + 1) * bits
 	if blk.writePtr > wl*bits && blk.writePtr < wlEnd {
 		for page := blk.writePtr; page < wlEnd; page++ {
-			blk.pages[page] = []byte{}
+			blk.pages[page] = emptyPage
 			blk.pageBits[page] = 0
 		}
 		blk.writePtr = wlEnd
@@ -403,7 +424,13 @@ func (c *Chip) ForensicDump(blockIdx int, now sim.Micros) [][]byte {
 		res, err := c.Read(PageAddr{Block: blockIdx, Page: p}, now)
 		switch err {
 		case nil, ErrPageLocked, ErrBlockLocked:
-			out[p] = res.Data
+			if res.Data != nil {
+				// The dump outlives subsequent reads, so it cannot
+				// alias the chip's read scratch: copy each page.
+				cp := make([]byte, len(res.Data))
+				copy(cp, res.Data)
+				out[p] = cp
+			}
 		default:
 			out[p] = nil
 		}

@@ -225,7 +225,14 @@ func (p *RawPort) execRead() error {
 		return err
 	}
 	res, err := p.chip.Read(a, p.now)
-	p.dataOut = res.Data
+	// res.Data aliases the chip's read scratch, but the port streams
+	// data-out byte-by-byte across later cycles — latch a copy into the
+	// port's own (reused) buffer.
+	if res.Data == nil {
+		p.dataOut = nil
+	} else {
+		p.dataOut = append(p.dataOut[:0], res.Data...)
+	}
 	p.dataPos = 0
 	switch err {
 	case nil:

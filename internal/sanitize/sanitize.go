@@ -53,18 +53,18 @@ func (e erSSD) Invalidate(f *ftl.FTL, p ftl.PPA, secured bool) {
 }
 
 func (e erSSD) Flush(f *ftl.FTL) {
-	for block, pages := range f.DrainPending() {
+	for _, pb := range f.DrainPending() {
 		// The block may already have been erased (GC, or a reentrant
 		// flush from a relocation-triggered GC); skip unless some queued
 		// page still holds stale data.
-		if !anyStillInvalid(f, pages) {
+		if !anyStillInvalid(f, pb.Pages) {
 			continue
 		}
 		// Every live page must first be copied elsewhere (the paper's
 		// footnote assumes erSSD may erase immediately without
 		// open-interval penalties).
-		f.RelocateLive(block)
-		f.EraseNow(block)
+		f.RelocateLive(pb.Block)
+		f.EraseNow(pb.Block)
 	}
 }
 
@@ -92,12 +92,12 @@ func (s scrSSD) Invalidate(f *ftl.FTL, p ftl.PPA, secured bool) {
 }
 
 func (s scrSSD) Flush(f *ftl.FTL) {
-	for _, pages := range f.DrainPending() {
+	for _, pb := range f.DrainPending() {
 		// Group the block's queued pages by wordline: one scrub per WL,
 		// relocating the WL's still-live siblings first (two extra reads
 		// + two extra writes in the worst case, §4).
 		seenWL := map[ftl.PPA]bool{}
-		for _, p := range pages {
+		for _, p := range pb.Pages {
 			wl := f.Geometry().WLSiblings(p)[0]
 			if seenWL[wl] {
 				continue
@@ -150,16 +150,16 @@ func (s secSSD) Flush(f *ftl.FTL) {
 		return
 	}
 	t := f.LockTiming()
-	for block, pages := range pending {
+	for _, pb := range pending {
 		// §6 decision rule: bLock when 1) every remaining page of the
 		// block is stale and 2) locking the queued pages individually
 		// would take longer than one bLock.
-		estPLock := int64(len(pages)) * int64(t.PLock)
-		if s.useBLock && f.BlockFullyStale(block) && estPLock > int64(t.BLock) {
-			f.IssueBLock(block, pages)
+		estPLock := int64(len(pb.Pages)) * int64(t.PLock)
+		if s.useBLock && f.BlockFullyStale(pb.Block) && estPLock > int64(t.BLock) {
+			f.IssueBLock(pb.Block, pb.Pages)
 			continue
 		}
-		for _, p := range pages {
+		for _, p := range pb.Pages {
 			f.IssuePLock(p)
 		}
 	}

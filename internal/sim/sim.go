@@ -16,10 +16,7 @@
 //     time and no earlier than the end of the previously reserved interval.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Micros is a simulated timestamp or duration in microseconds.
 type Micros int64
@@ -58,24 +55,58 @@ type scheduledEvent struct {
 	call Event
 }
 
-type eventQueue []*scheduledEvent
+// eventQueue is a binary min-heap ordered by (at, seq), stored by value
+// in a plain slice. Scheduling an event costs no allocation beyond
+// amortized slice growth: container/heap would box each element through
+// `any` and force a per-push *scheduledEvent allocation, which dominated
+// the kernel's profile.
+type eventQueue []scheduledEvent
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*scheduledEvent)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+
+func (q *eventQueue) push(ev scheduledEvent) {
+	h := append(*q, ev)
+	*q = h
+	// Sift up.
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() scheduledEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = scheduledEvent{} // release the Event closure to the GC
+	h = h[:n]
+	*q = h
+	// Sift down.
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && h.less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -107,7 +138,7 @@ func (e *Engine) At(t Micros, ev Event) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &scheduledEvent{at: t, seq: e.seq, call: ev})
+	e.queue.push(scheduledEvent{at: t, seq: e.seq, call: ev})
 }
 
 // After schedules ev to fire d microseconds from now.
@@ -119,7 +150,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*scheduledEvent)
+	ev := e.queue.pop()
 	e.now = ev.at
 	e.fired++
 	ev.call(e)

@@ -1,0 +1,46 @@
+package vertrace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRunStudiesWorkerInvariant checks the batch API returns exactly
+// what serial RunStudy calls produce, in input order.
+func TestRunStudiesWorkerInvariant(t *testing.T) {
+	mkCfg := func(p workload.Profile) StudyConfig {
+		return StudyConfig{
+			Workload:      p,
+			CapacityPages: 8 * 1024,
+			PageBytes:     4096,
+			FillFraction:  0.7,
+			StudyPages:    8 * 1024,
+			Seed:          3,
+		}
+	}
+	cfgs := []StudyConfig{mkCfg(workload.Mobile()), mkCfg(workload.MailServer())}
+
+	var serial []*StudyResult
+	for _, cfg := range cfgs {
+		r, err := RunStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, r)
+	}
+	par, err := RunStudies(cfgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("got %d results, want %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], par[i]) {
+			t.Errorf("study %d (%s) differs between serial and parallel runs",
+				i, cfgs[i].Workload.Name)
+		}
+	}
+}

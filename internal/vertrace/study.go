@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blockio"
 	"repro/internal/filesys"
+	"repro/internal/parallel"
 	"repro/internal/sanitize"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -114,6 +115,17 @@ func buildStudyDevice(capacityPages int64, pageBytes int, seed int64) (*ssd.SSD,
 			dev.LogicalPages(), capacityPages)
 	}
 	return dev, nil
+}
+
+// RunStudies executes several independent studies with up to workers
+// running concurrently (<= 0: one per CPU), returning results in input
+// order. Each study owns its entire stack (device, tracker, file layer,
+// generator), so the batch is bit-identical to running them serially;
+// on failure the error of the lowest-index failing study is returned.
+func RunStudies(cfgs []StudyConfig, workers int) ([]*StudyResult, error) {
+	return parallel.Map(workers, len(cfgs), func(i int) (*StudyResult, error) {
+		return RunStudy(cfgs[i])
+	})
 }
 
 // RunStudy executes the data-versioning study end to end: baseline SSD,

@@ -1,0 +1,114 @@
+package repro
+
+// BenchmarkParallelFigure14 benchmarks the Figure 14 campaign serially
+// and on 4 workers, and writes the machine-readable comparison to
+// BENCH_parallel.json so CI can archive the speedup alongside the run.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/ftl/ftltest"
+	"repro/internal/nand"
+	"repro/internal/workload"
+)
+
+var parallelBenchOnce sync.Once
+
+// parallelBenchReport is the schema of BENCH_parallel.json. SerialSec
+// and ParallelSec are the wall clock of one full Figure 14 campaign at
+// 1 and 4 workers on this machine; Speedup is their ratio, which cannot
+// exceed the CPU count recorded next to it.
+type parallelBenchReport struct {
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	NumCPU              int     `json:"num_cpu"`
+	Workers             int     `json:"workers"`
+	GridCells           int     `json:"grid_cells"`
+	SerialSec           float64 `json:"serial_sec"`
+	ParallelSec         float64 `json:"parallel_sec"`
+	Speedup             float64 `json:"speedup"`
+	FlashOpsAllocsPerOp float64 `json:"flashops_allocs_per_op"`
+}
+
+func BenchmarkParallelFigure14(b *testing.B) {
+	profiles := []workload.Profile{workload.MailServer()}
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.Figure14Parallel(benchScale(), profiles, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel-4", func(b *testing.B) {
+		run(4)(b)
+		parallelBenchOnce.Do(func() { writeParallelBenchReport(b, profiles) })
+	})
+}
+
+// writeParallelBenchReport times one explicit campaign at each worker
+// count (outside the b.N loop so the two runs are directly comparable)
+// and writes BENCH_parallel.json into the package directory.
+func writeParallelBenchReport(b *testing.B, profiles []workload.Profile) {
+	campaign := func(workers int) float64 {
+		start := time.Now()
+		if _, err := experiment.Figure14Parallel(benchScale(), profiles, workers); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	rep := parallelBenchReport{
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		NumCPU:              runtime.NumCPU(),
+		Workers:             4,
+		GridCells:           len(profiles) * len(experiment.Policies()),
+		SerialSec:           campaign(1),
+		ParallelSec:         campaign(4),
+		FlashOpsAllocsPerOp: flashOpsAllocsPerOp(b),
+	}
+	rep.Speedup = rep.SerialSec / rep.ParallelSec
+	b.ReportMetric(rep.Speedup, "speedup")
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("BENCH_parallel.json: serial %.2fs, 4 workers %.2fs, speedup %.2fx on %d CPU(s), flash ops %.1f allocs/op",
+		rep.SerialSec, rep.ParallelSec, rep.Speedup, rep.NumCPU, rep.FlashOpsAllocsPerOp)
+}
+
+// flashOpsAllocsPerOp replicates BenchmarkFlashOps' program+pLock+erase
+// cycle under testing.AllocsPerRun so the scratch-buffer reuse in
+// internal/nand shows up as a number CI can track.
+func flashOpsAllocsPerOp(b *testing.B) float64 {
+	geo := ftltest.SmallGeometry()
+	chips := ftltest.BuildChips(b, geo)
+	chip := chips[0]
+	ppb := geo.PagesPerBlock
+	ops := 2*ppb + 1 // ppb programs + ppb pLocks + one erase
+	allocs := testing.AllocsPerRun(50, func() {
+		for page := 0; page < ppb; page++ {
+			a := nand.PageAddr{Block: 0, Page: page}
+			if _, err := chip.Program(a, nil, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := chip.PLock(a, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := chip.Erase(0, 0); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return allocs / float64(ops)
+}
