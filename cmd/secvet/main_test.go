@@ -1,0 +1,66 @@
+package main_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSecvet compiles the secvet binary once per test into a temp dir.
+func buildSecvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "secvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runSecvet runs the binary against a fixture module and returns its
+// exit code and stderr.
+func runSecvet(t *testing.T, bin, dir string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running secvet in %s: %v\n%s", dir, err, stderr.String())
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+// The acceptance check from the issue: reintroducing the DrainPending
+// map-range bug or leaking ReadResult.Data into a struct field must
+// make secvet exit nonzero, naming the violated rule.
+func TestSecvetFailsOnBadModule(t *testing.T) {
+	bin := buildSecvet(t)
+	code, out := runSecvet(t, bin, filepath.Join("testdata", "badmodule"))
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (findings)\n%s", code, out)
+	}
+	for _, want := range []string{
+		"determinism: map iteration order feeds append",
+		"aliasing: nand.ReadResult.Data stored outside the read's statement block",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSecvetPassesOnGoodModule(t *testing.T) {
+	bin := buildSecvet(t)
+	code, out := runSecvet(t, bin, filepath.Join("testdata", "goodmodule"))
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+}

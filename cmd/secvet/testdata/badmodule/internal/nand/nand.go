@@ -1,0 +1,18 @@
+// Package nand is the minimal chip surface the badmodule fixture needs
+// to trip the aliasing and lockcheck rules.
+package nand
+
+// PageAddr addresses one page.
+type PageAddr struct{ Block, Page int }
+
+// ReadResult mirrors the scratch-aliasing contract.
+type ReadResult struct{ Data []byte }
+
+// Chip is the fake device.
+type Chip struct{ scratch []byte }
+
+func (c *Chip) Read(a PageAddr, dep int) (ReadResult, error) {
+	return ReadResult{Data: c.scratch}, nil
+}
+
+func (c *Chip) Program(a PageAddr, data []byte, dep int) (int, error) { return 0, nil }

@@ -1,0 +1,39 @@
+// Package sim reintroduces the two motivating bugs: the DrainPending
+// map-range ordering bug and a ReadResult.Data leak into a struct
+// field. The secvet acceptance test asserts the tool exits nonzero on
+// this module and names both rules.
+package sim
+
+import (
+	"badmod/internal/nand"
+)
+
+// Pending mimics the pre-fix DrainPending: iterating a map and
+// appending the commands in iteration order.
+type Pending struct {
+	byPage map[int]int
+}
+
+// Drain leaks map iteration order into the schedule.
+func (p *Pending) Drain() []int {
+	var cmds []int
+	for page := range p.byPage {
+		cmds = append(cmds, page)
+	}
+	return cmds
+}
+
+// Cache leaks the read scratch into a long-lived field.
+type Cache struct {
+	last []byte
+}
+
+// Fill stores the alias without a copy.
+func (c *Cache) Fill(chip *nand.Chip, a nand.PageAddr) error {
+	res, err := chip.Read(a, 0)
+	if err != nil {
+		return err
+	}
+	c.last = res.Data
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package sim is the clean counterpart to badmodule: the same shapes
+// written the approved way, so secvet exits zero.
+package sim
+
+import "sort"
+
+// Pending drains its map through the collect-then-sort idiom.
+type Pending struct {
+	byPage map[int]int
+}
+
+// Drain returns the pending pages in deterministic order.
+func (p *Pending) Drain() []int {
+	var cmds []int
+	for page := range p.byPage {
+		cmds = append(cmds, page)
+	}
+	sort.Ints(cmds)
+	return cmds
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the per-package configuration the go command writes for
+// a -vettool invocation (the unitchecker protocol). Field names and
+// semantics follow cmd/go's internal work.vetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	// ImportMap maps source import paths to the resolved package paths
+	// (vendoring, test variants).
+	ImportMap map[string]string
+	// PackageFile maps resolved package paths to export-data files.
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single compilation unit described by a go vet
+// cfg file. Diagnostics go to stderr in vet's file:line:col format;
+// the exit code is 2 when findings exist, matching vet.
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secvet: %v\n", err)
+		return exitError
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "secvet: parse %s: %v\n", cfgPath, err)
+		return exitError
+	}
+
+	// The go command expects the facts output file to exist even though
+	// the secvet analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("secvet: no facts\n"), 0666); err != nil {
+			fmt.Fprintf(os.Stderr, "secvet: %v\n", err)
+			return exitError
+		}
+	}
+	if cfg.VetxOnly {
+		return exitClean
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return exitClean
+			}
+			fmt.Fprintf(os.Stderr, "secvet: %v\n", err)
+			return exitError
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	pkg := &analysis.Package{
+		PkgPath: canonical(cfg.ImportPath),
+		Dir:     cfg.Dir,
+		Fset:    fset,
+		Files:   files,
+		Info:    analysis.NewInfo(),
+	}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Pkg, _ = tconf.Check(pkg.PkgPath, fset, files, pkg.Info)
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return exitClean
+		}
+		for _, te := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "secvet: %v\n", te)
+		}
+		return exitError
+	}
+
+	diags, err := analysis.RunPackages([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secvet: %v\n", err)
+		return exitError
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return exitFindings
+	}
+	return exitClean
+}
+
+func canonical(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}

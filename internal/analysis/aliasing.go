@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Aliasing enforces the nand.ReadResult.Data ownership contract: the
+// slice aliases the chip's per-read scratch buffer and is only valid
+// until the next operation on the same chip (the PR 2 buffer-pooling
+// rule). A use must therefore stay inside the statement block where the
+// read happened — consumed immediately or passed down a call chain that
+// does — and must not outlive it. The analyzer flags, per function:
+//
+//   - returning res.Data (or a local aliasing it),
+//   - storing it into a struct field, slice/map element, or pointer
+//     dereference,
+//   - placing it in a composite literal,
+//   - appending it (as an element, not `dst, src...` byte expansion)
+//     to a longer-lived slice,
+//   - sending it on a channel, and
+//   - using it inside a func literal that captures the read's result
+//     (the literal — a goroutine especially — may run after the scratch
+//     has been overwritten).
+//
+// Copies are exempt: res.CloneData(), append([]byte(nil), res.Data...),
+// and copy(dst, res.Data) all produce caller-owned bytes.
+var Aliasing = &Analyzer{
+	Name: "aliasing",
+	Doc: "flag uses of nand.ReadResult.Data that escape the statement block of the read " +
+		"without going through a documented copy helper",
+	Run: runAliasing,
+}
+
+func runAliasing(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			newAliasChecker(pass, fd.Body).check()
+		}
+	}
+	return nil
+}
+
+type aliasChecker struct {
+	pass    *Pass
+	body    *ast.BlockStmt
+	tainted map[types.Object]bool
+	// funcLits are every func literal in the body, for the capture rule.
+	funcLits []*ast.FuncLit
+}
+
+func newAliasChecker(pass *Pass, body *ast.BlockStmt) *aliasChecker {
+	c := &aliasChecker{pass: pass, body: body, tainted: make(map[types.Object]bool)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.funcLits = append(c.funcLits, lit)
+		}
+		return true
+	})
+	return c
+}
+
+// isDataSelector reports whether e reads the Data field of a
+// nand.ReadResult value.
+func (c *aliasChecker) isDataSelector(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Data" {
+		return false
+	}
+	return IsNamed(c.pass.TypeOf(sel.X), "nand", "ReadResult")
+}
+
+// obj resolves an identifier expression to its object, or nil.
+func (c *aliasChecker) obj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := c.pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return c.pass.Info.Defs[id]
+}
+
+// aliases reports whether e evaluates to a value aliasing the scratch:
+// a direct .Data selector or a taint-tracked local.
+func (c *aliasChecker) aliases(e ast.Expr) bool {
+	if c.isDataSelector(e) {
+		return true
+	}
+	o := c.obj(e)
+	return o != nil && c.tainted[o]
+}
+
+// baseObj returns the variable a potential alias expression is rooted
+// at: the tainted local itself, or the receiver variable of a .Data
+// selector. Used by the capture rule to tell a closure-internal read
+// from a captured one.
+func (c *aliasChecker) baseObj(e ast.Expr) types.Object {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return c.obj(sel.X)
+	}
+	return c.obj(e)
+}
+
+func (c *aliasChecker) check() {
+	c.propagateTaint()
+	c.checkEscapes()
+	c.checkCaptures()
+}
+
+// propagateTaint runs a fixed point over ident assignments: a local
+// assigned from res.Data (or from another tainted local) is tainted.
+// Reassignment from a clean source does not un-taint — the variable may
+// still hold the alias on another path; the rule is conservative.
+func (c *aliasChecker) propagateTaint() {
+	taintPair := func(lhs, rhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		o := c.pass.Info.Defs[id]
+		if o == nil {
+			o = c.pass.Info.Uses[id]
+		}
+		if o == nil || c.tainted[o] {
+			return false
+		}
+		if c.aliases(rhs) {
+			c.tainted[o] = true
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(c.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						changed = taintPair(n.Lhs[i], n.Rhs[i]) || changed
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Values {
+						changed = taintPair(n.Names[i], n.Values[i]) || changed
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkEscapes flags the structural escapes: returns, stores into
+// fields/elements, composite literals, alias-preserving appends, and
+// channel sends.
+func (c *aliasChecker) checkEscapes() {
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if c.aliases(r) {
+					c.pass.Reportf(r.Pos(),
+						"nand.ReadResult.Data aliases the chip's read scratch and must not be returned: "+
+							"copy it first (res.CloneData() or append([]byte(nil), res.Data...))")
+				}
+			}
+		case *ast.SendStmt:
+			if c.aliases(n.Value) {
+				c.pass.Reportf(n.Value.Pos(),
+					"nand.ReadResult.Data sent on a channel outlives the read: copy it first (res.CloneData())")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Rhs {
+				if !c.aliases(n.Rhs[i]) {
+					continue
+				}
+				if _, isIdent := ast.Unparen(n.Lhs[i]).(*ast.Ident); !isIdent {
+					// Field, element, or dereference store escapes the block.
+					c.pass.Reportf(n.Rhs[i].Pos(),
+						"nand.ReadResult.Data stored outside the read's statement block: the scratch is "+
+							"reused by the next chip op; copy it first (res.CloneData())")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if c.aliases(v) {
+					c.pass.Reportf(v.Pos(),
+						"nand.ReadResult.Data stored in a composite literal escapes the read: "+
+							"copy it first (res.CloneData())")
+				}
+			}
+		case *ast.CallExpr:
+			if IsBuiltin(c.pass.Info, n, "append") {
+				// append(dst, res.Data...) copies bytes — safe.
+				// append(dst, res.Data) stores the alias in dst.
+				for i := 1; i < len(n.Args); i++ {
+					if c.aliases(n.Args[i]) && !(n.Ellipsis.IsValid() && i == len(n.Args)-1) {
+						c.pass.Reportf(n.Args[i].Pos(),
+							"nand.ReadResult.Data appended into a longer-lived slice without a copy: "+
+								"append res.CloneData() instead")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCaptures flags alias uses inside func literals whose underlying
+// read happened outside the literal: by the time the closure runs the
+// scratch may hold a different page.
+func (c *aliasChecker) checkCaptures() {
+	for _, lit := range c.funcLits {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, nested := n.(*ast.FuncLit); nested {
+				return false // checked in its own funcLits iteration
+			}
+			e, ok := n.(ast.Expr)
+			if !ok || !c.aliases(e) {
+				return true
+			}
+			base := c.baseObj(e)
+			if base == nil || (base.Pos() >= lit.Pos() && base.Pos() < lit.End()) {
+				// Read performed inside this literal: the normal
+				// statement-block rules apply, not the capture rule.
+				return true
+			}
+			c.pass.Reportf(e.Pos(),
+				"nand.ReadResult.Data captured by a func literal may outlive the read "+
+					"(goroutines especially): copy it before the capture")
+			return false
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import "strings"
+
+// AllowRule is the pseudo-rule name under which malformed allow
+// comments are reported. It cannot itself be suppressed.
+const AllowRule = "allowsyntax"
+
+// allowSet records, per file and line, which rules an allow comment
+// waives. The wildcard rule "*" waives everything.
+type allowSet map[string]map[int][]string
+
+// collectAllows scans a package's comments for secvet:allow directives.
+// A well-formed directive is
+//
+//	//secvet:allow rule1[,rule2...] -- reason
+//
+// and waives the listed rules on its own line and on the line directly
+// below (so it can sit above the flagged statement). Directives missing
+// the reason string are reported as AllowRule diagnostics.
+func collectAllows(p *Package) (allowSet, []Diagnostic) {
+	allows := make(allowSet)
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//secvet:allow")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rules, reason, hasReason := strings.Cut(text, "--")
+				if !hasReason || strings.TrimSpace(reason) == "" {
+					diags = append(diags, Diagnostic{
+						Pos:     pos,
+						Rule:    AllowRule,
+						Message: "secvet:allow directive needs a reason: //secvet:allow <rule> -- <why this is safe>",
+					})
+					continue
+				}
+				var names []string
+				for _, r := range strings.Split(rules, ",") {
+					if r = strings.TrimSpace(r); r != "" {
+						names = append(names, r)
+					}
+				}
+				if len(names) == 0 {
+					diags = append(diags, Diagnostic{
+						Pos:     pos,
+						Rule:    AllowRule,
+						Message: "secvet:allow directive names no rules",
+					})
+					continue
+				}
+				byLine := allows[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					allows[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+			}
+		}
+	}
+	return allows, diags
+}
+
+// suppressed reports whether an allow directive on the diagnostic's
+// line, or on the line directly above it, waives the rule.
+func (a allowSet) suppressed(d Diagnostic) bool {
+	byLine := a[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range byLine[line] {
+			if rule == d.Rule || rule == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}

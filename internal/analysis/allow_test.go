@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestAllowDirectives runs the determinism analyzer over a fixture
+// whose findings are variously waived: it checks both that well-formed
+// directives suppress and that malformed ones are themselves reported.
+func TestAllowDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*analysis.Analyzer{analysis.Determinism}, "allowtest")
+}

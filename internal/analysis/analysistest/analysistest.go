@@ -1,0 +1,241 @@
+// Package analysistest runs secvet analyzers over golden fixture
+// packages, mirroring the x/tools analysistest contract: fixtures live
+// under testdata/src/<importpath>, and every line that should produce a
+// finding carries a comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// (double- or back-quoted). Each regexp must match the "rule: message"
+// string of a diagnostic reported on that line; diagnostics with no
+// matching expectation, and expectations with no matching diagnostic,
+// both fail the test.
+//
+// Fixture imports resolve against testdata/src first, so fixtures can
+// ship self-contained stand-ins for repro packages (the analyzers match
+// types by package name, not import path, for exactly this reason).
+// Standard-library imports are satisfied from the build cache via
+// `go list -export`, so the harness works fully offline.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package below testdata/src, applies the
+// analyzers through the same RunPackages path the drivers use (so
+// secvet:allow directives are honored), and checks the diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(t, filepath.Join(testdata, "src"))
+	for _, path := range paths {
+		pkg := l.load(path)
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("fixture %s does not typecheck: %v", path, pkg.TypeErrors[0])
+		}
+		diags, err := analysis.RunPackages([]*analysis.Package{pkg}, analyzers)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		checkExpectations(t, path, pkg, diags)
+	}
+}
+
+// loader typechecks fixture packages recursively, preferring fixture
+// directories over the standard library for import resolution.
+type loader struct {
+	t    *testing.T
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*analysis.Package
+	std  types.ImporterFrom
+}
+
+func newLoader(t *testing.T, src string) *loader {
+	l := &loader{
+		t:    t,
+		src:  src,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*analysis.Package),
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", l.stdExport).(types.ImporterFrom)
+	return l
+}
+
+// stdExport resolves a standard-library import to its compiler export
+// data via the build cache (go list compiles it on first use; no
+// network involved).
+func (l *loader) stdExport(path string) (io.ReadCloser, error) {
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	exp := strings.TrimSpace(string(out))
+	if exp == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(exp)
+}
+
+// Import implements types.Importer for the fixture typechecker.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.src, path)); err == nil {
+		p := l.load(path)
+		if len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("fixture dependency %s: %v", path, p.TypeErrors[0])
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) *analysis.Package {
+	if p, ok := l.pkgs[path]; ok {
+		return p
+	}
+	dir := filepath.Join(l.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.t.Fatalf("fixture %s: %v", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		l.t.Fatalf("fixture %s: no .go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			l.t.Fatalf("fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	p := &analysis.Package{
+		PkgPath: path,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Info:    analysis.NewInfo(),
+	}
+	l.pkgs[path] = p
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Pkg, _ = conf.Check(path, l.fset, files, p.Info)
+	return p
+}
+
+// expectation is one `// want` regexp waiting to be matched.
+type expectation struct {
+	re      *regexp.Regexp
+	line    int
+	matched bool
+}
+
+var wantToken = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWants extracts the expectations from one comment's text, or nil.
+func parseWants(t *testing.T, text string, line int) []*expectation {
+	// A want comment may stand alone (`// want "re"`) or trail other
+	// comment content (the malformed-allow fixture embeds one).
+	i := strings.Index(text, "// want ")
+	if i < 0 {
+		return nil
+	}
+	rest := text[i+len("// want"):]
+	var wants []*expectation
+	for _, tok := range wantToken.FindAllString(rest, -1) {
+		var pat string
+		if tok[0] == '`' {
+			pat = tok[1 : len(tok)-1]
+		} else {
+			var err error
+			pat, err = strconv.Unquote(tok)
+			if err != nil {
+				t.Fatalf("line %d: bad want token %s: %v", line, tok, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("line %d: bad want regexp %q: %v", line, pat, err)
+		}
+		wants = append(wants, &expectation{re: re, line: line})
+	}
+	if len(wants) == 0 {
+		t.Fatalf("line %d: want comment with no expectations: %s", line, text)
+	}
+	return wants
+}
+
+func checkExpectations(t *testing.T, path string, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	// key: filename -> line -> expectations.
+	wants := make(map[string]map[int][]*expectation)
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, w := range parseWants(t, c.Text, line) {
+					byLine := wants[filename]
+					if byLine == nil {
+						byLine = make(map[int][]*expectation)
+						wants[filename] = byLine
+					}
+					byLine[line] = append(byLine[line], w)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		s := d.Rule + ": " + d.Message
+		found := false
+		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+			if w.re.MatchString(s) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic:\n  %s", path, d)
+		}
+	}
+	for filename, byLine := range wants {
+		for _, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+						path, filename, w.line, w.re)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the canonical import path with any test-variant
+	// annotation (" [foo.test]") stripped.
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	// TypeErrors holds any type-check failures. Analyzers still run on
+	// a best-effort AST, but drivers should surface these and fail.
+	TypeErrors []error
+}
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// Dir is the working directory for `go list` (the module to
+	// analyze). Empty means the current directory.
+	Dir string
+	// Tests includes in-package and external test files, matching
+	// `go vet` behavior. The lockcheck satellite explicitly covers test
+	// helpers, so drivers default this to true.
+	Tests bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	// TestGoFiles is populated on the in-package test variant
+	// ("p [p.test]"); those files compile together with GoFiles.
+	TestGoFiles []string
+	ImportMap   map[string]string
+	DepOnly     bool
+	ForTest     string
+	Error       *struct{ Err string }
+}
+
+// Load enumerates patterns with the go tool and type-checks every
+// matched package (plus its test variants when opts.Tests is set)
+// against the build cache's export data, entirely offline.
+func Load(opts LoadOptions, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := []string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,TestGoFiles,ImportMap,DepOnly,ForTest,Error"}
+	if opts.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = opts.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	exports := make(map[string]string, len(pkgs))
+	// shadowed maps a base import path to true when an in-package test
+	// variant ("p [p.test]", same package name, superset of files) was
+	// listed; analyzing both would duplicate every diagnostic.
+	shadowed := make(map[string]bool)
+	for _, lp := range pkgs {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.ForTest != "" && canonicalPath(lp.ImportPath) == lp.ForTest {
+			shadowed[lp.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var loaded []*Package
+	for _, lp := range pkgs {
+		if lp.DepOnly || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if shadowed[lp.ImportPath] && lp.ForTest == "" {
+			continue
+		}
+		p, err := typecheck(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			loaded = append(loaded, p)
+		}
+	}
+	return loaded, nil
+}
+
+// canonicalPath strips the test-variant annotation from an import path:
+// "repro/internal/ftl [repro/internal/ftl.test]" → "repro/internal/ftl".
+func canonicalPath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// typecheck parses and type-checks one listed package. Dependencies are
+// imported from compiler export data via the paths `go list -export`
+// resolved, honoring the package's ImportMap (test-variant renames).
+func typecheck(fset *token.FileSet, lp *listPkg, exports map[string]string) (*Package, error) {
+	// On test variants GoFiles already includes TestGoFiles; dedupe.
+	var names []string
+	seen := make(map[string]bool)
+	for _, group := range [][]string{lp.GoFiles, lp.CgoFiles, lp.TestGoFiles} {
+		for _, name := range group {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	p := &Package{
+		PkgPath: canonicalPath(lp.ImportPath),
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Files:   files,
+		Info:    NewInfo(),
+	}
+	conf := types.Config{
+		// A fresh importer per package keeps test-variant export data
+		// (same base path, different types) from colliding in a shared
+		// importer cache.
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Pkg, _ = conf.Check(p.PkgPath, fset, files, p.Info)
+	return p, nil
+}
+
+// NewInfo allocates the fully-populated types.Info the analyzers expect.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// chipOps are the (*nand.Chip) operations whose error return carries
+// the chip's security signal: ErrPageLocked / ErrBlockLocked are how
+// the pAP/bAP "page is secured" state surfaces to software, and the
+// discipline errors (ErrNotErased, ErrOutOfOrder, ErrWornOut) are how
+// an FTL bug surfaces. Discarding any of them silently converts a
+// security property into garbage data.
+var chipOps = map[string]bool{
+	"Read": true, "Program": true, "Erase": true, "PLock": true,
+	"BLock": true, "Scrub": true, "Copyback": true,
+	"IsPageLocked": true, "IsBlockLocked": true,
+}
+
+// Lockcheck enforces the lock-state plumbing invariants:
+//
+//  1. The error/status result of a nand chip operation must never be
+//     dropped: not by calling it as a bare statement, and not by
+//     assigning the error position to the blank identifier. The pAP/bAP
+//     "page is secured" signal travels in those errors.
+//  2. In the ftl package, page-status transitions must go through the
+//     page-status-table API (setStatus), which keeps the per-status
+//     population counters — and therefore the telemetry gauges and the
+//     GC victim accounting — exact. Direct writes to a []PageStatus
+//     element bypass the counters.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flag discarded nand op errors (the page-is-secured signal) and page-status " +
+		"writes that bypass the status-table API",
+	Run: runLockcheck,
+}
+
+func runLockcheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		var funcName string
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				funcName = n.Name.Name
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedOp(pass, call, "all results of")
+				}
+			case *ast.GoStmt:
+				checkDiscardedOp(pass, n.Call, "all results of")
+			case *ast.DeferStmt:
+				checkDiscardedOp(pass, n.Call, "all results of")
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+				checkStatusWrite(pass, n, funcName)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// chipOpName returns "Chip.Read" etc. when the call is a nand chip
+// operation, or "".
+func chipOpName(pass *Pass, call *ast.CallExpr) string {
+	fn := Callee(pass.Info, call)
+	if fn == nil || !chipOps[fn.Name()] {
+		return ""
+	}
+	if n := ReceiverNamed(fn); n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Name() == "nand" && n.Obj().Name() == "Chip" {
+		return "Chip." + fn.Name()
+	}
+	return ""
+}
+
+func checkDiscardedOp(pass *Pass, call *ast.CallExpr, how string) {
+	if op := chipOpName(pass, call); op != "" {
+		pass.Reportf(call.Pos(),
+			"%s nand.%s discarded: its error carries the pAP/bAP lock state "+
+				"(ErrPageLocked/ErrBlockLocked); assert or propagate it", how, op)
+	}
+}
+
+// checkBlankError flags `res, _ := chip.Read(...)` — the error is the
+// last result of every chip op, and blanking it drops the lock signal.
+func checkBlankError(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(as.Lhs) < 1 {
+		return
+	}
+	op := chipOpName(pass, call)
+	if op == "" {
+		return
+	}
+	last, ok := ast.Unparen(as.Lhs[len(as.Lhs)-1]).(*ast.Ident)
+	if ok && last.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"error from nand.%s assigned to _: it carries the pAP/bAP lock state "+
+				"(ErrPageLocked/ErrBlockLocked); assert or propagate it", op)
+	}
+}
+
+// checkStatusWrite flags `f.status[p] = st` outside the setStatus API
+// in the ftl package: the single-transition-point rule that keeps
+// statusCount (and every gauge derived from it) exact.
+func checkStatusWrite(pass *Pass, as *ast.AssignStmt, funcName string) {
+	if funcName == "setStatus" {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		t := pass.TypeOf(idx.X)
+		if t == nil {
+			continue
+		}
+		if sl, ok := t.Underlying().(*types.Slice); ok && IsNamed(sl.Elem(), "ftl", "PageStatus") {
+			pass.Reportf(lhs.Pos(),
+				"page-status write bypasses the status-table API: use setStatus so the "+
+					"per-status population counters stay exact (they feed the telemetry gauges)")
+		}
+	}
+}

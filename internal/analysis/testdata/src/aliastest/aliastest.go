@@ -1,0 +1,120 @@
+// Package aliastest exercises the aliasing analyzer: every way
+// nand.ReadResult.Data may and may not leave the read's statement
+// block.
+package aliastest
+
+import "nand"
+
+type cache struct {
+	page []byte
+	m    map[int][]byte
+}
+
+type record struct{ payload []byte }
+
+func ret(c *nand.Chip, a nand.PageAddr) ([]byte, error) {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return nil, err
+	}
+	return res.Data, nil // want `aliasing: nand.ReadResult.Data aliases the chip's read scratch and must not be returned`
+}
+
+func retClone(c *nand.Chip, a nand.PageAddr) ([]byte, error) {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return nil, err
+	}
+	return res.CloneData(), nil // ok: documented copy helper
+}
+
+func retAppendCopy(c *nand.Chip, a nand.PageAddr) []byte {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return nil
+	}
+	return append([]byte(nil), res.Data...) // ok: byte expansion copies
+}
+
+func fieldStore(c *nand.Chip, a nand.PageAddr, st *cache) {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return
+	}
+	st.page = res.Data // want `aliasing: nand.ReadResult.Data stored outside the read's statement block`
+}
+
+func taintedLocal(c *nand.Chip, a nand.PageAddr, st *cache) {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return
+	}
+	d := res.Data
+	st.m[a.Page] = d // want `aliasing: nand.ReadResult.Data stored outside the read's statement block`
+}
+
+func appendAlias(c *nand.Chip, a nand.PageAddr, pages [][]byte) [][]byte {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return pages
+	}
+	return append(pages, res.Data) // want `aliasing: nand.ReadResult.Data appended into a longer-lived slice`
+}
+
+func compositeLit(c *nand.Chip, a nand.PageAddr) {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return
+	}
+	r := record{payload: res.Data} // want `aliasing: nand.ReadResult.Data stored in a composite literal`
+	_ = r
+}
+
+func send(c *nand.Chip, a nand.PageAddr, ch chan []byte) {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return
+	}
+	ch <- res.Data // want `aliasing: nand.ReadResult.Data sent on a channel`
+}
+
+func capture(c *nand.Chip, a nand.PageAddr, sink func([]byte)) {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return
+	}
+	go func() {
+		sink(res.Data) // want `aliasing: nand.ReadResult.Data captured by a func literal`
+	}()
+}
+
+func readInsideLiteral(c *nand.Chip, a nand.PageAddr) func() int {
+	return func() int {
+		res, err := c.Read(a, 0)
+		if err != nil {
+			return 0
+		}
+		return len(res.Data) // ok: the read happened inside this literal
+	}
+}
+
+func consumedInPlace(c *nand.Chip, a nand.PageAddr) int {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, b := range res.Data { // ok: consumed before the next chip op
+		n += int(b)
+	}
+	return n
+}
+
+func allowedEscape(c *nand.Chip, a nand.PageAddr, st *cache) {
+	res, err := c.Read(a, 0)
+	if err != nil {
+		return
+	}
+	//secvet:allow aliasing -- fixture: consumer contract guarantees no further ops on this chip
+	st.page = res.Data
+}

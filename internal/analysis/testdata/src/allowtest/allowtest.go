@@ -1,0 +1,30 @@
+// Package allowtest exercises the secvet:allow directive machinery:
+// suppression on the same line and the line above, wildcard and
+// wrong-rule directives, and the mandatory reason string.
+package allowtest
+
+import "time"
+
+func reasoned() int64 {
+	//secvet:allow determinism -- fixture: wall-clock explicitly waived
+	return time.Now().UnixNano()
+}
+
+func sameLine() int64 {
+	return time.Now().UnixNano() //secvet:allow determinism -- fixture: same-line directive
+}
+
+func wildcard() int64 {
+	//secvet:allow * -- fixture: wildcard waives every rule
+	return time.Now().UnixNano()
+}
+
+func wrongRule() int64 {
+	//secvet:allow aliasing -- fixture: naming another rule does not waive this one
+	return time.Now().UnixNano() // want `determinism: time.Now is wall-clock`
+}
+
+func missingReason() int64 {
+	//secvet:allow determinism // want `allowsyntax: secvet:allow directive needs a reason`
+	return time.Now().UnixNano() // want `determinism: time.Now is wall-clock`
+}

@@ -1,0 +1,34 @@
+// Package ftl reproduces the page-status-table shape the lockcheck
+// status-write rule guards: only setStatus may write a []PageStatus
+// element, because it is the single point that keeps the per-status
+// population counters exact.
+package ftl
+
+// PageStatus mirrors the real FTL's page state enum.
+type PageStatus uint8
+
+// The states the fixture needs.
+const (
+	StatusFree PageStatus = iota
+	StatusValid
+	statusCount
+)
+
+type table struct {
+	status []PageStatus
+	counts [statusCount]int
+}
+
+func (t *table) setStatus(p int, s PageStatus) {
+	t.counts[t.status[p]]--
+	t.status[p] = s // ok: the single transition point
+	t.counts[s]++
+}
+
+func (t *table) directWrite(p int) {
+	t.status[p] = StatusValid // want `lockcheck: page-status write bypasses the status-table API`
+}
+
+func (t *table) readBack(p int) PageStatus {
+	return t.status[p] // ok: reads are unrestricted
+}

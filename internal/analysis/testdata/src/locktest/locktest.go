@@ -1,0 +1,43 @@
+// Package locktest exercises the lockcheck analyzer's discarded-error
+// rule: every nand chip op's error carries the pAP/bAP lock state.
+package locktest
+
+import "nand"
+
+func discarded(c *nand.Chip, a nand.PageAddr) {
+	c.Program(a, []byte("x"), 0) // want `lockcheck: all results of nand.Chip.Program discarded`
+	c.PLock(a, 0)                // want `lockcheck: all results of nand.Chip.PLock discarded`
+}
+
+func discardedControlFlow(c *nand.Chip, a nand.PageAddr) {
+	defer c.Erase(0, 0) // want `lockcheck: all results of nand.Chip.Erase discarded`
+	go c.Scrub(a, 0)    // want `lockcheck: all results of nand.Chip.Scrub discarded`
+}
+
+func blankedError(c *nand.Chip, a nand.PageAddr) int {
+	res, _ := c.Read(a, 0) // want `lockcheck: error from nand.Chip.Read assigned to _`
+	return len(res.Data)
+}
+
+func blankedStatus(c *nand.Chip, a nand.PageAddr) {
+	locked, _ := c.IsPageLocked(a, 0) // want `lockcheck: error from nand.Chip.IsPageLocked assigned to _`
+	_ = locked
+}
+
+func handled(c *nand.Chip, a nand.PageAddr) error {
+	if _, err := c.Program(a, nil, 0); err != nil { // ok: error consumed
+		return err
+	}
+	locked, err := c.IsBlockLocked(a.Block, 0) // ok: both results kept
+	if err != nil || locked {
+		return err
+	}
+	lat, err := c.Copyback(a, a, 0) // ok
+	_, _ = lat, err
+	return nil
+}
+
+func allowed(c *nand.Chip, a nand.PageAddr) {
+	//secvet:allow lockcheck -- fixture: op outcome intentionally ignored
+	c.BLock(0, 0)
+}

@@ -1,0 +1,38 @@
+// Package nand is a self-contained stand-in for repro/internal/nand:
+// just enough surface for the secvet fixtures to typecheck. The
+// analyzers match types by package name ("nand") and type name, so
+// this fake triggers the same rules as the real package.
+package nand
+
+// PageAddr addresses one page on the chip.
+type PageAddr struct{ Block, Page int }
+
+// ReadResult mirrors the real contract: Data aliases the chip's
+// per-read scratch buffer.
+type ReadResult struct {
+	Data    []byte
+	Latency int
+}
+
+// CloneData is the documented copy helper.
+func (r ReadResult) CloneData() []byte {
+	if r.Data == nil {
+		return nil
+	}
+	return append([]byte(nil), r.Data...)
+}
+
+// Chip mimics the real chip's operation set.
+type Chip struct{ scratch []byte }
+
+func (c *Chip) Read(a PageAddr, dep int) (ReadResult, error) {
+	return ReadResult{Data: c.scratch}, nil
+}
+func (c *Chip) Program(a PageAddr, data []byte, dep int) (int, error) { return 0, nil }
+func (c *Chip) Erase(block, dep int) (int, error)                     { return 0, nil }
+func (c *Chip) PLock(a PageAddr, dep int) (int, error)                { return 0, nil }
+func (c *Chip) BLock(block, dep int) (int, error)                     { return 0, nil }
+func (c *Chip) Scrub(a PageAddr, dep int) (int, error)                { return 0, nil }
+func (c *Chip) Copyback(src, dst PageAddr, dep int) (int, error)      { return 0, nil }
+func (c *Chip) IsPageLocked(a PageAddr, dep int) (bool, error)        { return false, nil }
+func (c *Chip) IsBlockLocked(block, dep int) (bool, error)            { return false, nil }

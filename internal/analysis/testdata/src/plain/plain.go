@@ -1,0 +1,18 @@
+// Package plain exercises the determinism analyzer outside the
+// simulation package paths: the wall-clock and global-rand rules still
+// apply module-wide, but the map-range ordering rule does not.
+package plain
+
+import "time"
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `determinism: time.Now is wall-clock`
+}
+
+func mapAppend(m map[int]int) []int {
+	var out []int
+	for k := range m { // ok: not a simulation package path
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package trace is a stand-in for repro/internal/trace with the
+// Collector surface the tracecheck and determinism fixtures exercise.
+package trace
+
+// Collector mimics the real collector interface's method set.
+type Collector struct{ on bool }
+
+// Enabled reports whether events are recorded.
+func (c *Collector) Enabled() bool { return c.on }
+
+// Event records one event.
+func (c *Collector) Event(name string, args ...any) {}
+
+// Counter records a numeric sample.
+func (c *Collector) Counter(name string, v int64) {}

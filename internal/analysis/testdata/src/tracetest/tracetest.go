@@ -1,0 +1,45 @@
+// Package tracetest exercises the tracecheck analyzer: fmt formatting
+// in a trace.Collector call argument costs allocations even when the
+// collector is the Nop default, unless an Enabled()/traceOn guard keeps
+// it off the hot path.
+package tracetest
+
+import (
+	"fmt"
+
+	"trace"
+)
+
+type producer struct {
+	c       *trace.Collector
+	traceOn bool
+}
+
+func (p *producer) hot(page int) {
+	p.c.Event("read", fmt.Sprintf("page=%d", page)) // want `tracecheck: fmt.Sprintf allocates in a trace.Collector call argument`
+}
+
+func (p *producer) hotErrorf(page int, err error) {
+	p.c.Event("fail", fmt.Errorf("page %d: %w", page, err)) // want `tracecheck: fmt.Errorf allocates in a trace.Collector call argument`
+}
+
+func (p *producer) guardedByEnabled(page int) {
+	if p.c.Enabled() {
+		p.c.Event("read", fmt.Sprintf("page=%d", page)) // ok: behind the gate
+	}
+}
+
+func (p *producer) guardedByFlag(page int) {
+	if p.traceOn {
+		p.c.Event("read", fmt.Sprintf("page=%d", page)) // ok: cached Enabled() result
+	}
+}
+
+func (p *producer) cheap(page int) {
+	p.c.Event("read", page) // ok: no per-call formatting
+	p.c.Counter("reads", 1) // ok
+}
+
+func (p *producer) formatOutsideTrace(page int) string {
+	return fmt.Sprintf("page=%d", page) // ok: not a collector argument
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// fmtAllocFuncs are the fmt functions that allocate a string per call.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+// Tracecheck keeps the tracing layer's disabled-by-default promise: the
+// Nop collector makes every producer call a single predictable branch,
+// but only if the *arguments* are free too. A fmt.Sprintf evaluated in
+// the argument list of a trace.Collector method allocates and formats
+// even when the collector is a Nop — exactly the hidden hot-path cost
+// PR 1's design ruled out.
+//
+// Calls already guarded by the collector's Enabled() gate (directly or
+// via the cached traceOn boolean the producers keep) are exempt: behind
+// the gate the cost is only paid when tracing is on.
+var Tracecheck = &Analyzer{
+	Name: "tracecheck",
+	Doc: "flag fmt.Sprintf-style allocation in trace.Collector call arguments outside " +
+		"an Enabled()/traceOn guard",
+	Run: runTracecheck,
+}
+
+func runTracecheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		// guarded tracks the if-statement bodies protected by an
+		// Enabled()/traceOn condition, by position extent.
+		var guards []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if ok && isTraceGuard(pass, ifs.Cond) {
+				guards = append(guards, ifs.Body)
+			}
+			return true
+		})
+		inGuard := func(n ast.Node) bool {
+			for _, g := range guards {
+				if n.Pos() >= g.Pos() && n.End() <= g.End() {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isCollectorMethod(pass, call) || inGuard(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					inner, ok := an.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := Callee(pass.Info, inner)
+					if fn != nil && FuncFromPackage(fn, "fmt") && fmtAllocFuncs[fn.Name()] {
+						pass.Reportf(inner.Pos(),
+							"fmt.%s allocates in a trace.Collector call argument even when the collector "+
+								"is the Nop default: guard the call with Enabled()/traceOn or precompute "+
+								"the value outside the hot path", fn.Name())
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCollectorMethod reports whether the call invokes a method on the
+// trace.Collector interface or its Recorder/Nop implementations.
+func isCollectorMethod(pass *Pass, call *ast.CallExpr) bool {
+	fn := Callee(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	n := ReceiverNamed(fn)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Name() != "trace" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Collector", "Recorder", "Nop":
+		return true
+	}
+	return false
+}
+
+// isTraceGuard recognizes the producer idiom that gates trace work:
+// a condition mentioning a call to an Enabled method or a boolean
+// named traceOn (the cached Enabled() result every producer keeps).
+func isTraceGuard(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := Callee(pass.Info, n); fn != nil && fn.Name() == "Enabled" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if n.Name == "traceOn" {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "traceOn" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

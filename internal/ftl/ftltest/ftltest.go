@@ -64,7 +64,9 @@ func (t *CountingTarget) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 	var data []byte
 	if t.Chips != nil {
 		if res, err := t.Chips[chip].Read(a, dep); err == nil {
-			data = res.Data
+			// Copy: the returned slice outlives this read (the scratch
+			// aliasing rule), and a test fake has no hot path to protect.
+			data = res.CloneData()
 		}
 	}
 	return data, t.exec(chip, t.Timing.Read, dep)

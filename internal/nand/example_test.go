@@ -22,16 +22,24 @@ func Example() {
 		panic(err)
 	}
 	addr := nand.PageAddr{Block: 0, Page: 0}
-	chip.Program(addr, []byte("delete me"), 0)
-
-	chip.PLock(addr, 0)
+	if _, err := chip.Program(addr, []byte("delete me"), 0); err != nil {
+		panic(err)
+	}
+	if _, err := chip.PLock(addr, 0); err != nil {
+		panic(err)
+	}
 	res, err := chip.Read(addr, 0)
 	fmt.Printf("locked read error: %v\n", err == nand.ErrPageLocked)
 	fmt.Printf("data bytes all zero: %v\n", allZero(res.Data))
 
 	// Only an erase re-enables the page — and it destroys the data first.
-	chip.Erase(0, 0)
-	locked, _ := chip.IsPageLocked(addr, 0)
+	if _, err := chip.Erase(0, 0); err != nil {
+		panic(err)
+	}
+	locked, err := chip.IsPageLocked(addr, 0)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("locked after erase: %v\n", locked)
 	// Output:
 	// locked read error: true

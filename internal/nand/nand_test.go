@@ -31,6 +31,71 @@ func newTestChip(t *testing.T, opts ...Option) *Chip {
 	return c
 }
 
+// The must* helpers assert chip ops whose outcome is setup, not the
+// point of the test: secvet's lockcheck rule forbids discarding a chip
+// op's error, because that error carries the pAP/bAP lock state.
+func mustProgram(t *testing.T, c *Chip, a PageAddr, data []byte) {
+	t.Helper()
+	if _, err := c.Program(a, data, 0); err != nil {
+		t.Fatalf("Program(%v): %v", a, err)
+	}
+}
+
+func mustRead(t *testing.T, c *Chip, a PageAddr) ReadResult {
+	t.Helper()
+	res, err := c.Read(a, 0)
+	if err != nil {
+		t.Fatalf("Read(%v): %v", a, err)
+	}
+	return res
+}
+
+func mustPLock(t *testing.T, c *Chip, a PageAddr) {
+	t.Helper()
+	if _, err := c.PLock(a, 0); err != nil {
+		t.Fatalf("PLock(%v): %v", a, err)
+	}
+}
+
+func mustBLock(t *testing.T, c *Chip, blk int) {
+	t.Helper()
+	if _, err := c.BLock(blk, 0); err != nil {
+		t.Fatalf("BLock(%d): %v", blk, err)
+	}
+}
+
+func mustErase(t *testing.T, c *Chip, blk int) {
+	t.Helper()
+	if _, err := c.Erase(blk, 0); err != nil {
+		t.Fatalf("Erase(%d): %v", blk, err)
+	}
+}
+
+func mustScrub(t *testing.T, c *Chip, a PageAddr) {
+	t.Helper()
+	if _, err := c.Scrub(a, 0); err != nil {
+		t.Fatalf("Scrub(%v): %v", a, err)
+	}
+}
+
+func pageLocked(t *testing.T, c *Chip, a PageAddr) bool {
+	t.Helper()
+	locked, err := c.IsPageLocked(a, 0)
+	if err != nil {
+		t.Fatalf("IsPageLocked(%v): %v", a, err)
+	}
+	return locked
+}
+
+func blockLocked(t *testing.T, c *Chip, blk int) bool {
+	t.Helper()
+	locked, err := c.IsBlockLocked(blk, 0)
+	if err != nil {
+		t.Fatalf("IsBlockLocked(%d): %v", blk, err)
+	}
+	return locked
+}
+
 func TestGeometryDerived(t *testing.T) {
 	g := DefaultGeometry()
 	if g.PagesPerWL() != 3 {
@@ -186,14 +251,14 @@ func TestPLockBlocksExactlyOnePage(t *testing.T) {
 
 func TestPLockIsIdempotent(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{0, 0}, []byte("x"), 0)
-	c.PLock(PageAddr{0, 0}, 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("x"))
+	mustPLock(t, c, PageAddr{0, 0})
 	before := c.OpCount(OpPLock)
-	c.PLock(PageAddr{0, 0}, 0)
+	mustPLock(t, c, PageAddr{0, 0})
 	if c.OpCount(OpPLock) != before+1 {
 		t.Fatal("second pLock should still be counted as an operation")
 	}
-	if locked, _ := c.IsPageLocked(PageAddr{0, 0}, 0); !locked {
+	if !pageLocked(t, c, PageAddr{0, 0}) {
 		t.Fatal("page must stay locked")
 	}
 }
@@ -203,7 +268,7 @@ func TestPLockIsIdempotent(t *testing.T) {
 func TestBLockBlocksWholeBlock(t *testing.T) {
 	c := newTestChip(t)
 	for i := 0; i < 6; i++ {
-		c.Program(PageAddr{2, i}, []byte{byte(i)}, 0)
+		mustProgram(t, c, PageAddr{2, i}, []byte{byte(i)})
 	}
 	if _, err := c.BLock(2, 0); err != nil {
 		t.Fatal(err)
@@ -220,7 +285,7 @@ func TestBLockBlocksWholeBlock(t *testing.T) {
 		}
 	}
 	// Other blocks unaffected.
-	c.Program(PageAddr{3, 0}, []byte("ok"), 0)
+	mustProgram(t, c, PageAddr{3, 0}, []byte("ok"))
 	if _, err := c.Read(PageAddr{3, 0}, 0); err != nil {
 		t.Fatalf("unrelated block affected: %v", err)
 	}
@@ -233,17 +298,17 @@ func TestBLockBlocksWholeBlock(t *testing.T) {
 // There is no unlock command: only erase re-enables, and it destroys data.
 func TestEraseIsTheOnlyUnlock(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{1, 0}, []byte("secret"), 0)
-	c.PLock(PageAddr{1, 0}, 0)
-	c.BLock(1, 0)
+	mustProgram(t, c, PageAddr{1, 0}, []byte("secret"))
+	mustPLock(t, c, PageAddr{1, 0})
+	mustBLock(t, c, 1)
 
 	if _, err := c.Erase(1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if locked, _ := c.IsBlockLocked(1, 0); locked {
+	if blockLocked(t, c, 1) {
 		t.Fatal("erase must clear the bAP flag")
 	}
-	if locked, _ := c.IsPageLocked(PageAddr{1, 0}, 0); locked {
+	if pageLocked(t, c, PageAddr{1, 0}) {
 		t.Fatal("erase must clear pAP flags")
 	}
 	res, err := c.Read(PageAddr{1, 0}, 0)
@@ -265,17 +330,17 @@ func TestEraseIsTheOnlyUnlock(t *testing.T) {
 // chosen so the flags hold for a 5-year retention requirement.
 func TestLocksSurviveFiveYears(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{0, 0}, []byte("will-be-deleted"), 0)
-	c.Program(PageAddr{0, 1}, []byte("b"), 0)
-	c.PLock(PageAddr{0, 0}, 0)
-	c.BLock(4, 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("will-be-deleted"))
+	mustProgram(t, c, PageAddr{0, 1}, []byte("b"))
+	mustPLock(t, c, PageAddr{0, 0})
+	mustBLock(t, c, 4)
 
 	c.AdvanceDays(5 * 365)
 
-	if locked, _ := c.IsPageLocked(PageAddr{0, 0}, 0); !locked {
+	if !pageLocked(t, c, PageAddr{0, 0}) {
 		t.Fatal("pAP flag decayed within 5 years; operating point (Vp4,100µs) must hold")
 	}
-	if locked, _ := c.IsBlockLocked(4, 0); !locked {
+	if !blockLocked(t, c, 4) {
 		t.Fatal("bAP flag decayed within 5 years; operating point (Vb6,300µs) must hold")
 	}
 	if _, err := c.Read(PageAddr{0, 0}, 0); !errors.Is(err, ErrPageLocked) {
@@ -295,7 +360,7 @@ func TestAdvanceDaysPanicsOnNegative(t *testing.T) {
 
 func TestScrubDestroysPage(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{0, 0}, []byte("destroy-me"), 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("destroy-me"))
 	lat, err := c.Scrub(PageAddr{0, 0}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -318,10 +383,10 @@ func TestScrubDestroysPage(t *testing.T) {
 // unlocked pages and nothing else.
 func TestForensicDumpRespectsLocks(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{0, 0}, []byte("public"), 0)
-	c.Program(PageAddr{0, 1}, []byte("secret"), 0)
-	c.Program(PageAddr{0, 2}, []byte("also-public"), 0)
-	c.PLock(PageAddr{0, 1}, 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("public"))
+	mustProgram(t, c, PageAddr{0, 1}, []byte("secret"))
+	mustProgram(t, c, PageAddr{0, 2}, []byte("also-public"))
+	mustPLock(t, c, PageAddr{0, 1})
 
 	dump := c.ForensicDump(0, 0)
 	if !bytes.Equal(dump[0], []byte("public")) || !bytes.Equal(dump[2], []byte("also-public")) {
@@ -339,14 +404,14 @@ func TestForensicDumpRespectsLocks(t *testing.T) {
 
 func TestOpCounters(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{0, 0}, []byte("x"), 0)
-	c.Read(PageAddr{0, 0}, 0)
-	c.Read(PageAddr{0, 0}, 0)
-	c.PLock(PageAddr{0, 0}, 0)
-	c.BLock(0, 0)
-	c.Erase(0, 0)
-	c.Program(PageAddr{0, 0}, []byte("y"), 0)
-	c.Scrub(PageAddr{0, 0}, 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("x"))
+	mustRead(t, c, PageAddr{0, 0})
+	mustRead(t, c, PageAddr{0, 0})
+	mustPLock(t, c, PageAddr{0, 0})
+	mustBLock(t, c, 0)
+	mustErase(t, c, 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("y"))
+	mustScrub(t, c, PageAddr{0, 0})
 	want := map[OpKind]uint64{
 		OpRead: 2, OpProgram: 2, OpErase: 1, OpPLock: 1, OpBLock: 1, OpScrub: 1,
 	}
@@ -372,7 +437,7 @@ func TestErrorInjectionOnHealthyChip(t *testing.T) {
 	c := newTestChip(t, WithErrorInjection(), WithSeed(3))
 	payload := make([]byte, 4096)
 	rand.New(rand.NewSource(1)).Read(payload)
-	c.Program(PageAddr{0, 0}, payload, 0)
+	mustProgram(t, c, PageAddr{0, 0}, payload)
 	// A fresh chip's RBER is far below the ECC limit: every read must
 	// succeed and return intact data after correction.
 	for i := 0; i < 50; i++ {
@@ -389,7 +454,7 @@ func TestErrorInjectionOnHealthyChip(t *testing.T) {
 func TestErrorInjectionUncorrectableAfterAbuse(t *testing.T) {
 	c := newTestChip(t, WithErrorInjection(), WithSeed(4))
 	payload := make([]byte, 4096)
-	c.Program(PageAddr{0, 0}, payload, 0)
+	mustProgram(t, c, PageAddr{0, 0}, payload)
 	// Wear the block far beyond endurance and age it a decade: reads
 	// should eventually fail.
 	blk := &c.blocks[0]
@@ -409,8 +474,8 @@ func TestErrorInjectionUncorrectableAfterAbuse(t *testing.T) {
 func TestChipSeedDeterminism(t *testing.T) {
 	run := func() [][]float64 {
 		c := newTestChip(t, WithSeed(42))
-		c.Program(PageAddr{0, 0}, []byte("x"), 0)
-		c.PLock(PageAddr{0, 0}, 0)
+		mustProgram(t, c, PageAddr{0, 0}, []byte("x"))
+		mustPLock(t, c, PageAddr{0, 0})
 		return c.blocks[0].wls[0].flags
 	}
 	a, b := run(), run()
@@ -536,10 +601,10 @@ func TestReadDisturbAccumulates(t *testing.T) {
 	c := newTestChip(t, WithErrorInjection(), WithSeed(9))
 	// Program WL0 and WL1; hammer WL1 with reads; WL0 is its neighbour.
 	for p := 0; p < 6; p++ {
-		c.Program(PageAddr{0, p}, make([]byte, 2048), 0)
+		mustProgram(t, c, PageAddr{0, p}, make([]byte, 2048))
 	}
 	for i := 0; i < 5000; i++ {
-		c.Read(PageAddr{0, 3}, 0) // WL1
+		mustRead(t, c, PageAddr{0, 3}) // WL1
 	}
 	if got := c.blocks[0].wls[0].reads; got < 5000 {
 		t.Fatalf("neighbour WL accumulated %d read disturbs, want >= 5000", got)
@@ -553,7 +618,7 @@ func TestReadDisturbAccumulates(t *testing.T) {
 
 func TestCopybackMovesData(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{0, 0}, []byte("move me"), 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("move me"))
 	lat, err := c.Copyback(PageAddr{0, 0}, PageAddr{1, 0}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -571,8 +636,8 @@ func TestCopybackMovesData(t *testing.T) {
 // too, so the copy lands all-zero.
 func TestCopybackCannotExfiltrateLockedData(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{0, 0}, []byte("locked secret"), 0)
-	c.PLock(PageAddr{0, 0}, 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("locked secret"))
+	mustPLock(t, c, PageAddr{0, 0})
 	if _, err := c.Copyback(PageAddr{0, 0}, PageAddr{1, 0}, 0); err == nil {
 		t.Log("copyback of locked page allowed; checking the payload")
 	}
@@ -589,7 +654,7 @@ func TestCopybackCannotExfiltrateLockedData(t *testing.T) {
 
 func TestCopybackDisciplineErrors(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{0, 0}, []byte("x"), 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("x"))
 	// Destination out of order.
 	if _, err := c.Copyback(PageAddr{0, 0}, PageAddr{1, 5}, 0); err == nil {
 		t.Fatal("out-of-order copyback destination accepted")

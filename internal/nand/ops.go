@@ -29,6 +29,17 @@ type ReadResult struct {
 	CorrectedBits int
 }
 
+// CloneData returns a caller-owned copy of Data (nil stays nil). It is
+// the documented copy helper for holding page contents across later
+// operations on the same chip; secvet's aliasing rule flags any other
+// way of letting Data escape the read's statement block.
+func (r ReadResult) CloneData() []byte {
+	if r.Data == nil {
+		return nil
+	}
+	return append([]byte(nil), r.Data...)
+}
+
 // Read performs a page read at simulated time now.
 //
 // Security semantics (§5.2): if the block's bAP flag is disabled the read

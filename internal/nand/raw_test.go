@@ -8,7 +8,7 @@ import (
 func TestRawPortReadCycle(t *testing.T) {
 	c := newTestChip(t)
 	payload := []byte("raw interface payload")
-	c.Program(PageAddr{2, 0}, payload, 0)
+	mustProgram(t, c, PageAddr{2, 0}, payload)
 
 	port := NewRawPort(c)
 	got, err := port.ReadPage(PageAddr{2, 0}, len(payload))
@@ -31,8 +31,8 @@ func TestRawPortReadCycle(t *testing.T) {
 func TestRawPortLockedPageStreamsZeros(t *testing.T) {
 	c := newTestChip(t)
 	secret := []byte("undisclosed location")
-	c.Program(PageAddr{1, 0}, secret, 0)
-	c.PLock(PageAddr{1, 0}, 0)
+	mustProgram(t, c, PageAddr{1, 0}, secret)
+	mustPLock(t, c, PageAddr{1, 0})
 
 	port := NewRawPort(c)
 	got, err := port.ReadPage(PageAddr{1, 0}, len(secret))
@@ -94,7 +94,7 @@ func TestRawPortProgramEraseCycle(t *testing.T) {
 
 func TestRawPortVendorLockCommands(t *testing.T) {
 	c := newTestChip(t)
-	c.Program(PageAddr{0, 0}, []byte("to lock"), 0)
+	mustProgram(t, c, PageAddr{0, 0}, []byte("to lock"))
 	port := NewRawPort(c)
 
 	// E0h + row + E1h: pLock.
@@ -105,7 +105,7 @@ func TestRawPortVendorLockCommands(t *testing.T) {
 	if err := port.WriteCommand(CmdPLockConfirm); err != nil {
 		t.Fatal(err)
 	}
-	if locked, _ := c.IsPageLocked(PageAddr{0, 0}, 0); !locked {
+	if !pageLocked(t, c, PageAddr{0, 0}) {
 		t.Fatal("vendor pLock command did not lock")
 	}
 
@@ -117,7 +117,7 @@ func TestRawPortVendorLockCommands(t *testing.T) {
 	if err := port.WriteCommand(CmdBLockConfirm); err != nil {
 		t.Fatal(err)
 	}
-	if locked, _ := c.IsBlockLocked(3, 0); !locked {
+	if !blockLocked(t, c, 3) {
 		t.Fatal("vendor bLock command did not lock")
 	}
 }

@@ -105,7 +105,7 @@ type Condition struct {
 
 // Params are the calibration constants of the noise model. All defaults
 // are chosen so that the paper's qualitative thresholds hold (see
-// DESIGN.md §6); they are exported so the ablation benches can perturb
+// DESIGN.md §7); they are exported so the ablation benches can perturb
 // them.
 type Params struct {
 	// P/E cycling: fractional sigma widening per 1000 cycles and erased

@@ -232,6 +232,7 @@ func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 		s.emitChip(trace.OpRead, chip, p, dep, cellStart, cellDone)
 		s.emitChip(trace.OpXfer, chip, p, cellDone, busStart, busDone)
 	}
+	//secvet:allow aliasing -- Target.Read contract: the FTL consumes the page before the next op on this chip (Program copies); a copy here would undo the zero-alloc hot path
 	return data, busDone
 }
 
@@ -388,7 +389,9 @@ func (s *SSD) ReadLogical(lpa int64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return res.Data, nil
+	// CloneData: this debug/verification path returns the page to the
+	// caller, who may hold it across later ops on the same chip.
+	return res.CloneData(), nil
 }
 
 // Mark snapshots the measurement window: Report()'s rates cover activity

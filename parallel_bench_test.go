@@ -58,6 +58,7 @@ func BenchmarkParallelFigure14(b *testing.B) {
 // and writes BENCH_parallel.json into the package directory.
 func writeParallelBenchReport(b *testing.B, profiles []workload.Profile) {
 	campaign := func(workers int) float64 {
+		//secvet:allow determinism -- benchmark measures wall-clock throughput of the runner, not simulated time
 		start := time.Now()
 		if _, err := experiment.Figure14Parallel(benchScale(), profiles, workers); err != nil {
 			b.Fatal(err)
