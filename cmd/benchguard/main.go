@@ -1,0 +1,116 @@
+// Command benchguard compares a freshly generated BENCH_parallel.json
+// against the committed baseline and fails (exit 1) when throughput
+// regressed beyond the threshold. CI runs it after the bench smoke so a
+// PR that slows the simulator down shows up as a red check instead of a
+// silently growing campaign time.
+//
+// Usage:
+//
+//	benchguard -baseline ci/bench_baseline.json -fresh BENCH_parallel.json [-threshold 0.20]
+//
+// Three quantities are guarded, each against its own baseline value:
+// serial campaign throughput, 4-worker campaign throughput (both in
+// grid-cells per second, so a changed grid size stays comparable), and
+// the flash-op allocation count (machine-independent; a tight canary for
+// hot-path allocations creeping back).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the BENCH_parallel.json schema written by
+// BenchmarkParallelFigure14 (parallel_bench_test.go).
+type report struct {
+	GridCells           int     `json:"grid_cells"`
+	SerialSec           float64 `json:"serial_sec"`
+	ParallelSec         float64 `json:"parallel_sec"`
+	Speedup             float64 `json:"speedup"`
+	FlashOpsAllocsPerOp float64 `json:"flashops_allocs_per_op"`
+}
+
+// cellsPerSec converts a campaign wall-clock into throughput.
+func (r report) cellsPerSec(sec float64) float64 {
+	if sec <= 0 {
+		return 0
+	}
+	return float64(r.GridCells) / sec
+}
+
+// compare returns one message per guarded quantity that regressed beyond
+// threshold (a fraction: 0.20 means "more than 20% worse than baseline").
+func compare(baseline, fresh report, threshold float64) []string {
+	var bad []string
+	check := func(name string, base, got float64, lowerIsBetter bool) {
+		if base <= 0 {
+			// No ratio to take. A zero-alloc baseline is still a guarantee
+			// worth keeping: regressing it to real allocations fails.
+			if lowerIsBetter && got > 0.5 {
+				bad = append(bad, fmt.Sprintf("%s: baseline %.3f, fresh %.3f", name, base, got))
+				fmt.Printf("%-28s baseline %10.3f   fresh %10.3f   REGRESSED\n", name, base, got)
+			}
+			return
+		}
+		var regressed bool
+		var ratio float64
+		if lowerIsBetter {
+			ratio = got / base
+			regressed = got > base*(1+threshold)
+		} else {
+			ratio = base / got
+			regressed = got < base*(1-threshold)
+		}
+		status := "ok"
+		if regressed {
+			status = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("%s: baseline %.3f, fresh %.3f (%.0f%% worse)",
+				name, base, got, (ratio-1)*100))
+		}
+		fmt.Printf("%-28s baseline %10.3f   fresh %10.3f   %s\n", name, base, got, status)
+	}
+	check("serial cells/sec", baseline.cellsPerSec(baseline.SerialSec), fresh.cellsPerSec(fresh.SerialSec), false)
+	check("parallel-4 cells/sec", baseline.cellsPerSec(baseline.ParallelSec), fresh.cellsPerSec(fresh.ParallelSec), false)
+	check("flash-op allocs/op", baseline.FlashOpsAllocsPerOp, fresh.FlashOpsAllocsPerOp, true)
+	return bad
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "ci/bench_baseline.json", "committed baseline report")
+	freshPath := flag.String("fresh", "BENCH_parallel.json", "freshly generated report")
+	threshold := flag.Float64("threshold", 0.20, "allowed regression fraction")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if bad := compare(baseline, fresh, *threshold); len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: throughput regression beyond threshold:")
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "  -", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: within threshold")
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestCompare(t *testing.T) {
+	base := report{GridCells: 4, SerialSec: 4, ParallelSec: 1, FlashOpsAllocsPerOp: 1.0}
+	cases := []struct {
+		name  string
+		fresh report
+		bad   int
+	}{
+		{"identical", base, 0},
+		{"within threshold", report{GridCells: 4, SerialSec: 4.5, ParallelSec: 1.1, FlashOpsAllocsPerOp: 1.1}, 0},
+		{"serial regressed", report{GridCells: 4, SerialSec: 6, ParallelSec: 1, FlashOpsAllocsPerOp: 1.0}, 1},
+		{"parallel regressed", report{GridCells: 4, SerialSec: 4, ParallelSec: 1.5, FlashOpsAllocsPerOp: 1.0}, 1},
+		{"allocs regressed", report{GridCells: 4, SerialSec: 4, ParallelSec: 1, FlashOpsAllocsPerOp: 1.5}, 1},
+		{"everything regressed", report{GridCells: 4, SerialSec: 8, ParallelSec: 3, FlashOpsAllocsPerOp: 2.0}, 3},
+		// A bigger grid at proportionally bigger wall clock is the same
+		// throughput, not a regression.
+		{"grid resized", report{GridCells: 8, SerialSec: 8, ParallelSec: 2, FlashOpsAllocsPerOp: 1.0}, 0},
+		// Faster is never a regression.
+		{"improved", report{GridCells: 4, SerialSec: 2, ParallelSec: 0.5, FlashOpsAllocsPerOp: 0.2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := compare(base, tc.fresh, 0.20); len(got) != tc.bad {
+				t.Fatalf("compare flagged %d regressions (%v), want %d", len(got), got, tc.bad)
+			}
+		})
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	// A zeroed baseline (e.g. a hand-written placeholder) guards nothing
+	// rather than dividing by zero or failing spuriously.
+	if got := compare(report{}, report{GridCells: 4, SerialSec: 4}, 0.20); len(got) != 0 {
+		t.Fatalf("zero baseline flagged %v", got)
+	}
+}
+
+func TestCompareZeroAllocBaselineStillGuards(t *testing.T) {
+	base := report{GridCells: 4, SerialSec: 4, ParallelSec: 1, FlashOpsAllocsPerOp: 0}
+	fresh := base
+	fresh.FlashOpsAllocsPerOp = 1.2
+	if got := compare(base, fresh, 0.20); len(got) != 1 {
+		t.Fatalf("zero-alloc baseline did not flag alloc creep: %v", got)
+	}
+}

@@ -8,7 +8,14 @@
 //	secssd-bench [-fig 14a|14b|14c|headline|all]
 //	             [-scale small|default|paper] [-parallel N]
 //	             [-workloads MailServer,DBServer,FileServer,Mobile]
+//	             [-fault-rate R] [-fault-seed S]
 //	             [-csv] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -fault-rate enables deterministic fault injection: every program,
+// erase, pLock, and bLock fails with probability R (scaled by per-block
+// wear), and reads run at a raw bit-error rate of R × the ECC limit. The
+// fault schedule is a pure function of -fault-seed (default: the run
+// seed), so any campaign result is bit-reproducible.
 //
 // -parallel runs the independent workload×policy simulations on N
 // workers (default: one per CPU); results are bit-identical to serial.
@@ -49,6 +56,8 @@ func main() {
 	traceJSONL := flag.String("trace-jsonl", "", "also write the raw event log as JSONL here")
 	statsJSON := flag.String("stats-json", "", "write the telemetry snapshot JSON here")
 	tracePolicy := flag.String("trace-policy", "secSSD", "policy for the traced run")
+	faultRate := flag.Float64("fault-rate", 0, "per-operation fault-injection probability (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (0: use the run seed)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
@@ -75,6 +84,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "secssd-bench: unknown scale %q\n", *scaleName)
 		die(2)
+	}
+	sc.FaultRate = *faultRate
+	sc.FaultSeed = *faultSeed
+
+	// Effective seeds up front: everything below is reproducible from
+	// this line alone.
+	if sc.FaultRate > 0 {
+		fc := sc.FaultConfig()
+		fmt.Printf("# scale=%s seed=%d fault-rate=%g fault-seed=%d\n",
+			*scaleName, sc.Seed, sc.FaultRate, fc.Seed)
+	} else {
+		fmt.Printf("# scale=%s seed=%d fault-rate=0\n", *scaleName, sc.Seed)
 	}
 
 	var profiles []workload.Profile

@@ -11,7 +11,7 @@ import (
 // ordering rule applies only inside them. Drivers may override it via
 // the -simpkgs flag.
 var SimPackagePattern = regexp.MustCompile(
-	`(^|/)internal/(sim|ftl|ssd|nand|sanitize|experiment|vertrace|chipchar)(/|$)`)
+	`(^|/)internal/(sim|ftl|ssd|nand|fault|sanitize|experiment|vertrace|chipchar)(/|$)`)
 
 // globalRandFuncs are the math/rand package-level functions backed by
 // the shared global source. Constructors (New, NewSource, NewZipf) are

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/blockio"
+	"repro/internal/fault"
 	"repro/internal/filesys"
 	"repro/internal/ftl"
 	"repro/internal/nand"
@@ -79,6 +80,12 @@ type Options struct {
 	BlocksPerChip   int
 	WLsPerBlock     int
 	PageBytes       int
+	// FaultRate enables deterministic fault injection (program/erase/
+	// pLock/bLock failures plus read bit errors) at the given per-op
+	// probability; zero disables it. FaultSeed zero derives the schedule
+	// from Seed.
+	FaultRate float64
+	FaultSeed int64
 }
 
 // Device is an assembled SecureSSD with its file layer.
@@ -125,6 +132,9 @@ func New(opts Options) (*Device, error) {
 	}
 	if opts.Seed != 0 {
 		cfg.Seed = opts.Seed
+	}
+	if opts.FaultRate > 0 {
+		cfg.Fault = fault.Uniform(opts.FaultRate, opts.FaultSeed)
 	}
 	dev, err := ssd.New(cfg)
 	if err != nil {

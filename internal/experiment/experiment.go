@@ -9,6 +9,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/filesys"
 	"repro/internal/ftl"
 	"repro/internal/nand"
@@ -48,6 +49,21 @@ type Scale struct {
 	// PrefillFraction of the logical space filled before measuring.
 	PrefillFraction float64
 	Seed            int64
+	// FaultRate enables deterministic fault injection at the given
+	// uniform per-operation rate (see fault.Uniform). Zero disables it.
+	FaultRate float64
+	// FaultSeed drives the fault schedule; zero falls back to Seed.
+	FaultSeed int64
+}
+
+// FaultConfig returns the scale's fault-injection configuration (the
+// zero Config when FaultRate is 0).
+func (sc Scale) FaultConfig() fault.Config {
+	seed := sc.FaultSeed
+	if seed == 0 {
+		seed = sc.Seed
+	}
+	return fault.Uniform(sc.FaultRate, seed)
 }
 
 // studyPagesFor returns the measured volume for a policy.
@@ -204,6 +220,7 @@ func buildDevice(policy ftl.Policy, sc Scale, tr trace.Collector) (*ssd.SSD, err
 		QueueDepth:      32,
 		Policy:          policy,
 		Seed:            sc.Seed,
+		Fault:           sc.FaultConfig(),
 		Trace:           tr,
 	})
 }

@@ -12,7 +12,16 @@ func (f *FTL) allocate() (PPA, error) {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("ftl: device out of space")
+	retired := 0
+	for _, r := range f.retired {
+		if r {
+			retired++
+		}
+	}
+	return 0, fmt.Errorf(
+		"ftl: device out of space (%d/%d blocks retired, %d reusable, %d programs quarantined): "+
+			"the over-provisioning is gone — likely consumed by injected faults",
+		retired, f.geo.TotalBlocks(), f.FreeBlocks(), f.stats.ProgramFailures)
 }
 
 // rr advances the round-robin cursor.
@@ -68,10 +77,10 @@ func (f *FTL) openBlock(chip int) error {
 		cs.free = append(cs.free[:pick], cs.free[pick+1:]...)
 		return nil
 	}
-	if n := len(cs.pendingErase); n > 0 {
+	for len(cs.pendingErase) > 0 {
 		pick := 0
 		if f.cfg.WearAware {
-			for i := 1; i < n; i++ {
+			for i := 1; i < len(cs.pendingErase); i++ {
 				if f.eraseCount[cs.pendingErase[i]] < f.eraseCount[cs.pendingErase[pick]] {
 					pick = i
 				}
@@ -79,7 +88,11 @@ func (f *FTL) openBlock(chip int) error {
 		}
 		block := cs.pendingErase[pick]
 		cs.pendingErase = append(cs.pendingErase[:pick], cs.pendingErase[pick+1:]...)
-		f.eraseBlock(block)
+		if !f.eraseBlock(block) {
+			// The lazy erase failed and retired the block; try the next
+			// candidate.
+			continue
+		}
 		cs.active = block
 		return nil
 	}

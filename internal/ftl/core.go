@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/blockio"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -41,11 +42,21 @@ type FTL struct {
 	// statusCount tracks the page population per PageStatus; every status
 	// transition goes through setStatus to keep it exact. It feeds the
 	// valid/secured/invalid telemetry gauges.
-	statusCount [4]int64
+	statusCount [NumPageStatus]int64
 
 	liveInBlock []int32 // live (valid+secured) pages per global block
 	usedInBlock []int32 // programmed pages per global block (free = total-used)
 	eraseCount  []int32 // erases per global block (wear)
+
+	// lockedBlocks marks bLocked blocks (set by IssueBLock / escalation,
+	// cleared by erase); retired marks blocks pulled from rotation after
+	// an erase failure. Both gate further lock/erase/allocate activity.
+	lockedBlocks []bool
+	retired      []bool
+
+	// retryDepth samples how many fresh-page retries each recovered
+	// program failure needed (fault campaigns report its mean/max).
+	retryDepth metrics.Summary
 
 	chips []chipState
 
@@ -96,6 +107,8 @@ func New(cfg Config, target Target, policy Policy) (*FTL, error) {
 		liveInBlock:     make([]int32, g.TotalBlocks()),
 		usedInBlock:     make([]int32, g.TotalBlocks()),
 		eraseCount:      make([]int32, g.TotalBlocks()),
+		lockedBlocks:    make([]bool, g.TotalBlocks()),
+		retired:         make([]bool, g.TotalBlocks()),
 		chips:           make([]chipState, g.Chips),
 		pendingSanitize: make(map[int][]PPA),
 	}
@@ -146,11 +159,25 @@ func (f *FTL) setStatus(p PPA, st PageStatus) {
 	f.status[p] = st
 }
 
-// PageStatusCounts returns the device-wide page population per status.
+// PageStatusCounts returns the device-wide page population per status
+// (retired pages are reported separately by RetiredPages).
 func (f *FTL) PageStatusCounts() (free, valid, secured, invalid int64) {
 	return f.statusCount[PageFree], f.statusCount[PageValid],
 		f.statusCount[PageSecured], f.statusCount[PageInvalid]
 }
+
+// RetiredPages returns the page population of retired blocks.
+func (f *FTL) RetiredPages() int64 { return f.statusCount[PageRetired] }
+
+// BlockRetired reports whether a block has been pulled from rotation.
+func (f *FTL) BlockRetired(block int) bool { return f.retired[block] }
+
+// BlockLocked reports whether a block is currently bLocked.
+func (f *FTL) BlockLocked(block int) bool { return f.lockedBlocks[block] }
+
+// RetryDepth returns the distribution of fresh-page retries per
+// recovered program failure.
+func (f *FTL) RetryDepth() metrics.Summary { return f.retryDepth }
 
 // Lookup returns the physical page currently mapped to lpa (NoPPA if
 // unmapped).
@@ -217,6 +244,16 @@ func (f *FTL) Submit(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
 		f.tracer.Gauge(trace.GaugeLockQueue, f.reqClock, float64(depth))
 	}
 	f.policy.Flush(f)
+	// Fault recovery during the flush (a quarantined failed program, an
+	// escalation's relocations) can queue fresh sanitize work; drain
+	// until a flush settles with nothing pending so the request never
+	// completes with a secured residue still readable.
+	for i := 0; len(f.pendingSanitize) > 0; i++ {
+		if i >= 1000 {
+			panic("ftl: sanitize flush did not converge after 1000 rounds")
+		}
+		f.policy.Flush(f)
+	}
 	if f.reqClock > done {
 		done = f.reqClock
 	}
@@ -229,7 +266,10 @@ func (f *FTL) Submit(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
 	return done, nil
 }
 
-// writePage appends one logical page (§2.2 Fig. 3 flow).
+// writePage appends one logical page (§2.2 Fig. 3 flow). A failed
+// program quarantines the consumed page (the chip's write pointer
+// advanced and a partial payload may be readable there) and retries on a
+// fresh page.
 func (f *FTL) writePage(lpa int64, secure bool, file uint64, data []byte, dep sim.Micros) (sim.Micros, error) {
 	f.stats.HostWrittenPages++
 	old := f.l2p[lpa]
@@ -238,7 +278,24 @@ func (f *FTL) writePage(lpa int64, secure bool, file uint64, data []byte, dep si
 		return dep, err
 	}
 	f.stats.FlashPrograms++
-	done := f.target.Program(p, data, dep)
+	done, perr := f.target.Program(p, data, dep)
+	retries := 0
+	for perr != nil {
+		f.quarantineFailedProgram(p, secure, file, done)
+		if retries+1 >= maxProgramAttempts {
+			return done, fmt.Errorf("ftl: program for lpa %d failed %d times: %w", lpa, retries+1, perr)
+		}
+		retries++
+		f.stats.ProgramRetries++
+		if p, err = f.allocate(); err != nil {
+			return done, err
+		}
+		f.stats.FlashPrograms++
+		done, perr = f.target.Program(p, data, done)
+	}
+	if retries > 0 {
+		f.retryDepth.Add(float64(retries))
+	}
 	f.l2p[lpa] = p
 	f.p2l[p] = lpa
 	f.fileOf[p] = file
@@ -286,9 +343,32 @@ func (f *FTL) MarkInvalid(p PPA) { f.setStatus(p, PageInvalid) }
 // occupies the chip but does not gate the host request's completion: the
 // lock manager overlaps locks with foreground work (the status table is
 // updated synchronously, so the FTL's security state is immediate).
+//
+// A failed pLock cannot be retried — the one-shot pulse spent the flag
+// cells' single program opportunity — so it escalates to a bLock of the
+// whole block (relocating any live pages out first).
 func (f *FTL) IssuePLock(p PPA) {
+	block := f.geo.BlockOf(p)
+	if f.lockedBlocks[block] || f.retired[block] {
+		// An earlier escalation or retirement already destroyed every
+		// stale page of this block, this one included.
+		return
+	}
+	if f.status[p] != PageInvalid {
+		// The stale copy no longer exists: an erase or retirement got to
+		// the block first (e.g. a reentrant GC flush while this batch was
+		// being drained) and the page may even hold new data. Locking it
+		// would destroy a free or live page.
+		return
+	}
 	f.stats.PLocks++
-	done := f.target.PLock(p, f.reqStart)
+	done, err := f.target.PLock(p, f.reqStart)
+	if err != nil {
+		f.stats.PLockFailures++
+		f.markFault(trace.OpPLockFail, block, f.geo.PageInBlock(p), done)
+		f.escalateToBLock(block)
+		return
+	}
 	f.setStatus(p, PageInvalid)
 	if f.hooks.Destroyed != nil {
 		f.hooks.Destroyed(p, f.fileOf[p])
@@ -299,12 +379,44 @@ func (f *FTL) IssuePLock(p PPA) {
 }
 
 // IssueBLock emits a bLock covering every stale page of the block; the
-// given pages are marked invalid.
+// given pages are marked invalid. A failed bLock falls back to forced
+// copy-out + erase — the block is fully stale here (the §6 decision
+// rule's precondition), so the "copy-out" part is already satisfied and
+// the erase destroys the data instead (retiring the block if the erase
+// fails too).
 func (f *FTL) IssueBLock(block int, pages []PPA) {
-	f.stats.BLocks++
-	done := f.target.BLock(block, f.reqStart)
+	if f.lockedBlocks[block] || f.retired[block] {
+		return
+	}
+	// Keep only the pages whose stale copy still exists. A reentrant
+	// flush (GC triggered by a relocation) may have erased the block —
+	// and the allocator may have reopened it — after this batch was
+	// drained; locking a free or refilled block would brick live pages.
+	stale := make([]PPA, 0, len(pages))
 	for _, p := range pages {
-		f.setStatus(p, PageInvalid)
+		if f.status[p] == PageInvalid {
+			stale = append(stale, p)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	if !f.BlockFullyStale(block) {
+		for _, p := range stale {
+			f.IssuePLock(p)
+		}
+		return
+	}
+	f.stats.BLocks++
+	done, err := f.target.BLock(block, f.reqStart)
+	if err != nil {
+		f.stats.BLockFailures++
+		f.markFault(trace.OpBLockFail, block, -1, done)
+		f.recoveryErase(block)
+		return
+	}
+	f.lockedBlocks[block] = true
+	for _, p := range stale {
 		if f.hooks.Destroyed != nil {
 			f.hooks.Destroyed(p, f.fileOf[p])
 		}
@@ -385,6 +497,9 @@ func (f *FTL) BlockFullyStale(block int) bool {
 		int(f.usedInBlock[block]) == f.geo.PagesPerBlock
 }
 
+// LiveInBlock reports how many live pages the block currently holds.
+func (f *FTL) LiveInBlock(block int) int { return int(f.liveInBlock[block]) }
+
 // LockTiming exposes the configured pLock/bLock latencies to policies.
 func (f *FTL) LockTiming() LockTiming { return f.cfg.Timing }
 
@@ -437,17 +552,43 @@ func (f *FTL) relocatePage(p PPA, sanitizeOld bool) {
 		// configuration error surfaced by allocate's panic path.
 		np = f.mustAllocate()
 	}
-	f.stats.FlashReads++
-	f.stats.FlashPrograms++
-	f.stats.GCCopies++
 	var progDone sim.Micros
-	if !f.cfg.NoCopyback && f.geo.ChipOf(np) == f.geo.ChipOf(p) {
-		// Same-chip move: the copyback command skips the bus transfers.
-		f.stats.Copybacks++
-		progDone = f.target.Copyback(p, np, f.reqClock)
-	} else {
-		data, readDone := f.target.Read(p, f.reqClock)
-		progDone = f.target.Program(np, data, readDone)
+	retries := 0
+	for {
+		f.stats.FlashReads++
+		f.stats.FlashPrograms++
+		f.stats.GCCopies++
+		var perr error
+		if !f.cfg.NoCopyback && f.geo.ChipOf(np) == f.geo.ChipOf(p) {
+			// Same-chip move: the copyback command skips the bus transfers.
+			f.stats.Copybacks++
+			progDone, perr = f.target.Copyback(p, np, f.reqClock)
+		} else {
+			data, readDone := f.target.Read(p, f.reqClock)
+			progDone, perr = f.target.Program(np, data, readDone)
+		}
+		if perr == nil {
+			break
+		}
+		// The destination was consumed by the failed program; quarantine
+		// it and retry the whole move on a fresh page (the source is
+		// still intact and mapped).
+		f.quarantineFailedProgram(np, st == PageSecured, file, progDone)
+		if retries+1 >= maxProgramAttempts {
+			panic(fmt.Sprintf("ftl: relocation of page %d failed %d times: %v", p, retries+1, perr))
+		}
+		retries++
+		f.stats.ProgramRetries++
+		if progDone > f.reqClock {
+			f.reqClock = progDone
+		}
+		np, err = f.allocateOnChip(f.geo.ChipOf(p))
+		if err != nil {
+			np = f.mustAllocate()
+		}
+	}
+	if retries > 0 {
+		f.retryDepth.Add(float64(retries))
 	}
 	if progDone > f.reqClock {
 		f.reqClock = progDone
@@ -488,10 +629,18 @@ func (f *FTL) relocatePage(p PPA, sanitizeOld bool) {
 // EraseNow erases a block immediately (erSSD and the eager-erase
 // ablation). Every page becomes free and its stale data is destroyed.
 // The block moves to the free list (and off the lazy-erase queue, where
-// GC may already have parked it).
+// GC may already have parked it) — unless the erase failed, in which
+// case eraseBlock retired the block and it joins no list.
 func (f *FTL) EraseNow(block int) {
-	f.eraseBlock(block)
 	cs := &f.chips[f.geo.ChipOfBlock(block)]
+	if f.retired[block] || f.freeContains(cs, block) {
+		// Already retired, or already erased and freed (a reentrant flush
+		// from a relocation-triggered GC got here first): nothing stale
+		// remains to destroy, and a second free-list entry would let the
+		// allocator open the block twice.
+		return
+	}
+	ok := f.eraseBlock(block)
 	if cs.active == block {
 		cs.active = -1
 		cs.frontier = 0
@@ -502,14 +651,25 @@ func (f *FTL) EraseNow(block int) {
 			break
 		}
 	}
-	cs.free = append(cs.free, block)
+	if ok {
+		cs.free = append(cs.free, block)
+	}
 }
 
-func (f *FTL) eraseBlock(block int) {
+// eraseBlock issues the erase and reconciles the status table. It
+// reports false when the erase failed: the block is then retired (with
+// its stale data scrubbed) instead of becoming free.
+func (f *FTL) eraseBlock(block int) bool {
 	f.stats.Erases++
-	eraseDone := f.target.Erase(block, f.reqClock)
+	eraseDone, eerr := f.target.Erase(block, f.reqClock)
 	if eraseDone > f.reqClock {
 		f.reqClock = eraseDone
+	}
+	if eerr != nil {
+		f.stats.EraseFailures++
+		f.markFault(trace.OpEraseFail, block, -1, eraseDone)
+		f.retireBlock(block, eraseDone)
+		return false
 	}
 	first := f.geo.FirstPPA(block)
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
@@ -532,7 +692,9 @@ func (f *FTL) eraseBlock(block int) {
 	f.liveInBlock[block] = 0
 	f.usedInBlock[block] = 0
 	f.eraseCount[block]++
+	f.lockedBlocks[block] = false
 	delete(f.pendingSanitize, block)
+	return true
 }
 
 // WearStats summarizes per-block erase counts.

@@ -103,7 +103,14 @@ const (
 	// PageInvalid holds stale data awaiting garbage collection. For
 	// secured pages this state is only entered after sanitization.
 	PageInvalid
+	// PageRetired belongs to a block pulled from rotation after an erase
+	// failure. Retired pages are never allocated again; their stale data
+	// was destroyed (bLock or backstop scrub) before retirement.
+	PageRetired
 )
+
+// NumPageStatus is the number of distinct page states.
+const NumPageStatus = 5
 
 func (s PageStatus) String() string {
 	switch s {
@@ -115,6 +122,8 @@ func (s PageStatus) String() string {
 		return "secured"
 	case PageInvalid:
 		return "invalid"
+	case PageRetired:
+		return "retired"
 	default:
 		return fmt.Sprintf("PageStatus(%d)", uint8(s))
 	}
@@ -127,20 +136,33 @@ func (s PageStatus) Live() bool { return s == PageValid || s == PageSecured }
 // account latency and parallelism; each call corresponds to exactly one
 // flash operation. Dep expresses intra-request ordering: an operation may
 // not start before its dependency time (e.g. a GC program depends on its
-// read). The return value is the operation's completion time.
+// read). The first return value is the operation's completion time.
+//
+// The fallible operations (Program, Copyback, Erase, PLock, BLock)
+// additionally report injected operation failures (see internal/fault).
+// A non-nil error means the operation burned its full latency and failed:
+// a failed Program/Copyback consumed its destination page (the write
+// pointer advanced, a partial payload may be readable there), a failed
+// Erase/PLock/BLock left the target's state unchanged. The FTL's
+// recovery ladder — retry, escalate, retire — handles each case; fault-
+// free targets simply always return nil.
 type Target interface {
 	// Read returns the stored payload (nil for timing-only targets) and
-	// the completion time.
+	// the completion time. Read-path faults (injected bit errors) are
+	// absorbed by the implementation via bounded retries; after
+	// exhaustion it returns the corrupted payload rather than failing.
 	Read(p PPA, dep sim.Micros) ([]byte, sim.Micros)
 	// Program stores data (which may be nil for timing-only runs).
-	Program(p PPA, data []byte, dep sim.Micros) sim.Micros
+	Program(p PPA, data []byte, dep sim.Micros) (sim.Micros, error)
 	// Copyback moves src to dst without a bus transfer; implementations
 	// fall back to read+program semantics for the data while charging
 	// only on-chip time. src and dst are always on the same chip.
-	Copyback(src, dst PPA, dep sim.Micros) sim.Micros
-	Erase(block int, dep sim.Micros) sim.Micros
-	PLock(p PPA, dep sim.Micros) sim.Micros
-	BLock(block int, dep sim.Micros) sim.Micros
+	Copyback(src, dst PPA, dep sim.Micros) (sim.Micros, error)
+	Erase(block int, dep sim.Micros) (sim.Micros, error)
+	PLock(p PPA, dep sim.Micros) (sim.Micros, error)
+	BLock(block int, dep sim.Micros) (sim.Micros, error)
+	// Scrub destroys a wordline in place; the in-place Vth merge cannot
+	// fail (it is the recovery ladder's backstop).
 	Scrub(p PPA, dep sim.Micros) sim.Micros
 }
 
@@ -248,6 +270,27 @@ type Stats struct {
 	// SanitizeCopies counts page copies forced by sanitization itself
 	// (erSSD relocations, scrSSD sibling moves) rather than by GC.
 	SanitizeCopies uint64
+
+	// Fault-recovery counters (all zero without injection).
+
+	// ProgramFailures counts failed page programs; each quarantined the
+	// consumed page and retried on a fresh one (ProgramRetries).
+	ProgramFailures uint64
+	ProgramRetries  uint64
+	// PLockFailures counts failed pLocks; each escalated the page's
+	// block to a bLock (LockEscalations).
+	PLockFailures   uint64
+	LockEscalations uint64
+	// BLockFailures counts failed bLocks; each fell back to forced
+	// copy-out + erase (RecoveryErases).
+	BLockFailures  uint64
+	RecoveryErases uint64
+	// EraseFailures counts failed erases; each retired its block
+	// (RetiredBlocks), scrubbing any still-readable stale wordlines
+	// first (BackstopScrubs).
+	EraseFailures  uint64
+	RetiredBlocks  uint64
+	BackstopScrubs uint64
 }
 
 // WAF returns the write amplification factor: flash programs per host

@@ -21,6 +21,16 @@ type CountingTarget struct {
 	PLocks, BLocks, Scrubs  uint64
 	Copybacks               uint64
 
+	// Scripted fault hooks: when set and returning non-nil, the
+	// operation fails with that error after charging its latency —
+	// mirroring the Target contract (a failed Program still consumed
+	// its page on any attached chip). Tests use these to script exact
+	// failure sequences without probabilistic injection.
+	FailProgram func(p ftl.PPA) error
+	FailErase   func(block int) error
+	FailPLock   func(p ftl.PPA) error
+	FailBLock   func(block int) error
+
 	// Chips, when non-nil, mirrors every command onto real chip models
 	// (len must equal Geo.Chips).
 	Chips []*nand.Chip
@@ -73,7 +83,7 @@ func (t *CountingTarget) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 }
 
 // Program implements ftl.Target.
-func (t *CountingTarget) Program(p ftl.PPA, data []byte, dep sim.Micros) sim.Micros {
+func (t *CountingTarget) Program(p ftl.PPA, data []byte, dep sim.Micros) (sim.Micros, error) {
 	t.Programs++
 	chip, a := t.addr(p)
 	if t.Chips != nil {
@@ -84,11 +94,15 @@ func (t *CountingTarget) Program(p ftl.PPA, data []byte, dep sim.Micros) sim.Mic
 			panic("ftltest: FTL violated flash discipline: " + err.Error())
 		}
 	}
-	return t.exec(chip, t.Timing.Prog, dep)
+	done := t.exec(chip, t.Timing.Prog, dep)
+	if t.FailProgram != nil {
+		return done, t.FailProgram(p)
+	}
+	return done, nil
 }
 
 // Copyback implements ftl.Target.
-func (t *CountingTarget) Copyback(src, dst ftl.PPA, dep sim.Micros) sim.Micros {
+func (t *CountingTarget) Copyback(src, dst ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 	t.Copybacks++
 	chipS, aSrc := t.addr(src)
 	chipD, aDst := t.addr(dst)
@@ -104,43 +118,67 @@ func (t *CountingTarget) Copyback(src, dst ftl.PPA, dep sim.Micros) sim.Micros {
 			panic("ftltest: copyback program: " + err.Error())
 		}
 	}
-	return t.exec(chipS, t.Timing.Read+t.Timing.Prog, dep)
+	done := t.exec(chipS, t.Timing.Read+t.Timing.Prog, dep)
+	if t.FailProgram != nil {
+		return done, t.FailProgram(dst)
+	}
+	return done, nil
 }
 
 // Erase implements ftl.Target.
-func (t *CountingTarget) Erase(block int, dep sim.Micros) sim.Micros {
+func (t *CountingTarget) Erase(block int, dep sim.Micros) (sim.Micros, error) {
 	t.Erases++
 	chip := t.Geo.ChipOfBlock(block)
+	done := t.exec(chip, t.Timing.Erase, dep)
+	if t.FailErase != nil {
+		if err := t.FailErase(block); err != nil {
+			// A failed erase leaves the mirrored chip untouched.
+			return done, err
+		}
+	}
 	if t.Chips != nil {
 		if _, err := t.Chips[chip].Erase(t.Geo.BlockInChip(block), dep); err != nil {
 			panic("ftltest: " + err.Error())
 		}
 	}
-	return t.exec(chip, t.Timing.Erase, dep)
+	return done, nil
 }
 
 // PLock implements ftl.Target.
-func (t *CountingTarget) PLock(p ftl.PPA, dep sim.Micros) sim.Micros {
+func (t *CountingTarget) PLock(p ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 	t.PLocks++
 	chip, a := t.addr(p)
+	done := t.exec(chip, t.Timing.PLock, dep)
+	if t.FailPLock != nil {
+		if err := t.FailPLock(p); err != nil {
+			// A failed flag program leaves the mirrored chip unlocked.
+			return done, err
+		}
+	}
 	if t.Chips != nil {
 		if _, err := t.Chips[chip].PLock(a, dep); err != nil {
 			panic("ftltest: " + err.Error())
 		}
 	}
-	return t.exec(chip, t.Timing.PLock, dep)
+	return done, nil
 }
 
 // BLock implements ftl.Target.
-func (t *CountingTarget) BLock(block int, dep sim.Micros) sim.Micros {
+func (t *CountingTarget) BLock(block int, dep sim.Micros) (sim.Micros, error) {
 	t.BLocks++
 	chip := t.Geo.ChipOfBlock(block)
+	done := t.exec(chip, t.Timing.BLock, dep)
+	if t.FailBLock != nil {
+		if err := t.FailBLock(block); err != nil {
+			return done, err
+		}
+	}
 	if t.Chips != nil {
 		if _, err := t.Chips[chip].BLock(t.Geo.BlockInChip(block), dep); err != nil {
 			panic("ftltest: " + err.Error())
 		}
 	}
-	return t.exec(chip, t.Timing.BLock, dep)
+	return done, nil
 }
 
 // Scrub implements ftl.Target.

@@ -40,6 +40,7 @@ func (f *FTL) gcOnce(chip int) bool {
 	}
 	// Let the lock manager batch the secured stale copies: with the
 	// whole victim now stale this is the prime bLock opportunity.
+	eraseEpoch := f.eraseCount[victim]
 	f.policy.Flush(f)
 	f.inGC = false
 	if f.traceOn {
@@ -50,15 +51,21 @@ func (f *FTL) gcOnce(chip int) bool {
 	}
 
 	// A sanitization policy may have erased the victim during Flush
-	// (erSSD) — it is then on the free list, or even reopened as the
-	// active block. Either way it must not be queued for lazy erase.
+	// (erSSD) — it is then on the free list, reopened as the active block,
+	// or even fully refilled with live data and closed again. The erase
+	// count is the reliable tell (the victim cannot acquire new data
+	// without an erase first); requeueing after any of these would destroy
+	// live pages or double-free the block.
 	cs := &f.chips[chip]
-	if f.usedInBlock[victim] == 0 || cs.active == victim || f.freeContains(cs, victim) {
+	if f.eraseCount[victim] != eraseEpoch || f.retired[victim] ||
+		f.usedInBlock[victim] == 0 || cs.active == victim || f.freeContains(cs, victim) {
 		return true
 	}
 	if f.cfg.EagerErase {
-		f.eraseBlock(victim)
-		cs.free = append(cs.free, victim)
+		// A failed erase retires the victim; only a successful one frees it.
+		if f.eraseBlock(victim) {
+			cs.free = append(cs.free, victim)
+		}
 	} else {
 		cs.pendingErase = append(cs.pendingErase, victim)
 	}
@@ -76,7 +83,7 @@ func (f *FTL) pickVictim(chip int) int {
 	cs := &f.chips[chip]
 	begin := chip * f.geo.BlocksPerChip
 	eligible := func(b int) bool {
-		return b != cs.active &&
+		return b != cs.active && !f.retired[b] &&
 			int(f.usedInBlock[b]) == f.geo.PagesPerBlock &&
 			!f.pendingEraseContains(cs, b)
 	}

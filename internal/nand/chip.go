@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/nand/vth"
 	"repro/internal/sim"
 )
@@ -35,6 +36,14 @@ var (
 	ErrBlockLocked   = errors.New("nand: block is locked (bAP disabled)")
 	ErrUncorrectable = errors.New("nand: raw bit errors exceed ECC correction capability")
 	ErrWornOut       = errors.New("nand: block exceeded its endurance rating")
+
+	// Injected operation failures (see internal/fault). The op consumed
+	// its full latency and — for ErrProgramFailed — its page before
+	// failing; the FTL's recovery ladder decides what happens next.
+	ErrProgramFailed = errors.New("nand: program operation failed (status FAIL)")
+	ErrEraseFailed   = errors.New("nand: erase operation failed (status FAIL)")
+	ErrPLockFailed   = errors.New("nand: pLock flag program failed (status FAIL)")
+	ErrBLockFailed   = errors.New("nand: bLock SSL program failed (status FAIL)")
 )
 
 // Geometry fixes the chip's physical layout. The defaults mirror the
@@ -216,6 +225,13 @@ type Chip struct {
 	injectErrors bool
 	eccLimit     float64 // per-page RBER limit when injecting
 
+	// faults, when set, decides per-operation failures and injected read
+	// bit errors (see internal/fault). inCopyback suppresses fault read
+	// injection on the internal read of Copyback: the on-chip data move
+	// bypasses the ECC transfer path this model represents.
+	faults     *fault.Injector
+	inCopyback bool
+
 	opCount [opKinds]uint64
 
 	// Hot-path scratch and recycle pools. A chip is driven by one
@@ -277,6 +293,14 @@ func WithSeed(seed int64) Option {
 	return func(c *Chip) { c.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// WithFaults attaches a fault injector: Program, Erase, PLock and BLock
+// can then fail with the injector's configured probabilities (returning
+// ErrProgramFailed etc. alongside their full latency), and reads draw
+// injected bit errors judged against the injector's ECC engine.
+func WithFaults(inj *fault.Injector) Option {
+	return func(c *Chip) { c.faults = inj }
+}
+
 // New builds a chip with the given geometry.
 func New(geo Geometry, opts ...Option) (*Chip, error) {
 	if err := geo.Validate(); err != nil {
@@ -334,6 +358,15 @@ func (c *Chip) Timing() Timing { return c.timing }
 
 // OpCount returns how many operations of kind k the chip executed.
 func (c *Chip) OpCount(k OpKind) uint64 { return c.opCount[k] }
+
+// FaultCounts returns what the attached fault injector did so far (the
+// zero value when no injector is attached).
+func (c *Chip) FaultCounts() fault.Counts {
+	if c.faults == nil {
+		return fault.Counts{}
+	}
+	return c.faults.Counts()
+}
 
 // AdvanceDays moves the chip's retention clock forward, aging every
 // programmed cell and flag. Used by tests and the secure-delete example to

@@ -1,6 +1,7 @@
 package nand
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -94,6 +95,16 @@ func (c *Chip) Read(a PageAddr, now sim.Micros) (ReadResult, error) {
 			res.Data = data
 			return res, err
 		}
+	}
+	if c.faults != nil && !c.inCopyback && len(data) > 0 {
+		nerr, uncorrectable := c.faults.ReadErrors(len(data)*8, blk.peCycles, c.geo.EnduranceCycles)
+		if uncorrectable {
+			// Model the failed transfer: the host sees mangled bytes.
+			c.faults.FlipBits(data, nerr)
+			res.Data = data
+			return res, fmt.Errorf("%w: injected %d raw errors in %d bits", ErrUncorrectable, nerr, len(data)*8)
+		}
+		res.CorrectedBits += nerr
 	}
 	res.Data = data
 	return res, nil
@@ -248,6 +259,16 @@ func (c *Chip) Program(a PageAddr, data []byte, now sim.Micros) (sim.Micros, err
 		w.programDay = c.nowDays(now)
 		w.programmed = true
 	}
+
+	// A program failure still consumed the page: the one-shot pulse
+	// charged a prefix of the cells before the chip reported FAIL, so the
+	// write pointer advanced and a partial (possibly readable) copy of
+	// the payload is on the wordline. The FTL must retry elsewhere and
+	// sanitize this page.
+	if c.faults != nil && c.faults.FailProgram(blk.peCycles, c.geo.EnduranceCycles) {
+		c.faults.CorruptTail(stored)
+		return c.timing.Prog, ErrProgramFailed
+	}
 	return c.timing.Prog, nil
 }
 
@@ -261,6 +282,12 @@ func (c *Chip) Erase(blockIdx int, now sim.Micros) (sim.Micros, error) {
 	}
 	c.opCount[OpErase]++
 	blk := &c.blocks[blockIdx]
+	// A failed erase leaves the block exactly as it was — data, flags and
+	// SSL state intact — after burning the full tBERS. The FTL retires
+	// such a block (its contents may be locked, never free).
+	if c.faults != nil && c.faults.FailErase(blk.peCycles, c.geo.EnduranceCycles) {
+		return c.timing.Erase, ErrEraseFailed
+	}
 	for i := range blk.pages {
 		// Retire payload buffers into the recycle pool for later
 		// Program/Scrub calls instead of dropping them on the GC.
@@ -306,6 +333,14 @@ func (c *Chip) PLock(a PageAddr, now sim.Micros) (sim.Micros, error) {
 	wl, slot := c.wlOf(a.Page)
 	w := &blk.wls[wl]
 	if w.flags[slot] == nil {
+		// A failed one-shot flag program leaves the page readable (the
+		// majority circuit still sees the flag enabled) but its pulse
+		// disturbed the WL all the same. pLock cannot be retried on the
+		// same flag cells — the FTL escalates to bLock.
+		if c.faults != nil && c.faults.FailPLock(blk.peCycles, c.geo.EnduranceCycles) {
+			w.disturbs++
+			return c.timing.PLock, ErrPLockFailed
+		}
 		cells := c.takeFlags()
 		for i := range cells {
 			cells[i] = c.flagModel.SampleCellVth(c.plockV, c.plockT, 0, blk.peCycles, c.rng)
@@ -328,6 +363,11 @@ func (c *Chip) BLock(blockIdx int, now sim.Micros) (sim.Micros, error) {
 	c.opCount[OpBLock]++
 	blk := &c.blocks[blockIdx]
 	if blk.sslCenter == 0 {
+		// A failed SSL program leaves the block readable; the FTL falls
+		// back to copy-out + erase.
+		if c.faults != nil && c.faults.FailBLock(blk.peCycles, c.geo.EnduranceCycles) {
+			return c.timing.BLock, ErrBLockFailed
+		}
 		blk.sslCenter = c.sslModel.ProgrammedCenter(c.blockV, c.blockT)
 		blk.sslLockDay = c.nowDays(now)
 	}
@@ -378,7 +418,9 @@ func (c *Chip) Copyback(src, dst PageAddr, now sim.Micros) (sim.Micros, error) {
 	if err := c.checkAddr(src); err != nil {
 		return 0, err
 	}
+	c.inCopyback = true
 	res, err := c.Read(src, now)
+	c.inCopyback = false
 	switch err {
 	case nil, ErrPageLocked, ErrBlockLocked:
 		// Locked sources yield zeros — allowed, harmless.
@@ -386,12 +428,14 @@ func (c *Chip) Copyback(src, dst PageAddr, now sim.Micros) (sim.Micros, error) {
 		return 0, err
 	}
 	progLat, err := c.Program(dst, res.Data, now)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrProgramFailed) {
 		return 0, err
 	}
 	// The read happens internally at tREAD, then the program; no
-	// transfer cycles.
-	return c.timing.Read + progLat, nil
+	// transfer cycles. A program failure surfaces with its latency: the
+	// destination page was consumed and must be recovered like any other
+	// failed program.
+	return c.timing.Read + progLat, err
 }
 
 // IsPageLocked reports the current pAP state of a page (majority vote,

@@ -64,6 +64,14 @@ func (e erSSD) Flush(f *ftl.FTL) {
 		// footnote assumes erSSD may erase immediately without
 		// open-interval penalties).
 		f.RelocateLive(pb.Block)
+		// The relocations may have triggered GC, whose flush re-runs this
+		// ladder on the same block (GC re-pends the secured stale copies it
+		// routes through Invalidate): the block may already be erased — or
+		// even reopened and refilled with new writes. Erase only if the
+		// queued stale data still exists and no live data moved in.
+		if !anyStillInvalid(f, pb.Pages) || f.LiveInBlock(pb.Block) > 0 {
+			continue
+		}
 		f.EraseNow(pb.Block)
 	}
 }
@@ -107,6 +115,12 @@ func (s scrSSD) Flush(f *ftl.FTL) {
 				continue // already destroyed by an erase
 			}
 			f.RelocateWLSiblings(p)
+			// The sibling relocations may have triggered GC, whose flush can
+			// scrub or erase this wordline first — and the block may even have
+			// been refilled since. Scrub only if the stale copy still exists.
+			if f.Status(p) != ftl.PageInvalid {
+				continue
+			}
 			f.IssueScrub(p)
 		}
 	}

@@ -10,9 +10,11 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/blockio"
+	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/nand"
@@ -46,6 +48,10 @@ type Config struct {
 	NoCopyback bool
 	// Seed drives the chips' RNGs.
 	Seed int64
+	// Fault configures deterministic fault injection (see internal/fault).
+	// The zero value disables it. When enabled with a zero Fault.Seed, the
+	// device Seed is used so one knob reproduces the whole run.
+	Fault fault.Config
 	// Trace receives every simulated operation (NAND commands, bus
 	// transfers, host requests, GC passes) plus live gauges. Nil disables
 	// tracing; the hot paths then pay a single predictable branch per
@@ -85,6 +91,9 @@ func (c *Config) applyDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Fault.Enabled() && c.Fault.Seed == 0 {
+		c.Fault.Seed = c.Seed
+	}
 }
 
 // SSD is the assembled device.
@@ -106,6 +115,13 @@ type SSD struct {
 	markSpan  sim.Micros
 	markReqs  uint64
 	markStats ftl.Stats
+
+	// Read-path fault absorption (see Read): retries issued and reads
+	// that stayed uncorrectable after maxReadAttempts.
+	readRetries      uint64
+	readFailures     uint64
+	markReadRetries  uint64
+	markReadFailures uint64
 
 	// latencies samples per-request service time (completion − start)
 	// within the current measurement window.
@@ -149,7 +165,15 @@ func New(cfg Config) (*SSD, error) {
 	}
 	s.traceOn = s.tr.Enabled()
 	for i := range s.chips {
-		chip, err := nand.New(cfg.Chip, nand.WithSeed(cfg.Seed+int64(i)), nand.WithTiming(cfg.Timing))
+		opts := []nand.Option{nand.WithSeed(cfg.Seed + int64(i)), nand.WithTiming(cfg.Timing)}
+		if cfg.Fault.Enabled() {
+			// One injector per chip, stream-indexed: chip operations are
+			// serialized per chip, so each stream's draw order — and with
+			// it the whole fault schedule — is a pure function of the
+			// seed and the workload.
+			opts = append(opts, nand.WithFaults(fault.New(cfg.Fault, uint64(i))))
+		}
+		chip, err := nand.New(cfg.Chip, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -217,19 +241,44 @@ func (s *SSD) emitChip(class trace.OpClass, chip int, p ftl.PPA, queued, start, 
 	})
 }
 
+// maxReadAttempts bounds the read-retry loop: the initial read plus up to
+// two retries. Real controllers re-read with shifted reference voltages;
+// here each retry redraws the injected error count, so a marginal page
+// usually recovers within the budget.
+const maxReadAttempts = 3
+
 // Read implements ftl.Target: tREAD on the chip, then the page transfer
-// on the channel bus.
+// on the channel bus. An uncorrectable read (injected bit errors beyond
+// the ECC limit) is retried on the chip up to maxReadAttempts; each retry
+// occupies the chip for another tREAD and is traced as OpReadRetry. After
+// exhaustion the corrupted payload is returned as-is — never nil, so a GC
+// relocation moves (damaged) data rather than silently dropping the page.
 func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 	chip, a := s.addr(p)
 	res, err := s.chips[chip].Read(a, dep)
+	cellStart, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
+	if s.traceOn {
+		s.emitChip(trace.OpRead, chip, p, dep, cellStart, cellDone)
+	}
+	for attempt := 1; err != nil && errors.Is(err, nand.ErrUncorrectable) &&
+		attempt < maxReadAttempts; attempt++ {
+		s.readRetries++
+		res, err = s.chips[chip].Read(a, cellDone)
+		retryStart, retryDone := s.chipTL[chip].Reserve(cellDone, s.cfg.Timing.Read)
+		if s.traceOn {
+			s.emitChip(trace.OpReadRetry, chip, p, cellDone, retryStart, retryDone)
+		}
+		cellDone = retryDone
+	}
 	var data []byte
 	if err == nil {
 		data = res.Data
+	} else if errors.Is(err, nand.ErrUncorrectable) {
+		s.readFailures++
+		data = res.Data
 	}
-	cellStart, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
 	busStart, busDone := s.busTL[s.channelOf(chip)].Reserve(cellDone, s.cfg.Timing.Xfer)
 	if s.traceOn {
-		s.emitChip(trace.OpRead, chip, p, dep, cellStart, cellDone)
 		s.emitChip(trace.OpXfer, chip, p, cellDone, busStart, busDone)
 	}
 	//secvet:allow aliasing -- Target.Read contract: the FTL consumes the page before the next op on this chip (Program copies); a copy here would undo the zero-alloc hot path
@@ -237,10 +286,13 @@ func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 }
 
 // Program implements ftl.Target: page transfer on the bus, then tPROG on
-// the chip.
-func (s *SSD) Program(p ftl.PPA, data []byte, dep sim.Micros) sim.Micros {
+// the chip. An injected program failure still burned the bus and the full
+// tPROG (the chip reported status FAIL only at the end), so the timeline
+// reservation and trace events are identical to a success.
+func (s *SSD) Program(p ftl.PPA, data []byte, dep sim.Micros) (sim.Micros, error) {
 	chip, a := s.addr(p)
-	if _, err := s.chips[chip].Program(a, data, dep); err != nil {
+	_, err := s.chips[chip].Program(a, data, dep)
+	if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
 		panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", a, err))
 	}
 	busStart, busDone := s.busTL[s.channelOf(chip)].Reserve(dep, s.cfg.Timing.Xfer)
@@ -249,18 +301,19 @@ func (s *SSD) Program(p ftl.PPA, data []byte, dep sim.Micros) sim.Micros {
 		s.emitChip(trace.OpXfer, chip, p, dep, busStart, busDone)
 		s.emitChip(trace.OpProgram, chip, p, busDone, progStart, done)
 	}
-	return done
+	return done, err
 }
 
 // Copyback implements ftl.Target: an internal data move — tREAD then
 // tPROG on the chip, no channel-bus occupancy.
-func (s *SSD) Copyback(src, dst ftl.PPA, dep sim.Micros) sim.Micros {
+func (s *SSD) Copyback(src, dst ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 	chipS, aSrc := s.addr(src)
 	chipD, aDst := s.addr(dst)
 	if chipS != chipD {
 		panic("ssd: copyback across chips")
 	}
-	if _, err := s.chips[chipS].Copyback(aSrc, aDst, dep); err != nil {
+	_, err := s.chips[chipS].Copyback(aSrc, aDst, dep)
+	if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
 		panic(fmt.Sprintf("ssd: copyback failed: %v", err))
 	}
 	readStart, readDone := s.chipTL[chipS].Reserve(dep, s.cfg.Timing.Read)
@@ -270,13 +323,14 @@ func (s *SSD) Copyback(src, dst ftl.PPA, dep sim.Micros) sim.Micros {
 		// the destination page names the event.
 		s.emitChip(trace.OpCopyback, chipS, dst, dep, readStart, done)
 	}
-	return done
+	return done, err
 }
 
 // Erase implements ftl.Target.
-func (s *SSD) Erase(block int, dep sim.Micros) sim.Micros {
+func (s *SSD) Erase(block int, dep sim.Micros) (sim.Micros, error) {
 	chip := s.geo.ChipOfBlock(block)
-	if _, err := s.chips[chip].Erase(s.geo.BlockInChip(block), dep); err != nil {
+	_, err := s.chips[chip].Erase(s.geo.BlockInChip(block), dep)
+	if err != nil && !errors.Is(err, nand.ErrEraseFailed) {
 		panic(fmt.Sprintf("ssd: erase failed: %v", err))
 	}
 	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Erase)
@@ -286,26 +340,28 @@ func (s *SSD) Erase(block int, dep sim.Micros) sim.Micros {
 			Chip: chip, Channel: s.channelOf(chip), Block: block, Page: -1, LPA: -1,
 		})
 	}
-	return done
+	return done, err
 }
 
 // PLock implements ftl.Target.
-func (s *SSD) PLock(p ftl.PPA, dep sim.Micros) sim.Micros {
+func (s *SSD) PLock(p ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 	chip, a := s.addr(p)
-	if _, err := s.chips[chip].PLock(a, dep); err != nil {
+	_, err := s.chips[chip].PLock(a, dep)
+	if err != nil && !errors.Is(err, nand.ErrPLockFailed) {
 		panic(fmt.Sprintf("ssd: pLock failed: %v", err))
 	}
 	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.PLock)
 	if s.traceOn {
 		s.emitChip(trace.OpPLock, chip, p, dep, start, done)
 	}
-	return done
+	return done, err
 }
 
 // BLock implements ftl.Target.
-func (s *SSD) BLock(block int, dep sim.Micros) sim.Micros {
+func (s *SSD) BLock(block int, dep sim.Micros) (sim.Micros, error) {
 	chip := s.geo.ChipOfBlock(block)
-	if _, err := s.chips[chip].BLock(s.geo.BlockInChip(block), dep); err != nil {
+	_, err := s.chips[chip].BLock(s.geo.BlockInChip(block), dep)
+	if err != nil && !errors.Is(err, nand.ErrBLockFailed) {
 		panic(fmt.Sprintf("ssd: bLock failed: %v", err))
 	}
 	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.BLock)
@@ -315,7 +371,7 @@ func (s *SSD) BLock(block int, dep sim.Micros) sim.Micros {
 			Chip: chip, Channel: s.channelOf(chip), Block: block, Page: -1, LPA: -1,
 		})
 	}
-	return done
+	return done, err
 }
 
 // Scrub implements ftl.Target.
@@ -400,6 +456,8 @@ func (s *SSD) Mark() {
 	s.markSpan = s.makespan
 	s.markReqs = s.requests
 	s.markStats = s.ftl.Stats()
+	s.markReadRetries = s.readRetries
+	s.markReadFailures = s.readFailures
 	s.latencies = metrics.Sample{}
 	for i := range s.chipTL {
 		s.markChipBusy[i] = s.chipTL[i].BusyTotal()
@@ -419,6 +477,11 @@ type Report struct {
 	Stats      ftl.Stats // deltas since Mark
 	ChipUtil   float64   // mean chip utilization over the window
 	ErasesFreq float64   // erases per million host pages written
+	// ReadRetries and ReadFailures count read-path fault absorption over
+	// the window: re-reads issued for uncorrectable pages, and reads that
+	// stayed uncorrectable after the retry budget.
+	ReadRetries  uint64
+	ReadFailures uint64
 	// Request service-time percentiles over the window, in µs.
 	LatencyP50, LatencyP99, LatencyMax float64
 	// Per-resource busy-time utilization over the measurement window
@@ -436,9 +499,11 @@ func (s *SSD) Report() Report {
 	d := deltaStats(cur, s.markStats)
 	elapsed := s.makespan - s.markSpan
 	r := Report{
-		Requests: s.requests - s.markReqs,
-		Elapsed:  elapsed,
-		Stats:    d,
+		Requests:     s.requests - s.markReqs,
+		Elapsed:      elapsed,
+		Stats:        d,
+		ReadRetries:  s.readRetries - s.markReadRetries,
+		ReadFailures: s.readFailures - s.markReadFailures,
 	}
 	if elapsed > 0 {
 		r.IOPS = float64(r.Requests) / elapsed.Seconds()
@@ -491,7 +556,27 @@ func deltaStats(a, b ftl.Stats) ftl.Stats {
 		GCCopies:         a.GCCopies - b.GCCopies,
 		Copybacks:        a.Copybacks - b.Copybacks,
 		SanitizeCopies:   a.SanitizeCopies - b.SanitizeCopies,
+		ProgramFailures:  a.ProgramFailures - b.ProgramFailures,
+		ProgramRetries:   a.ProgramRetries - b.ProgramRetries,
+		PLockFailures:    a.PLockFailures - b.PLockFailures,
+		LockEscalations:  a.LockEscalations - b.LockEscalations,
+		BLockFailures:    a.BLockFailures - b.BLockFailures,
+		RecoveryErases:   a.RecoveryErases - b.RecoveryErases,
+		EraseFailures:    a.EraseFailures - b.EraseFailures,
+		RetiredBlocks:    a.RetiredBlocks - b.RetiredBlocks,
+		BackstopScrubs:   a.BackstopScrubs - b.BackstopScrubs,
 	}
+}
+
+// FaultCounts aggregates the per-chip injector counters: what the fault
+// layer actually did over the whole run (the campaign artifact and the
+// golden determinism tests read this).
+func (s *SSD) FaultCounts() fault.Counts {
+	var c fault.Counts
+	for _, chip := range s.chips {
+		c.Add(chip.FaultCounts())
+	}
+	return c
 }
 
 // Prefill sequentially writes the first fraction of the logical space

@@ -100,8 +100,12 @@ func (r *Recorder) Op(ev Event) {
 		if ev.Channel >= 0 && ev.Channel < len(r.chanBusy) {
 			r.chanBusy[ev.Channel] += ev.Dur()
 		}
-	case OpGC, OpHostRead, OpHostWrite, OpHostTrim:
-		// FTL/host-level spans overlap chip occupancy; not busy time.
+	case OpGC, OpHostRead, OpHostWrite, OpHostTrim,
+		OpProgramFail, OpEraseFail, OpPLockFail, OpBLockFail, OpRetire:
+		// FTL/host-level spans and fault/recovery markers overlap chip
+		// occupancy (the underlying chip op already counted); not busy
+		// time. OpReadRetry IS busy time: each failed attempt burned
+		// tREAD on the chip, so it falls through to the default case.
 	default:
 		if ev.Chip >= 0 && ev.Chip < len(r.chipBusy) {
 			r.chipBusy[ev.Chip] += ev.Dur()

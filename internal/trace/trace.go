@@ -50,6 +50,24 @@ const (
 	OpHostWrite
 	// OpHostTrim is a host trim request.
 	OpHostTrim
+	// OpProgramFail marks an injected program failure the FTL recovered
+	// from (retry on a fresh page + quarantine of the consumed one). The
+	// chip-level busy time is carried by the accompanying OpProgram
+	// event; the marker classes below are zero-width annotations.
+	OpProgramFail
+	// OpEraseFail marks an injected erase failure (block retired).
+	OpEraseFail
+	// OpPLockFail marks an injected pLock failure (escalated to bLock).
+	OpPLockFail
+	// OpBLockFail marks an injected bLock failure (copy-out + erase).
+	OpBLockFail
+	// OpReadRetry is one failed read attempt (injected uncorrectable
+	// errors) that the device retried. Unlike the markers above it is a
+	// real chip occupancy: each attempt burned tREAD.
+	OpReadRetry
+	// OpRetire marks a block being retired from rotation after repeated
+	// erase failures.
+	OpRetire
 	numOpClasses
 )
 
@@ -82,6 +100,18 @@ func (c OpClass) String() string {
 		return "host_write"
 	case OpHostTrim:
 		return "host_trim"
+	case OpProgramFail:
+		return "program_fail"
+	case OpEraseFail:
+		return "erase_fail"
+	case OpPLockFail:
+		return "plock_fail"
+	case OpBLockFail:
+		return "block_fail"
+	case OpReadRetry:
+		return "read_retry"
+	case OpRetire:
+		return "retire"
 	default:
 		return fmt.Sprintf("OpClass(%d)", uint8(c))
 	}
@@ -127,6 +157,9 @@ const (
 	// invalidated but not yet physically destroyed (open T_insecure
 	// windows). The Recorder maintains it internally.
 	GaugeInsecureWindows
+	// GaugeRetiredBlocks is the device-wide count of blocks retired after
+	// erase failures.
+	GaugeRetiredBlocks
 	numGaugeKinds
 )
 
@@ -147,6 +180,8 @@ func (k GaugeKind) String() string {
 		return "invalid_pages"
 	case GaugeInsecureWindows:
 		return "insecure_windows"
+	case GaugeRetiredBlocks:
+		return "retired_blocks"
 	default:
 		return fmt.Sprintf("GaugeKind(%d)", uint8(k))
 	}

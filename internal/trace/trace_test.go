@@ -24,6 +24,9 @@ func TestOpClassStrings(t *testing.T) {
 		OpPLock: "pLock", OpBLock: "bLock", OpScrub: "scrub",
 		OpXfer: "xfer", OpCopyback: "copyback", OpGC: "gc",
 		OpHostRead: "host_read", OpHostWrite: "host_write", OpHostTrim: "host_trim",
+		OpProgramFail: "program_fail", OpEraseFail: "erase_fail",
+		OpPLockFail: "plock_fail", OpBLockFail: "block_fail",
+		OpReadRetry: "read_retry", OpRetire: "retire",
 	}
 	if len(want) != NumOpClasses {
 		t.Fatalf("test covers %d classes, enum has %d", len(want), NumOpClasses)

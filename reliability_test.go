@@ -1,0 +1,245 @@
+package repro
+
+// Reliability suite: the fault-injection campaigns behind the CI
+// `reliability` job. The property under test is the paper's security
+// guarantee taken adversarially: after any completed secure deletion, no
+// byte of the deleted data is recoverable from a raw dump of any chip —
+// no matter which injected failures forced the recovery ladder (program
+// retry + quarantine, pLock→bLock escalation, forced copy-out + erase,
+// block retirement) along the way, and including the states the device
+// passes through mid-recovery (each scan runs right after a deletion
+// whose ladder may still have left blocks locked, freed, or retired).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ftl"
+)
+
+// faultDevice builds a compact Evanesco device with deterministic fault
+// injection. The geometry is kept small so a single campaign (and each
+// fuzz iteration) stays fast while still spanning 4 chips.
+func faultDevice(t testing.TB, rate float64, seed int64) *core.Device {
+	t.Helper()
+	dev, err := core.New(core.Options{
+		Policy:        core.PolicyEvanesco,
+		Seed:          seed,
+		BlocksPerChip: 16,
+		WLsPerBlock:   8,
+		FaultRate:     rate,
+		FaultSeed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// runSecureDeleteCampaign drives the secured-page property: distinctive
+// secret files are written, churned over, and deleted; immediately after
+// every deletion a raw dump of all chips must contain no byte of the
+// deleted content, whatever recovery paths the injected faults forced.
+func runSecureDeleteCampaign(t testing.TB, rate float64, seed int64, churn int) *core.Device {
+	t.Helper()
+	dev := faultDevice(t, rate, seed)
+	page := dev.PageBytes()
+	for round := 0; round < 4; round++ {
+		name := fmt.Sprintf("secret-%d.db", round)
+		needle := []byte(fmt.Sprintf("TOP-SECRET-%d-%d-%g", seed, round, rate))
+		payload := make([]byte, 3*page)
+		for i := 0; i+len(needle) <= len(payload); i += len(needle) {
+			copy(payload[i:], needle)
+		}
+		if err := dev.WriteFile(name, payload, core.Secure); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Churn(churn, seed+int64(round)); err != nil {
+			t.Fatal(err)
+		}
+		// Read back through the ECC path: injected bit errors must be
+		// absorbed (corrected, or retried on an uncorrectable draw) without
+		// corrupting the host's view of live data.
+		got, err := dev.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(got, payload) {
+			t.Fatalf("rate=%g seed=%d round=%d: live secret corrupted by fault campaign", rate, seed, round)
+		}
+		if err := dev.DeleteFile(name); err != nil {
+			t.Fatal(err)
+		}
+		// The attacker dumps every chip right now — mid-campaign, with
+		// whatever recovery the ladder just performed.
+		if hits := dev.ForensicScan(needle); len(hits) != 0 {
+			t.Fatalf("rate=%g seed=%d round=%d: deleted secret recoverable at %+v",
+				rate, seed, round, hits[0])
+		}
+	}
+	if err := dev.VerifySanitization(); err != nil {
+		t.Fatalf("rate=%g seed=%d: %v", rate, seed, err)
+	}
+	return dev
+}
+
+// TestSecureDeleteUnderFaultSweep is the deterministic property sweep:
+// the CI fault-rate matrix crossed with a few schedules.
+func TestSecureDeleteUnderFaultSweep(t *testing.T) {
+	for _, rate := range []float64{0, 1e-3, 1e-2} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("rate=%g/seed=%d", rate, seed), func(t *testing.T) {
+				dev := runSecureDeleteCampaign(t, rate, seed, 400)
+				if rate >= 1e-2 {
+					if fc := dev.SSD().FaultCounts(); fc.OpFails() == 0 {
+						t.Fatalf("rate=%g injected no operation failures", rate)
+					}
+				}
+			})
+		}
+	}
+}
+
+// FuzzFaultSchedule lets the fuzzer search the fault-schedule space for a
+// campaign that breaks the secured-page invariant. The rate byte indexes
+// a ladder of injection intensities up to 5% per op — beyond anything a
+// plausible device would see — and the seed picks the schedule.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint8(0), int64(1))
+	f.Add(uint8(1), int64(7))
+	f.Add(uint8(2), int64(42))
+	f.Add(uint8(3), int64(1234))
+	f.Add(uint8(4), int64(-99))
+	f.Fuzz(func(t *testing.T, rateIdx uint8, seed int64) {
+		rates := []float64{0, 1e-3, 5e-3, 1e-2, 5e-2}
+		runSecureDeleteCampaign(t, rates[int(rateIdx)%len(rates)], seed, 150)
+	})
+}
+
+// TestAllPoliciesSurviveFaultChurn drives every §7 configuration — not
+// just Evanesco — through a faulted secure-delete churn. The baseline
+// policies take different recovery paths (erSSD erases during Flush,
+// scrSSD scrubs wordlines in place), each with its own reentrancy
+// windows when a relocation-triggered GC flush runs mid-ladder; this
+// campaign is what catches a double-freed or live-holding block there.
+func TestAllPoliciesSurviveFaultChurn(t *testing.T) {
+	policies := []core.PolicyName{
+		core.PolicyBaseline, core.PolicyErase, core.PolicyScrub,
+		core.PolicySecNoBLock, core.PolicyEvanesco,
+	}
+	for _, pol := range policies {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", pol, seed), func(t *testing.T) {
+				dev, err := core.New(core.Options{
+					Policy:        pol,
+					Seed:          seed,
+					BlocksPerChip: 16,
+					WLsPerBlock:   8,
+					FaultRate:     5e-3,
+					FaultSeed:     seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A warmed-up device keeps GC running, which is what opens
+				// the reentrant-flush windows in the baseline policies.
+				if err := dev.Churn(2000, seed+100); err != nil {
+					t.Fatal(err)
+				}
+				page := dev.PageBytes()
+				needle := []byte(fmt.Sprintf("POLICY-SECRET-%s-%d", pol, seed))
+				payload := make([]byte, 2*page)
+				for i := 0; i+len(needle) <= len(payload); i += len(needle) {
+					copy(payload[i:], needle)
+				}
+				if err := dev.WriteFile("secret.db", payload, core.Secure); err != nil {
+					t.Fatal(err)
+				}
+				if err := dev.Churn(1000, seed); err != nil {
+					t.Fatal(err)
+				}
+				if err := dev.DeleteFile("secret.db"); err != nil {
+					t.Fatal(err)
+				}
+				if pol == core.PolicyBaseline {
+					return // baseline makes no sanitization promise
+				}
+				if hits := dev.ForensicScan(needle); len(hits) != 0 {
+					t.Fatalf("%s: deleted secret recoverable at %+v", pol, hits[0])
+				}
+			})
+		}
+	}
+}
+
+// faultArtifact is the JSON blob the CI reliability job uploads: the
+// injected-fault census against the recovery ladder's own books.
+type faultArtifact struct {
+	FaultRate   float64      `json:"fault_rate"`
+	FaultSeed   int64        `json:"fault_seed"`
+	Injected    fault.Counts `json:"injected"`
+	Stats       ftl.Stats    `json:"ftl_stats"`
+	ReadRetries uint64       `json:"read_retries"`
+	ReadFails   uint64       `json:"read_failures"`
+}
+
+// TestFaultCampaign runs the CI campaign at the rate selected by
+// SECSSD_FAULT_RATE (default 0), cross-checks every injected failure
+// against its recovery action, and — when SECSSD_FAULT_ARTIFACT names a
+// path — writes the counter census there for the job's artifact upload.
+func TestFaultCampaign(t *testing.T) {
+	rate := 0.0
+	if v := os.Getenv("SECSSD_FAULT_RATE"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("SECSSD_FAULT_RATE=%q: %v", v, err)
+		}
+		rate = parsed
+	}
+	const seed = 41
+	dev := runSecureDeleteCampaign(t, rate, seed, 800)
+
+	st := dev.SSD().FTL().Stats()
+	fc := dev.SSD().FaultCounts()
+	if rate == 0 && fc.OpFails() != 0 {
+		t.Fatalf("rate 0 injected %d failures", fc.OpFails())
+	}
+	// Every injected failure must be matched by its rung of the ladder.
+	if st.ProgramFailures != fc.ProgramFails {
+		t.Errorf("FTL recovered %d program failures, injector produced %d",
+			st.ProgramFailures, fc.ProgramFails)
+	}
+	if st.LockEscalations != st.PLockFailures {
+		t.Errorf("LockEscalations %d != PLockFailures %d", st.LockEscalations, st.PLockFailures)
+	}
+	if st.RecoveryErases != st.BLockFailures {
+		t.Errorf("RecoveryErases %d != BLockFailures %d", st.RecoveryErases, st.BLockFailures)
+	}
+	if st.RetiredBlocks != st.EraseFailures {
+		t.Errorf("RetiredBlocks %d != EraseFailures %d", st.RetiredBlocks, st.EraseFailures)
+	}
+
+	if path := os.Getenv("SECSSD_FAULT_ARTIFACT"); path != "" {
+		rep := dev.Report()
+		blob, err := json.MarshalIndent(faultArtifact{
+			FaultRate:   rate,
+			FaultSeed:   seed,
+			Injected:    fc,
+			Stats:       st,
+			ReadRetries: rep.ReadRetries,
+			ReadFails:   rep.ReadFailures,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
