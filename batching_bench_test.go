@@ -1,0 +1,152 @@
+package repro
+
+// BenchmarkLockBatching measures the amortization tentpole end to end:
+// the same secured file-churn workload on the device with every
+// parallelism feature off ("disabled": single plane, no cache-mode
+// pipelining, one pLock pulse per page) and with all of them on
+// ("enabled": two planes, cached transfers, wordline-aware pLock
+// batching). The headline metric is simulated IOPS — a deterministic
+// quantity, so the comparison is machine-independent — and the result
+// is written to BENCH_batching.json for CI to archive and for
+// cmd/benchguard to gate (the enabled device must stay >= 1.5x the
+// disabled one).
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/blockio"
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/nand/vth"
+	"repro/internal/sanitize"
+	"repro/internal/ssd"
+)
+
+var batchingBenchOnce sync.Once
+
+// batchingBenchReport is the schema of BENCH_batching.json. The IOPS
+// values are simulated (virtual-time) throughput, so they are exact
+// across machines; Speedup = EnabledIOPS / DisabledIOPS.
+type batchingBenchReport struct {
+	Iterations        int     `json:"iterations"`
+	DisabledIOPS      float64 `json:"batching_disabled_iops"`
+	EnabledIOPS       float64 `json:"batching_enabled_iops"`
+	Speedup           float64 `json:"batching_speedup"`
+	DisabledPLocks    uint64  `json:"plocks_disabled"`
+	EnabledPLocks     uint64  `json:"plocks_enabled"`
+	PLockBatches      uint64  `json:"plock_batches"`
+	PLockBatchedPages uint64  `json:"plock_batched_pages"`
+}
+
+// batchingBenchDevice builds the 2x2-chip device the benchmark churns.
+func batchingBenchDevice(b *testing.B, amortized bool) *ssd.SSD {
+	cfg := ssd.Config{
+		Channels:        2,
+		ChipsPerChannel: 2,
+		Chip: nand.Geometry{
+			Blocks:          16,
+			WLsPerBlock:     8,
+			CellKind:        vth.TLC,
+			PageBytes:       4096,
+			FlagCells:       9,
+			EnduranceCycles: 1000,
+		},
+		OverProvision:   0.25,
+		GCFreeBlocksLow: 2,
+		QueueDepth:      8,
+		Policy:          sanitize.SecSSD(),
+		Seed:            7,
+	}
+	if amortized {
+		cfg.Planes = 2
+		cfg.LockBatch = ftl.LockBatchConfig{Enabled: true}
+	} else {
+		cfg.NoCachePipeline = true
+	}
+	s, err := ssd.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// batchingChurn runs the secured file-churn cycle: write a 24-page
+// secured file, read it back, trim most of it. The partial trim (21 of
+// 24 pages) keeps every block shy of fully-stale, so the disabled
+// device cannot amortize the sanitization through bLock escalation —
+// it pays one tpLock per page while the batched device pays one SBPI
+// pulse per wordline.
+func batchingChurn(b *testing.B, s *ssd.SSD, iters int) ssd.Report {
+	logical := int64(s.LogicalPages())
+	const span = 24
+	slots := logical / span
+	s.Mark()
+	for i := 0; i < iters; i++ {
+		lpa := (int64(i) % slots) * span
+		mustReq(b, s, blockio.Request{Op: blockio.OpWrite, LPA: lpa, Pages: span})
+		mustReq(b, s, blockio.Request{Op: blockio.OpRead, LPA: lpa, Pages: span})
+		mustReq(b, s, blockio.Request{Op: blockio.OpTrim, LPA: lpa, Pages: span - 3})
+	}
+	s.FlushLocks()
+	return s.Report()
+}
+
+func mustReq(b *testing.B, s *ssd.SSD, req blockio.Request) {
+	b.Helper()
+	if _, err := s.Submit(req); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLockBatching(b *testing.B) {
+	const iters = 300
+	run := func(amortized bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			var r ssd.Report
+			for i := 0; i < b.N; i++ {
+				r = batchingChurn(b, batchingBenchDevice(b, amortized), iters)
+			}
+			b.ReportMetric(r.IOPS, "sim-IOPS")
+			b.ReportMetric(float64(r.Stats.PLocks), "pLocks")
+			b.ReportMetric(float64(r.Stats.PLockBatches), "batched-pulses")
+		}
+	}
+	b.Run("disabled", run(false))
+	b.Run("enabled", func(b *testing.B) {
+		run(true)(b)
+		batchingBenchOnce.Do(func() { writeBatchingBenchReport(b, iters) })
+	})
+}
+
+// writeBatchingBenchReport runs one explicit churn at each feature
+// setting and writes BENCH_batching.json into the package directory.
+func writeBatchingBenchReport(b *testing.B, iters int) {
+	off := batchingChurn(b, batchingBenchDevice(b, false), iters)
+	on := batchingChurn(b, batchingBenchDevice(b, true), iters)
+	rep := batchingBenchReport{
+		Iterations:        iters,
+		DisabledIOPS:      off.IOPS,
+		EnabledIOPS:       on.IOPS,
+		DisabledPLocks:    off.Stats.PLocks,
+		EnabledPLocks:     on.Stats.PLocks,
+		PLockBatches:      on.Stats.PLockBatches,
+		PLockBatchedPages: on.Stats.PLockBatchedPages,
+	}
+	if off.IOPS > 0 {
+		rep.Speedup = on.IOPS / off.IOPS
+	}
+	b.ReportMetric(rep.Speedup, "speedup")
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_batching.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("BENCH_batching.json: disabled %.0f sim-IOPS, enabled %.0f sim-IOPS, speedup %.2fx (%d batched pulses / %d pages)",
+		rep.DisabledIOPS, rep.EnabledIOPS, rep.Speedup, rep.PLockBatches, rep.PLockBatchedPages)
+}

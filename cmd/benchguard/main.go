@@ -1,18 +1,25 @@
-// Command benchguard compares a freshly generated BENCH_parallel.json
-// against the committed baseline and fails (exit 1) when throughput
-// regressed beyond the threshold. CI runs it after the bench smoke so a
-// PR that slows the simulator down shows up as a red check instead of a
-// silently growing campaign time.
+// Command benchguard compares freshly generated bench reports
+// (BENCH_parallel.json, BENCH_batching.json) against the committed
+// baseline and fails (exit 1) when throughput regressed beyond the
+// threshold. CI runs it after the bench smoke so a PR that slows the
+// simulator down shows up as a red check instead of a silently growing
+// campaign time.
 //
 // Usage:
 //
-//	benchguard -baseline ci/bench_baseline.json -fresh BENCH_parallel.json [-threshold 0.20]
+//	benchguard -baseline ci/bench_baseline.json -fresh BENCH_parallel.json
+//	           [-batching BENCH_batching.json] [-threshold 0.20]
 //
-// Three quantities are guarded, each against its own baseline value:
-// serial campaign throughput, 4-worker campaign throughput (both in
-// grid-cells per second, so a changed grid size stays comparable), and
-// the flash-op allocation count (machine-independent; a tight canary for
-// hot-path allocations creeping back).
+// Guarded quantities, each against its own baseline value: serial
+// campaign throughput, 4-worker campaign throughput (both in grid-cells
+// per second, so a changed grid size stays comparable), the flash-op
+// allocation count (machine-independent; a tight canary for hot-path
+// allocations creeping back), and — from BENCH_batching.json — the
+// simulated IOPS of the amortized and non-amortized devices plus the
+// batching speedup floor (simulated time is deterministic, so these are
+// exact across machines; the floor is the PR's >= 1.5x acceptance bar).
+// Pass -batching "" to skip the batching report (e.g. for historical
+// baselines).
 package main
 
 import (
@@ -23,13 +30,27 @@ import (
 )
 
 // report mirrors the BENCH_parallel.json schema written by
-// BenchmarkParallelFigure14 (parallel_bench_test.go).
+// BenchmarkParallelFigure14 (parallel_bench_test.go). The batching_*
+// fields additionally appear in the committed baseline, where they gate
+// BENCH_batching.json (see batchingReport).
 type report struct {
 	GridCells           int     `json:"grid_cells"`
 	SerialSec           float64 `json:"serial_sec"`
 	ParallelSec         float64 `json:"parallel_sec"`
 	Speedup             float64 `json:"speedup"`
 	FlashOpsAllocsPerOp float64 `json:"flashops_allocs_per_op"`
+	// Baseline-only: simulated-IOPS floors for the batching ablation.
+	BatchingDisabledIOPS float64 `json:"batching_disabled_iops,omitempty"`
+	BatchingEnabledIOPS  float64 `json:"batching_enabled_iops,omitempty"`
+	BatchingMinSpeedup   float64 `json:"batching_min_speedup,omitempty"`
+}
+
+// batchingReport mirrors the BENCH_batching.json schema written by
+// BenchmarkLockBatching (batching_bench_test.go).
+type batchingReport struct {
+	DisabledIOPS float64 `json:"batching_disabled_iops"`
+	EnabledIOPS  float64 `json:"batching_enabled_iops"`
+	Speedup      float64 `json:"batching_speedup"`
 }
 
 // cellsPerSec converts a campaign wall-clock into throughput.
@@ -77,6 +98,38 @@ func compare(baseline, fresh report, threshold float64) []string {
 	return bad
 }
 
+// compareBatching guards the amortization metrics. Simulated IOPS is
+// deterministic, so the threshold only absorbs intentional model
+// changes, and the speedup floor is an absolute acceptance bar rather
+// than a relative one.
+func compareBatching(baseline report, fresh batchingReport, threshold float64) []string {
+	var bad []string
+	check := func(name string, base, got float64) {
+		if base <= 0 {
+			return
+		}
+		status := "ok"
+		if got < base*(1-threshold) {
+			status = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("%s: baseline %.3f, fresh %.3f (%.0f%% worse)",
+				name, base, got, (base/got-1)*100))
+		}
+		fmt.Printf("%-28s baseline %10.3f   fresh %10.3f   %s\n", name, base, got, status)
+	}
+	check("batching-off sim-IOPS", baseline.BatchingDisabledIOPS, fresh.DisabledIOPS)
+	check("batching-on sim-IOPS", baseline.BatchingEnabledIOPS, fresh.EnabledIOPS)
+	if min := baseline.BatchingMinSpeedup; min > 0 {
+		status := "ok"
+		if fresh.Speedup < min {
+			status = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("batching speedup floor: need >= %.2fx, fresh %.2fx",
+				min, fresh.Speedup))
+		}
+		fmt.Printf("%-28s floor    %10.3f   fresh %10.3f   %s\n", "batching speedup", min, fresh.Speedup, status)
+	}
+	return bad
+}
+
 func load(path string) (report, error) {
 	var r report
 	data, err := os.ReadFile(path)
@@ -92,6 +145,7 @@ func load(path string) (report, error) {
 func main() {
 	baselinePath := flag.String("baseline", "ci/bench_baseline.json", "committed baseline report")
 	freshPath := flag.String("fresh", "BENCH_parallel.json", "freshly generated report")
+	batchingPath := flag.String("batching", "BENCH_batching.json", "freshly generated batching report ('' skips)")
 	threshold := flag.Float64("threshold", 0.20, "allowed regression fraction")
 	flag.Parse()
 
@@ -105,7 +159,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
-	if bad := compare(baseline, fresh, *threshold); len(bad) > 0 {
+	bad := compare(baseline, fresh, *threshold)
+	if *batchingPath != "" {
+		var batching batchingReport
+		data, err := os.ReadFile(*batchingPath)
+		if err == nil {
+			err = json.Unmarshal(data, &batching)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		bad = append(bad, compareBatching(baseline, batching, *threshold)...)
+	}
+	if len(bad) > 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: throughput regression beyond threshold:")
 		for _, m := range bad {
 			fmt.Fprintln(os.Stderr, "  -", m)

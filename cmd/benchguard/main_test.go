@@ -46,3 +46,39 @@ func TestCompareZeroAllocBaselineStillGuards(t *testing.T) {
 		t.Fatalf("zero-alloc baseline did not flag alloc creep: %v", got)
 	}
 }
+
+func TestCompareBatching(t *testing.T) {
+	base := report{
+		BatchingDisabledIOPS: 355,
+		BatchingEnabledIOPS:  595,
+		BatchingMinSpeedup:   1.5,
+	}
+	cases := []struct {
+		name  string
+		fresh batchingReport
+		bad   int
+	}{
+		{"identical", batchingReport{DisabledIOPS: 355, EnabledIOPS: 595, Speedup: 1.68}, 0},
+		{"within threshold", batchingReport{DisabledIOPS: 300, EnabledIOPS: 500, Speedup: 1.67}, 0},
+		{"enabled regressed", batchingReport{DisabledIOPS: 355, EnabledIOPS: 400, Speedup: 1.6}, 1},
+		{"speedup below floor", batchingReport{DisabledIOPS: 355, EnabledIOPS: 500, Speedup: 1.41}, 1},
+		{"both", batchingReport{DisabledIOPS: 200, EnabledIOPS: 210, Speedup: 1.05}, 3},
+		// Faster is never a regression.
+		{"improved", batchingReport{DisabledIOPS: 500, EnabledIOPS: 1200, Speedup: 2.4}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := compareBatching(base, tc.fresh, 0.20); len(got) != tc.bad {
+				t.Fatalf("compareBatching flagged %d regressions (%v), want %d", len(got), got, tc.bad)
+			}
+		})
+	}
+}
+
+func TestCompareBatchingZeroBaseline(t *testing.T) {
+	// A baseline predating the batching metrics guards nothing for them.
+	fresh := batchingReport{DisabledIOPS: 355, EnabledIOPS: 595, Speedup: 1.68}
+	if got := compareBatching(report{}, fresh, 0.20); len(got) != 0 {
+		t.Fatalf("pre-batching baseline flagged %v", got)
+	}
+}

@@ -5,11 +5,21 @@
 //
 // Usage:
 //
-//	secssd-bench [-fig 14a|14b|14c|headline|all]
+//	secssd-bench [-fig 14a|14b|14c|headline|ablation|all]
 //	             [-scale small|default|paper] [-parallel N]
 //	             [-workloads MailServer,DBServer,FileServer,Mobile]
+//	             [-planes N] [-no-cache-pipeline]
+//	             [-batch] [-batch-deadline US] [-batch-threshold N]
 //	             [-fault-rate R] [-fault-seed S]
 //	             [-csv] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -planes stripes writes over N planes per chip with shared-pulse
+// multi-plane commands; -batch enables wordline-aware pLock batching
+// (one SBPI pulse per wordline instead of per page), with
+// -batch-deadline bounding how long a partial wordline group may defer
+// (µs, 0 = flush at every request) and -batch-threshold force-flushing
+// the queue at N pages. -fig ablation runs the amortization ladder
+// (disabled → pipelined → batched) on the Mobile workload.
 //
 // -fault-rate enables deterministic fault injection: every program,
 // erase, pLock, and bLock fails with probability R (scaled by per-block
@@ -41,16 +51,23 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/ftl"
 	"repro/internal/prof"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "14a, 14b, 14c, headline, or all")
+	fig := flag.String("fig", "all", "14a, 14b, 14c, headline, ablation, or all")
 	scaleName := flag.String("scale", "default", "small, default, or paper")
 	parallelN := flag.Int("parallel", 0, "worker count for independent simulations (<=0: one per CPU)")
 	workloads := flag.String("workloads", "", "comma-separated subset of workloads (default all four)")
+	planes := flag.Int("planes", 0, "planes per chip (0/1: single-plane)")
+	noCachePipe := flag.Bool("no-cache-pipeline", false, "disable cache-mode transfer/array overlap")
+	batch := flag.Bool("batch", false, "enable wordline-aware pLock batching")
+	batchDeadline := flag.Int64("batch-deadline", 0, "µs a partial wordline group may defer (0: flush per request)")
+	batchThreshold := flag.Int("batch-threshold", 0, "force-flush the lock queue at N pages (0: none)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	traceFile := flag.String("trace", "", "capture one traced run and write Chrome trace_event JSON here")
 	traceJSONL := flag.String("trace-jsonl", "", "also write the raw event log as JSONL here")
@@ -87,9 +104,18 @@ func main() {
 	}
 	sc.FaultRate = *faultRate
 	sc.FaultSeed = *faultSeed
+	sc.Planes = *planes
+	sc.NoCachePipeline = *noCachePipe
+	if *batch {
+		sc.LockBatch = ftl.LockBatchConfig{
+			Enabled:   true,
+			Deadline:  sim.Micros(*batchDeadline),
+			Threshold: *batchThreshold,
+		}
+	}
 
-	// Effective seeds up front: everything below is reproducible from
-	// this line alone.
+	// Effective configuration up front: everything below is reproducible
+	// from these lines alone.
 	if sc.FaultRate > 0 {
 		fc := sc.FaultConfig()
 		fmt.Printf("# scale=%s seed=%d fault-rate=%g fault-seed=%d\n",
@@ -97,6 +123,7 @@ func main() {
 	} else {
 		fmt.Printf("# scale=%s seed=%d fault-rate=0\n", *scaleName, sc.Seed)
 	}
+	printDeviceConfig(sc, *scaleName)
 
 	var profiles []workload.Profile
 	if *workloads != "" {
@@ -145,6 +172,57 @@ func main() {
 	if *fig == "all" || *fig == "headline" {
 		printHeadline(experiment.ComputeHeadline(rows))
 	}
+	if *fig == "all" || *fig == "ablation" {
+		cells, err := experiment.BatchingAblation(sc, *parallelN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secssd-bench:", err)
+			die(1)
+		}
+		printAblation(cells, *csv)
+	}
+}
+
+// printDeviceConfig prints the full effective device configuration so a
+// captured run is interpretable without consulting flags or source.
+func printDeviceConfig(sc experiment.Scale, scaleName string) {
+	planes := sc.Planes
+	if planes < 1 {
+		planes = 1
+	}
+	pipeline := "on"
+	if sc.NoCachePipeline {
+		pipeline = "off"
+	}
+	batching := "off"
+	if sc.LockBatch.Enabled {
+		batching = fmt.Sprintf("on deadline=%v threshold=%d", sc.LockBatch.Deadline, sc.LockBatch.Threshold)
+	}
+	fmt.Printf("# device: %d channels x %d chips, %d blocks/chip, %d WLs/block (TLC), %d B pages\n",
+		experiment.Channels, experiment.ChipsPerChannel, sc.BlocksPerChip, sc.WLsPerBlock, sc.PageBytes)
+	fmt.Printf("# parallelism: planes=%d cache-pipeline=%s queue-depth=32 plock-batching=%s\n",
+		planes, pipeline, batching)
+}
+
+// printAblation prints the amortization ladder's absolute and
+// normalized throughput (cells share the scale's workload volume).
+func printAblation(cells []experiment.BatchingCell, csv bool) {
+	fmt.Println("=== Amortization ablation: Mobile × secSSD ===")
+	base := cells[0].Run.IOPS()
+	for _, c := range cells {
+		s := c.Run.Report.Stats
+		norm := 0.0
+		if base > 0 {
+			norm = c.Run.IOPS() / base
+		}
+		if csv {
+			fmt.Printf("ablation,%s,%.1f,%.4f,%.4f,%d,%d,%d,%d\n",
+				c.Label, c.Run.IOPS(), norm, c.Run.WAF(), s.PLocks, s.PLockBatches, s.PLockBatchedPages, s.BLocks)
+			continue
+		}
+		fmt.Printf("  %-10s IOPS %8.0f  (%.2fx)  WAF %.2f  pLocks %6d  batched %5d pulses / %6d pages  bLocks %4d\n",
+			c.Label, c.Run.IOPS(), norm, c.Run.WAF(), s.PLocks, s.PLockBatches, s.PLockBatchedPages, s.BLocks)
+	}
+	fmt.Println()
 }
 
 // runTraced executes one workload×policy run with a trace.Recorder

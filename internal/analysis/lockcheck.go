@@ -15,6 +15,7 @@ var chipOps = map[string]bool{
 	"Read": true, "Program": true, "Erase": true, "PLock": true,
 	"BLock": true, "Scrub": true, "Copyback": true,
 	"IsPageLocked": true, "IsBlockLocked": true,
+	"PLockWL": true, "ProgramMulti": true, "ReadMulti": true,
 }
 
 // Lockcheck enforces the lock-state plumbing invariants:

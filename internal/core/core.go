@@ -86,6 +86,15 @@ type Options struct {
 	// from Seed.
 	FaultRate float64
 	FaultSeed int64
+	// Planes sets the per-chip plane count (zero = 1, no multi-plane
+	// commands). BlocksPerChip must divide evenly across planes.
+	Planes int
+	// NoCachePipeline disables cache-mode read/program pipelining
+	// (ablation; see ssd.Config).
+	NoCachePipeline bool
+	// LockBatch enables wordline-aware pLock batching in the lock
+	// manager (see ftl.LockBatchConfig).
+	LockBatch ftl.LockBatchConfig
 }
 
 // Device is an assembled SecureSSD with its file layer.
@@ -136,6 +145,9 @@ func New(opts Options) (*Device, error) {
 	if opts.FaultRate > 0 {
 		cfg.Fault = fault.Uniform(opts.FaultRate, opts.FaultSeed)
 	}
+	cfg.Planes = opts.Planes
+	cfg.NoCachePipeline = opts.NoCachePipeline
+	cfg.LockBatch = opts.LockBatch
 	dev, err := ssd.New(cfg)
 	if err != nil {
 		return nil, err
@@ -221,6 +233,11 @@ func (d *Device) Wear() ftl.WearStats { return d.ssd.FTL().Wear() }
 // secure-purge built from pLock/bLock). Live data is untouched and no
 // block is erased.
 func (d *Device) Purge() error { return d.ssd.SanitizeAll() }
+
+// Sync drains any deferred sanitization work: with a positive lock-batch
+// deadline, queued pLocks may ride across requests, and Sync is the
+// barrier that pulses them all. A no-op in every other configuration.
+func (d *Device) Sync() { d.ssd.FlushLocks() }
 
 // Finding is one forensic hit: recovered content at a physical location.
 type Finding struct {

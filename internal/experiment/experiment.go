@@ -54,6 +54,12 @@ type Scale struct {
 	FaultRate float64
 	// FaultSeed drives the fault schedule; zero falls back to Seed.
 	FaultSeed int64
+	// Planes, NoCachePipeline and LockBatch tune the device's
+	// parallelism/amortization features (see ssd.Config). The zero
+	// values reproduce the pre-batching single-plane device.
+	Planes          int
+	NoCachePipeline bool
+	LockBatch       ftl.LockBatchConfig
 }
 
 // FaultConfig returns the scale's fault-injection configuration (the
@@ -222,6 +228,9 @@ func buildDevice(policy ftl.Policy, sc Scale, tr trace.Collector) (*ssd.SSD, err
 		Seed:            sc.Seed,
 		Fault:           sc.FaultConfig(),
 		Trace:           tr,
+		Planes:          sc.Planes,
+		NoCachePipeline: sc.NoCachePipeline,
+		LockBatch:       sc.LockBatch,
 	})
 }
 
@@ -414,4 +423,64 @@ func ComputeHeadline(rows []Fig14Row) Headline {
 		h.BLockIOPSGainAvg = sumGain / float64(nGain)
 	}
 	return h
+}
+
+// BatchingCell is one device configuration of the amortization ablation:
+// the same workload and sanitization policy run against progressively
+// more of the device-parallelism features.
+type BatchingCell struct {
+	// Label names the feature set ("disabled", "pipelined", "batched").
+	Label string
+	// Planes / NoCachePipeline / LockBatch are the ssd.Config knobs the
+	// cell turns on.
+	Planes          int
+	NoCachePipeline bool
+	LockBatch       ftl.LockBatchConfig
+	Run             Run
+}
+
+// BatchingCells returns the ablation ladder: "disabled" is the device
+// with every parallelism feature off (single plane, no cache-mode
+// pipelining, per-page pLock pulses), "pipelined" adds two-plane
+// striping and cached transfers, and "batched" adds wordline-aware
+// pLock coalescing on top. The batched cell runs in deferred mode
+// (Deadline 2 ms, Threshold 96): file deletes arrive as one trim
+// request per extent run, and only a queue that survives across those
+// requests can reassemble a wordline whose stale pages are spread over
+// several runs (interleaved files split a WL's pages across extents).
+func BatchingCells() []BatchingCell {
+	return []BatchingCell{
+		{Label: "disabled", Planes: 1, NoCachePipeline: true},
+		{Label: "pipelined", Planes: 2},
+		{Label: "batched", Planes: 2,
+			LockBatch: ftl.LockBatchConfig{Enabled: true, Deadline: 2000, Threshold: 96}},
+	}
+}
+
+// BatchingAblation runs the sanitization-heavy Mobile workload (§7
+// Table 2: create/delete dominated, 512 KiB–8 MiB files) on the secSSD
+// device across the BatchingCells ladder, fanned over up to workers
+// goroutines. Each cell is an independent seeded simulation, so the
+// result is bit-identical for any worker count.
+func BatchingAblation(sc Scale, workers int) ([]BatchingCell, error) {
+	cells := BatchingCells()
+	prof := workload.Mobile()
+	runs, err := parallel.Map(workers, len(cells), func(i int) (Run, error) {
+		cs := sc
+		cs.Planes = cells[i].Planes
+		cs.NoCachePipeline = cells[i].NoCachePipeline
+		cs.LockBatch = cells[i].LockBatch
+		run, err := Execute(prof, sanitize.SecSSD(), 1.0, cs)
+		if err != nil {
+			return Run{}, fmt.Errorf("batching/%s: %w", cells[i].Label, err)
+		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range cells {
+		cells[i].Run = runs[i]
+	}
+	return cells, nil
 }

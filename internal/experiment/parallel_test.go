@@ -48,3 +48,33 @@ func TestFigure14cWorkerInvariant(t *testing.T) {
 		t.Fatalf("Figure14c differs between 1 and 3 workers:\nserial: %+v\nparallel: %+v", serial, par)
 	}
 }
+
+// TestBatchingAblationWorkerInvariant is the golden determinism check
+// for the amortization ablation: both the batch-off cells and the
+// batch-on cell must be bit-stable between serial and 4-worker runs.
+func TestBatchingAblationWorkerInvariant(t *testing.T) {
+	serial, err := BatchingAblation(parTestScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BatchingAblation(parTestScale(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("BatchingAblation differs between 1 and 4 workers:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+	// Shape checks: the ladder ran all three cells and the batched cell
+	// actually exercised coalesced pulses.
+	if len(serial) != 3 || serial[0].Label != "disabled" || serial[2].Label != "batched" {
+		t.Fatalf("unexpected cells: %+v", serial)
+	}
+	for _, c := range serial {
+		if c.Run.Report.Requests == 0 {
+			t.Fatalf("cell %s ran no requests", c.Label)
+		}
+	}
+	if got := serial[2].Run.Report.Stats.PLockBatches; got == 0 {
+		t.Fatalf("batched cell issued no coalesced pulses")
+	}
+}

@@ -40,48 +40,113 @@ func (f *FTL) mustAllocate() PPA {
 	return p
 }
 
-// allocateOnChip takes the next page of the chip's active block, opening
-// (and lazily erasing) a new block when needed.
+// allocateOnChip takes the next page of one of the chip's active blocks,
+// rotating across planes so multi-plane devices keep every plane's
+// frontier warm. With a single plane it reduces to the classic
+// one-active-block allocator.
 func (f *FTL) allocateOnChip(chip int) (PPA, error) {
 	cs := &f.chips[chip]
-	if cs.active < 0 || cs.frontier >= f.geo.PagesPerBlock {
-		if err := f.openBlock(chip); err != nil {
+	var lastErr error
+	for i := 0; i < f.planes; i++ {
+		pl := (cs.planeCursor + i) % f.planes
+		p, err := f.allocateOnPlane(chip, pl)
+		if err == nil {
+			cs.planeCursor = (pl + 1) % f.planes
+			return p, nil
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+// allocateOnPlane takes the next page of the plane's active block,
+// opening (and lazily erasing) a new block when needed.
+func (f *FTL) allocateOnPlane(chip, plane int) (PPA, error) {
+	cs := &f.chips[chip]
+	if cs.active[plane] < 0 || cs.frontier[plane] >= f.geo.PagesPerBlock {
+		if err := f.openBlock(chip, plane); err != nil {
 			return 0, err
 		}
 	}
-	block := cs.active
-	p := f.geo.FirstPPA(block) + PPA(cs.frontier)
-	cs.frontier++
+	block := cs.active[plane]
+	p := f.geo.FirstPPA(block) + PPA(cs.frontier[plane])
+	cs.frontier[plane]++
 	f.usedInBlock[block]++
 	return p, nil
 }
 
-// openBlock selects the chip's next active block. Lazy erase happens
+// allocateStripe allocates up to want pages on distinct planes of a
+// single chip, for one multi-plane program. It returns however many
+// pages a chip could provide (possibly just one; the caller programs
+// them — they are consumed), or an empty slice when every chip is out of
+// space. The returned slice is a scratch buffer valid until the next
+// allocateStripe call.
+func (f *FTL) allocateStripe(want int) []PPA {
+	n := len(f.chips)
+	stripe := f.stripeScratch[:0]
+	for i := 0; i < n; i++ {
+		chip := (f.rr() + i) % n
+		for pl := 0; pl < f.planes && len(stripe) < want; pl++ {
+			if p, err := f.allocateOnPlane(chip, pl); err == nil {
+				stripe = append(stripe, p)
+			}
+		}
+		if len(stripe) > 0 {
+			break
+		}
+	}
+	f.stripeScratch = stripe
+	return stripe
+}
+
+// openBlock selects the plane's next active block. Lazy erase happens
 // here: a block queued for erase is erased immediately before reuse, so
 // its open interval is effectively zero (§5.4).
-func (f *FTL) openBlock(chip int) error {
+func (f *FTL) openBlock(chip, plane int) error {
 	cs := &f.chips[chip]
-	cs.active = -1
-	cs.frontier = 0
-	if n := len(cs.free); n > 0 {
-		pick := n - 1
+	cs.active[plane] = -1
+	cs.frontier[plane] = 0
+	// Default pick: the most recently freed block of this plane; under
+	// wear-aware allocation, the least-erased one.
+	pick := -1
+	for i := len(cs.free) - 1; i >= 0; i-- {
+		if f.geo.PlaneOfBlock(cs.free[i]) == plane {
+			pick = i
+			break
+		}
+	}
+	if pick >= 0 {
 		if f.cfg.WearAware {
 			// Dynamic wear leveling: open the least-erased free block.
-			for i := 0; i < n; i++ {
+			for i := 0; i < len(cs.free); i++ {
+				if f.geo.PlaneOfBlock(cs.free[i]) != plane {
+					continue
+				}
 				if f.eraseCount[cs.free[i]] < f.eraseCount[cs.free[pick]] {
 					pick = i
 				}
 			}
 		}
-		cs.active = cs.free[pick]
+		cs.active[plane] = cs.free[pick]
 		cs.free = append(cs.free[:pick], cs.free[pick+1:]...)
 		return nil
 	}
-	for len(cs.pendingErase) > 0 {
-		pick := 0
+	for {
+		pick = -1
+		for i, b := range cs.pendingErase {
+			if f.geo.PlaneOfBlock(b) == plane {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			break
+		}
 		if f.cfg.WearAware {
-			for i := 1; i < len(cs.pendingErase); i++ {
-				if f.eraseCount[cs.pendingErase[i]] < f.eraseCount[cs.pendingErase[pick]] {
+			for i := pick + 1; i < len(cs.pendingErase); i++ {
+				b := cs.pendingErase[i]
+				if f.geo.PlaneOfBlock(b) == plane &&
+					f.eraseCount[b] < f.eraseCount[cs.pendingErase[pick]] {
 					pick = i
 				}
 			}
@@ -93,10 +158,10 @@ func (f *FTL) openBlock(chip int) error {
 			// candidate.
 			continue
 		}
-		cs.active = block
+		cs.active[plane] = block
 		return nil
 	}
-	return fmt.Errorf("ftl: chip %d out of blocks", chip)
+	return fmt.Errorf("ftl: chip %d plane %d out of blocks", chip, plane)
 }
 
 // reusableBlocks counts blocks the chip can still open.

@@ -2,7 +2,7 @@ package ftl
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/blockio"
 	"repro/internal/metrics"
@@ -58,11 +58,38 @@ type FTL struct {
 	// program failure needed (fault campaigns report its mean/max).
 	retryDepth metrics.Summary
 
-	chips []chipState
+	chips  []chipState
+	planes int // cached Geometry.PlaneCount()
 
-	// pendingSanitize collects secured invalidations per block between
-	// Flush calls, for the lock manager's bLock batching.
-	pendingSanitize map[int][]PPA
+	// batchTarget is non-nil when the Target also implements BatchTarget;
+	// it enables multi-plane read/program grouping and batched SBPI lock
+	// pulses.
+	batchTarget BatchTarget
+
+	// pendingPages collects secured invalidations per global block between
+	// Flush calls (nil = nothing queued for the block); pendingList holds
+	// the block ids in first-pend order, possibly with stale entries that
+	// DrainPending skips. The flat arrays replace a map: DrainPending runs
+	// on every host request, and the map allocation + sort dominated the
+	// secSSD flush profile.
+	pendingPages [][]PPA
+	pendingList  []int
+	pendingCount int
+
+	// lockq coalesces pending pLocks per wordline into batched SBPI pulses
+	// (lockmgr.go); lockBatching gates the whole path.
+	lockBatching bool
+	lockq        lockQueue
+
+	// wlMark/wlGen dedupe device-global wordlines without clearing
+	// (LockPulses); len(wlMark) = TotalWLs.
+	wlMark []int32
+	wlGen  int32
+
+	// Multi-plane scratch buffers (hot path, reused across requests).
+	stripeScratch []PPA
+	stripeOlds    []PPA
+	stripeDatas   [][]byte
 
 	// reqClock is the dependency time of the request currently being
 	// processed; flash ops issued for the request chain from it.
@@ -78,12 +105,18 @@ type FTL struct {
 }
 
 type chipState struct {
-	active       int   // global block currently written, -1 if none
-	frontier     int   // next page index in the active block
+	active       []int // per plane: global block currently written, -1 if none
+	frontier     []int // per plane: next page index in the active block
 	free         []int // erased, ready blocks (global ids)
 	pendingErase []int // invalid-only blocks awaiting lazy erase
 	rrOffset     int
 	fifoCursor   int // VictimFIFO scan position
+	planeCursor  int // round-robin start plane for single-page allocation
+}
+
+// isActive reports whether block is an open write frontier on its chip.
+func (f *FTL) isActive(cs *chipState, block int) bool {
+	return cs.active[f.geo.PlaneOfBlock(block)] == block
 }
 
 // New creates an FTL over the target flash.
@@ -96,27 +129,35 @@ func New(cfg Config, target Target, policy Policy) (*FTL, error) {
 	}
 	g := cfg.Geometry
 	f := &FTL{
-		cfg:             cfg,
-		geo:             g,
-		target:          target,
-		policy:          policy,
-		l2p:             make([]PPA, cfg.LogicalPages),
-		p2l:             make([]int64, g.TotalPages()),
-		fileOf:          make([]uint64, g.TotalPages()),
-		status:          make([]PageStatus, g.TotalPages()),
-		liveInBlock:     make([]int32, g.TotalBlocks()),
-		usedInBlock:     make([]int32, g.TotalBlocks()),
-		eraseCount:      make([]int32, g.TotalBlocks()),
-		lockedBlocks:    make([]bool, g.TotalBlocks()),
-		retired:         make([]bool, g.TotalBlocks()),
-		chips:           make([]chipState, g.Chips),
-		pendingSanitize: make(map[int][]PPA),
+		cfg:          cfg,
+		geo:          g,
+		target:       target,
+		policy:       policy,
+		l2p:          make([]PPA, cfg.LogicalPages),
+		p2l:          make([]int64, g.TotalPages()),
+		fileOf:       make([]uint64, g.TotalPages()),
+		status:       make([]PageStatus, g.TotalPages()),
+		liveInBlock:  make([]int32, g.TotalBlocks()),
+		usedInBlock:  make([]int32, g.TotalBlocks()),
+		eraseCount:   make([]int32, g.TotalBlocks()),
+		lockedBlocks: make([]bool, g.TotalBlocks()),
+		retired:      make([]bool, g.TotalBlocks()),
+		chips:        make([]chipState, g.Chips),
+		planes:       g.PlaneCount(),
+		pendingPages: make([][]PPA, g.TotalBlocks()),
 	}
 	f.tracer = cfg.Tracer
 	if f.tracer == nil {
 		f.tracer = trace.Nop{}
 	}
 	f.traceOn = f.tracer.Enabled()
+	f.batchTarget, _ = target.(BatchTarget)
+	if cfg.LockBatch.Enabled && f.batchTarget != nil {
+		f.lockBatching = true
+		f.lockq.groupIdx = make([]int32, g.TotalWLs())
+		f.lockq.pending = make([]bool, g.TotalPages())
+		f.wlMark = make([]int32, g.TotalWLs())
+	}
 	f.statusCount[PageFree] = int64(g.TotalPages())
 	for i := range f.l2p {
 		f.l2p[i] = NoPPA
@@ -126,7 +167,11 @@ func New(cfg Config, target Target, policy Policy) (*FTL, error) {
 	}
 	for c := range f.chips {
 		cs := &f.chips[c]
-		cs.active = -1
+		cs.active = make([]int, f.planes)
+		cs.frontier = make([]int, f.planes)
+		for pl := range cs.active {
+			cs.active[pl] = -1
+		}
 		cs.free = make([]int, 0, g.BlocksPerChip)
 		// All blocks start erased and free.
 		for b := g.BlocksPerChip - 1; b >= 0; b-- {
@@ -205,6 +250,10 @@ func (f *FTL) Submit(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
 	done := dep
 	switch req.Op {
 	case blockio.OpRead:
+		if f.planes > 1 && f.batchTarget != nil {
+			done = f.readGrouped(req, dep)
+			break
+		}
 		for i := int64(0); i < int64(req.Pages); i++ {
 			f.stats.HostReadPages++
 			if p := f.l2p[req.LPA+i]; p != NoPPA {
@@ -215,6 +264,14 @@ func (f *FTL) Submit(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
 			}
 		}
 	case blockio.OpWrite:
+		if f.planes > 1 && f.batchTarget != nil {
+			t, err := f.writeStriped(req, dep)
+			if err != nil {
+				return t, err
+			}
+			done = t
+			break
+		}
 		for i := int64(0); i < int64(req.Pages); i++ {
 			t, err := f.writePage(req.LPA+i, !req.Insecure, req.FileID, req.PageData(int(i)), dep)
 			if err != nil {
@@ -236,23 +293,37 @@ func (f *FTL) Submit(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
 	}
 	if f.traceOn {
 		// Lock-queue depth as the lock manager sees it, right before the
-		// request-level flush drains it.
-		depth := 0
-		for _, ps := range f.pendingSanitize {
-			depth += len(ps)
-		}
-		f.tracer.Gauge(trace.GaugeLockQueue, f.reqClock, float64(depth))
+		// request-level flush drains it: pages awaiting a policy decision
+		// plus pages already coalescing in the batching queue.
+		f.tracer.Gauge(trace.GaugeLockQueue, f.reqClock, float64(f.pendingCount+f.lockq.count))
 	}
 	f.policy.Flush(f)
 	// Fault recovery during the flush (a quarantined failed program, an
-	// escalation's relocations) can queue fresh sanitize work; drain
-	// until a flush settles with nothing pending so the request never
-	// completes with a secured residue still readable.
-	for i := 0; len(f.pendingSanitize) > 0; i++ {
+	// escalation's relocations) can queue fresh sanitize work, and a lock
+	// flush can in turn re-pend pages (a failed pulse's escalation
+	// relocates live pages whose stale copies re-enter the policy); drain
+	// until both queues settle so the request never completes with a
+	// secured residue still readable past its deadline.
+	for i := 0; ; i++ {
 		if i >= 1000 {
 			panic("ftl: sanitize flush did not converge after 1000 rounds")
 		}
-		f.policy.Flush(f)
+		if f.pendingCount > 0 {
+			f.policy.Flush(f)
+			continue
+		}
+		if f.lockBatching && f.lockq.attached > 0 {
+			var issued bool
+			if f.cfg.LockBatch.Deadline <= 0 {
+				issued = f.FlushLocks()
+			} else {
+				issued = f.flushDueLocks()
+			}
+			if issued {
+				continue
+			}
+		}
+		break
 	}
 	if f.reqClock > done {
 		done = f.reqClock
@@ -272,11 +343,19 @@ func (f *FTL) Submit(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
 // fresh page.
 func (f *FTL) writePage(lpa int64, secure bool, file uint64, data []byte, dep sim.Micros) (sim.Micros, error) {
 	f.stats.HostWrittenPages++
-	old := f.l2p[lpa]
 	p, err := f.allocate()
 	if err != nil {
 		return dep, err
 	}
+	return f.storeAt(p, lpa, secure, file, data, dep)
+}
+
+// storeAt programs data onto the already-allocated page p, running the
+// failed-program retry ladder (quarantine the consumed page, retry on a
+// fresh one), then commits the mapping and invalidates the overwritten
+// copy.
+func (f *FTL) storeAt(p PPA, lpa int64, secure bool, file uint64, data []byte, dep sim.Micros) (sim.Micros, error) {
+	old := f.l2p[lpa]
 	f.stats.FlashPrograms++
 	done, perr := f.target.Program(p, data, dep)
 	retries := 0
@@ -287,6 +366,7 @@ func (f *FTL) writePage(lpa int64, secure bool, file uint64, data []byte, dep si
 		}
 		retries++
 		f.stats.ProgramRetries++
+		var err error
 		if p, err = f.allocate(); err != nil {
 			return done, err
 		}
@@ -296,6 +376,17 @@ func (f *FTL) writePage(lpa int64, secure bool, file uint64, data []byte, dep si
 	if retries > 0 {
 		f.retryDepth.Add(float64(retries))
 	}
+	f.commitWrite(p, lpa, secure, file)
+	// Invalidate the overwritten copy after the new data is durable.
+	if old != NoPPA {
+		f.invalidate(old)
+	}
+	f.maybeGC(f.geo.ChipOf(p))
+	return done, nil
+}
+
+// commitWrite publishes the mapping for a freshly-programmed host page.
+func (f *FTL) commitWrite(p PPA, lpa int64, secure bool, file uint64) {
 	f.l2p[lpa] = p
 	f.p2l[p] = lpa
 	f.fileOf[p] = file
@@ -308,11 +399,177 @@ func (f *FTL) writePage(lpa int64, secure bool, file uint64, data []byte, dep si
 	if f.hooks.Programmed != nil {
 		f.hooks.Programmed(p, lpa, file)
 	}
-	// Invalidate the overwritten copy after the new data is durable.
-	if old != NoPPA {
-		f.invalidate(old)
+}
+
+// readGrouped serves a host read with multi-plane grouping: consecutive
+// mapped pages that land on distinct planes of one chip share a single
+// tREAD (the bus transfers still serialize per page).
+func (f *FTL) readGrouped(req blockio.Request, dep sim.Micros) sim.Micros {
+	done := dep
+	group := f.lockq.takePages(f.planes)
+	chip := -1
+	var planeMask uint64
+	for i := int64(0); i < int64(req.Pages); i++ {
+		f.stats.HostReadPages++
+		p := f.l2p[req.LPA+i]
+		if p == NoPPA {
+			continue
+		}
+		c := f.geo.ChipOf(p)
+		pl := uint64(1) << uint(f.geo.PlaneOfBlock(f.geo.BlockOf(p)))
+		if len(group) > 0 && (c != chip || planeMask&pl != 0) {
+			done = f.flushReadGroup(group, dep, done)
+			group, planeMask = group[:0], 0
+		}
+		chip = c
+		planeMask |= pl
+		group = append(group, p)
+		if len(group) == f.planes {
+			done = f.flushReadGroup(group, dep, done)
+			group, planeMask = group[:0], 0
+		}
 	}
-	f.maybeGC(f.geo.ChipOf(p))
+	done = f.flushReadGroup(group, dep, done)
+	f.lockq.recycle(group)
+	return done
+}
+
+// flushReadGroup issues one accumulated read group (single-page groups
+// fall back to a plain read) and folds its completion into done.
+func (f *FTL) flushReadGroup(group []PPA, dep, done sim.Micros) sim.Micros {
+	switch {
+	case len(group) == 0:
+	case len(group) == 1:
+		f.stats.FlashReads++
+		if _, t := f.target.Read(group[0], dep); t > done {
+			done = t
+		}
+	default:
+		f.stats.FlashReads += uint64(len(group))
+		f.stats.ReadGroups++
+		f.stats.GroupedReads += uint64(len(group))
+		if t := f.batchTarget.ReadGroup(group, dep); t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// writeStriped serves a host write with multi-plane striping: up to
+// Planes consecutive pages are allocated on distinct planes of one chip
+// and programmed under a single shared tPROG. Mappings for every page of
+// a stripe are committed before any failure recovery or GC runs, so a
+// reentrant flush never observes a chip-programmed page that the mapping
+// tables still call free.
+func (f *FTL) writeStriped(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
+	done := dep
+	secure := !req.Insecure
+	n := int(req.Pages)
+	datas := f.stripeDatas[:0]
+	defer func() {
+		for k := range datas {
+			datas[k] = nil // drop payload references between requests
+		}
+		f.stripeDatas = datas[:0]
+	}()
+	for i := 0; i < n; {
+		want := min(f.planes, n-i)
+		if want == 1 {
+			t, err := f.writePage(req.LPA+int64(i), secure, req.FileID, req.PageData(i), dep)
+			if err != nil {
+				return done, err
+			}
+			if t > done {
+				done = t
+			}
+			i++
+			continue
+		}
+		stripe := f.allocateStripe(want)
+		if len(stripe) == 0 {
+			// No chip could open even one plane frontier; let the plain
+			// path surface the allocator's error.
+			t, err := f.writePage(req.LPA+int64(i), secure, req.FileID, req.PageData(i), dep)
+			if err != nil {
+				return done, err
+			}
+			if t > done {
+				done = t
+			}
+			i++
+			continue
+		}
+		if len(stripe) == 1 {
+			// The allocator found a single free plane; the page is already
+			// consumed, so store it directly.
+			f.stats.HostWrittenPages++
+			t, err := f.storeAt(stripe[0], req.LPA+int64(i), secure, req.FileID, req.PageData(i), dep)
+			if err != nil {
+				return done, err
+			}
+			if t > done {
+				done = t
+			}
+			i++
+			continue
+		}
+		datas = datas[:0]
+		for k := range stripe {
+			datas = append(datas, req.PageData(i+k))
+		}
+		f.stats.HostWrittenPages += uint64(len(stripe))
+		f.stats.FlashPrograms += uint64(len(stripe))
+		f.stats.ProgramGroups++
+		f.stats.GroupedPrograms += uint64(len(stripe))
+		gdone, errs := f.batchTarget.ProgramGroup(stripe, datas, dep)
+		if gdone > done {
+			done = gdone
+		}
+		// Commit every successful page before touching recovery or GC:
+		// commitWrite has no reentrant paths, so the whole stripe becomes
+		// visible atomically with respect to fault handling (a reentrant
+		// flush must never observe a chip-programmed page that the mapping
+		// tables still call free — bLock escalation would seal it).
+		olds := f.stripeOlds[:0]
+		for k, p := range stripe {
+			lpa := req.LPA + int64(i+k)
+			olds = append(olds, f.l2p[lpa])
+			if errs[k] == nil {
+				f.commitWrite(p, lpa, secure, req.FileID)
+			}
+		}
+		f.stripeOlds = olds
+		for k, p := range stripe {
+			lpa := req.LPA + int64(i+k)
+			if errs[k] != nil {
+				// The consumed page holds a partial payload: quarantine it
+				// and retry this logical page on a fresh single page
+				// (storeAt re-reads the — still uncommitted — old mapping
+				// and invalidates it itself).
+				f.quarantineFailedProgram(p, secure, req.FileID, gdone)
+				f.stats.ProgramRetries++
+				np, err := f.allocate()
+				if err != nil {
+					return done, err
+				}
+				t, err := f.storeAt(np, lpa, secure, req.FileID, req.PageData(i+k), gdone)
+				if err != nil {
+					return done, err
+				}
+				if t > done {
+					done = t
+				}
+				continue
+			}
+			// Invalidate the overwritten copy now that the new data (and
+			// the rest of the stripe) is durable and mapped.
+			if old := f.stripeOlds[k]; old != NoPPA {
+				f.invalidate(old)
+			}
+		}
+		f.maybeGC(f.geo.ChipOf(stripe[0]))
+		i += len(stripe)
+	}
 	return done, nil
 }
 
@@ -439,11 +696,12 @@ func (f *FTL) IssueScrub(p PPA) {
 	siblings := f.geo.WLSiblings(p)
 	block := f.geo.BlockOf(p)
 	cs := &f.chips[f.geo.ChipOfBlock(block)]
+	pl := f.geo.PlaneOfBlock(block)
 	wlStart := int(siblings[0]) - int(f.geo.FirstPPA(block))
 	wlEnd := wlStart + len(siblings)
-	if cs.active == block && cs.frontier > wlStart && cs.frontier < wlEnd {
-		f.usedInBlock[block] += int32(wlEnd - cs.frontier)
-		cs.frontier = wlEnd
+	if cs.active[pl] == block && cs.frontier[pl] > wlStart && cs.frontier[pl] < wlEnd {
+		f.usedInBlock[block] += int32(wlEnd - cs.frontier[pl])
+		cs.frontier[pl] = wlEnd
 	}
 	for _, s := range siblings {
 		if s != p && f.status[s].Live() {
@@ -463,7 +721,24 @@ func (f *FTL) IssueScrub(p PPA) {
 // decision at Flush time (secSSD policies).
 func (f *FTL) PendSanitize(p PPA) {
 	b := f.geo.BlockOf(p)
-	f.pendingSanitize[b] = append(f.pendingSanitize[b], p)
+	if f.pendingPages[b] == nil {
+		// The list may already carry a stale entry for b (from an erase
+		// that cancelled the block's queue); DrainPending dedupes on the
+		// nil check, so appending again is harmless.
+		f.pendingList = append(f.pendingList, b)
+	}
+	f.pendingPages[b] = append(f.pendingPages[b], p)
+	f.pendingCount++
+}
+
+// clearPending drops a block's queued sanitize work (erase or retirement
+// destroyed the stale copies already). The pendingList entry is left for
+// DrainPending to skip.
+func (f *FTL) clearPending(block int) {
+	if ps := f.pendingPages[block]; ps != nil {
+		f.pendingCount -= len(ps)
+		f.pendingPages[block] = nil
+	}
 }
 
 // PendingBlock is one block's queued secured invalidations.
@@ -474,18 +749,28 @@ type PendingBlock struct {
 
 // DrainPending returns and clears the pending sanitize sets, ordered by
 // block index. The deterministic order matters: policies issue lock and
-// erase commands while iterating, and map-order iteration would make
-// simulated timing vary run to run.
+// erase commands while iterating, and unordered iteration would make
+// simulated timing vary run to run. Ownership of each Pages slice moves
+// to the caller; the drain must allocate a fresh result because policies
+// iterate it while relocations can reentrantly queue and drain more work.
 func (f *FTL) DrainPending() []PendingBlock {
-	if len(f.pendingSanitize) == 0 {
+	if f.pendingCount == 0 {
+		f.pendingList = f.pendingList[:0]
 		return nil
 	}
-	out := make([]PendingBlock, 0, len(f.pendingSanitize))
-	for b, pages := range f.pendingSanitize {
+	slices.Sort(f.pendingList)
+	out := make([]PendingBlock, 0, len(f.pendingList))
+	for _, b := range f.pendingList {
+		pages := f.pendingPages[b]
+		if pages == nil {
+			// Cancelled by an erase/retirement, or a duplicate list entry.
+			continue
+		}
+		f.pendingPages[b] = nil
 		out = append(out, PendingBlock{Block: b, Pages: pages})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Block < out[j].Block })
-	f.pendingSanitize = make(map[int][]PPA)
+	f.pendingList = f.pendingList[:0]
+	f.pendingCount = 0
 	return out
 }
 
@@ -641,9 +926,9 @@ func (f *FTL) EraseNow(block int) {
 		return
 	}
 	ok := f.eraseBlock(block)
-	if cs.active == block {
-		cs.active = -1
-		cs.frontier = 0
+	if pl := f.geo.PlaneOfBlock(block); cs.active[pl] == block {
+		cs.active[pl] = -1
+		cs.frontier[pl] = 0
 	}
 	for i, b := range cs.pendingErase {
 		if b == block {
@@ -693,7 +978,8 @@ func (f *FTL) eraseBlock(block int) bool {
 	f.usedInBlock[block] = 0
 	f.eraseCount[block]++
 	f.lockedBlocks[block] = false
-	delete(f.pendingSanitize, block)
+	f.clearPending(block)
+	f.cancelQueuedLocks(block)
 	return true
 }
 

@@ -33,6 +33,11 @@ type Geometry struct {
 	// the scrubbing baseline to find wordline siblings.
 	PagesPerWL int
 	PageBytes  int
+	// Planes is the per-chip plane count (0 is treated as 1). Blocks
+	// interleave across planes (chip-local block b sits in plane
+	// b mod Planes); with Planes > 1 the allocator keeps one active block
+	// per plane and the write path issues multi-plane program groups.
+	Planes int
 }
 
 // Validate checks the geometry.
@@ -44,7 +49,26 @@ func (g Geometry) Validate() error {
 		return fmt.Errorf("ftl: PagesPerBlock %d not a multiple of PagesPerWL %d",
 			g.PagesPerBlock, g.PagesPerWL)
 	}
+	if g.Planes < 0 {
+		return fmt.Errorf("ftl: negative plane count %d", g.Planes)
+	}
+	if p := g.PlaneCount(); g.BlocksPerChip%p != 0 {
+		return fmt.Errorf("ftl: BlocksPerChip %d not divisible across %d planes", g.BlocksPerChip, p)
+	}
 	return nil
+}
+
+// PlaneCount returns the effective plane count (zero Planes = 1).
+func (g Geometry) PlaneCount() int {
+	if g.Planes <= 1 {
+		return 1
+	}
+	return g.Planes
+}
+
+// PlaneOfBlock returns the plane a device-global block belongs to.
+func (g Geometry) PlaneOfBlock(block int) int {
+	return g.BlockInChip(block) % g.PlaneCount()
 }
 
 // TotalBlocks returns the device-global block count.
@@ -75,6 +99,20 @@ func (g Geometry) PageInBlock(p PPA) int { return int(p) % g.PagesPerBlock }
 
 // FirstPPA returns the first page of a device-global block.
 func (g Geometry) FirstPPA(block int) PPA { return PPA(block * g.PagesPerBlock) }
+
+// WLStart returns the first page of p's wordline without allocating (the
+// hot-path form of WLSiblings(p)[0]).
+func (g Geometry) WLStart(p PPA) PPA {
+	pib := g.PageInBlock(p)
+	return PPA(int(p) - pib + (pib/g.PagesPerWL)*g.PagesPerWL)
+}
+
+// WLIndex returns the device-global wordline index of a page (the lock
+// manager's coalescing key).
+func (g Geometry) WLIndex(p PPA) int { return int(p) / g.PagesPerWL }
+
+// TotalWLs returns the device-global wordline count.
+func (g Geometry) TotalWLs() int { return g.TotalPages() / g.PagesPerWL }
 
 // WLSiblings returns the physical pages sharing p's wordline (including p
 // itself).
@@ -166,6 +204,34 @@ type Target interface {
 	Scrub(p PPA, dep sim.Micros) sim.Micros
 }
 
+// BatchTarget is the optional device-parallelism extension of Target.
+// The FTL detects it with a type assertion at construction: targets that
+// implement it get wordline-batched lock pulses and multi-plane
+// read/program groups; plain Targets keep the one-command-per-page
+// contract unchanged.
+type BatchTarget interface {
+	Target
+	// PLockWL programs the pAP flags of several stale pages on one
+	// wordline with a single SBPI one-shot pulse (§5 programs flags
+	// selectively per WL). All pages share the block's wordline; the
+	// pulse costs one tpLock of chip time. Unlike a failed single-page
+	// pLock — whose flag cells are spent — a failed batched pulse leaves
+	// every requested flag unprogrammed, so the caller may degrade to
+	// per-page retries.
+	PLockWL(block, wl int, pages []PPA, dep sim.Micros) (sim.Micros, error)
+	// ProgramGroup programs one page per plane on a single chip with one
+	// shared tPROG of cell activity; the payload transfers still cross
+	// the channel per page. The returned time is the group's completion;
+	// outcomes are per page (same failure contract as Program). The
+	// group's pages must sit on distinct planes of one chip.
+	ProgramGroup(pages []PPA, datas [][]byte, dep sim.Micros) (sim.Micros, []error)
+	// ReadGroup reads one page per plane on a single chip with one
+	// shared tREAD. It is timing-only: grouped reads serve the host read
+	// path, which discards payloads above the FTL. Read faults are
+	// absorbed with bounded retries like Target.Read.
+	ReadGroup(pages []PPA, dep sim.Micros) sim.Micros
+}
+
 // Policy is a sanitization strategy (§7 compares five of them). The FTL
 // calls Invalidate whenever a live page becomes stale; secured pages must
 // not remain readable after the call chain completes. Flush is invoked at
@@ -214,6 +280,9 @@ type Config struct {
 	NoCopyback bool
 	// Timing is used by the lock manager's pLock-vs-bLock decision rule.
 	Timing LockTiming
+	// LockBatch tunes the wordline-aware pLock batching of the lock
+	// manager (requires a BatchTarget; silently ignored otherwise).
+	LockBatch LockBatchConfig
 	// Tracer receives FTL telemetry: secured-page invalidation and
 	// destruction times (the T_insecure window), GC pass spans, and the
 	// lock-queue / page-status / free-block gauges. Nil disables tracing
@@ -225,6 +294,29 @@ type Config struct {
 type LockTiming struct {
 	PLock sim.Micros
 	BLock sim.Micros
+}
+
+// LockBatchConfig tunes wordline-aware pLock batching. The lock manager
+// coalesces queued pLocks that target pages of the same wordline into a
+// single SBPI pulse (one tpLock instead of one per page).
+type LockBatchConfig struct {
+	// Enabled turns coalescing on. Off (the default), every queued pLock
+	// is issued as its own one-shot pulse — exactly the pre-batching
+	// behavior.
+	Enabled bool
+	// Deadline bounds how long a queued lock may wait for siblings, in
+	// simulated µs measured between request arrivals. 0 keeps the
+	// request-level guarantee: the queue is force-flushed before every
+	// host request completes, so coalescing only happens within a
+	// request and T_insecure is unchanged. A positive deadline defers
+	// incomplete wordline groups across requests (bounding T_insecure by
+	// the deadline instead); callers then need an explicit FlushLocks
+	// barrier before any durability point.
+	Deadline sim.Micros
+	// Threshold force-flushes the whole queue when the number of queued
+	// pages reaches it (0 = no threshold). Only meaningful with a
+	// positive Deadline.
+	Threshold int
 }
 
 // DefaultLockTiming matches §7 (100µs / 300µs).
@@ -270,6 +362,28 @@ type Stats struct {
 	// SanitizeCopies counts page copies forced by sanitization itself
 	// (erSSD relocations, scrSSD sibling moves) rather than by GC.
 	SanitizeCopies uint64
+
+	// Lock-batching counters (all zero unless LockBatch.Enabled).
+
+	// PLockBatches counts batched SBPI pulses; PLockBatchedPages counts
+	// the pages they destroyed (>= 2 per pulse — single-page groups fall
+	// back to the plain pLock path and count under PLocks).
+	PLockBatches      uint64
+	PLockBatchedPages uint64
+	// PLockBatchFailures counts failed batched pulses. Each left every
+	// requested flag unprogrammed and degraded to per-page pLock retries
+	// (whose own failures escalate normally, so PLockFailures still
+	// equals LockEscalations).
+	PLockBatchFailures uint64
+
+	// Multi-plane counters (all zero on single-plane devices).
+
+	// ProgramGroups counts multi-plane program commands; GroupedPrograms
+	// counts the pages they covered. ReadGroups/GroupedReads likewise.
+	ProgramGroups   uint64
+	GroupedPrograms uint64
+	ReadGroups      uint64
+	GroupedReads    uint64
 
 	// Fault-recovery counters (all zero without injection).
 

@@ -21,6 +21,10 @@ type CountingTarget struct {
 	PLocks, BLocks, Scrubs  uint64
 	Copybacks               uint64
 
+	// Batched/multi-plane counters (the ftl.BatchTarget surface).
+	PLockWLs, WLPagesLocked   uint64
+	ProgramGroups, ReadGroups uint64
+
 	// Scripted fault hooks: when set and returning non-nil, the
 	// operation fails with that error after charging its latency —
 	// mirroring the Target contract (a failed Program still consumed
@@ -30,6 +34,9 @@ type CountingTarget struct {
 	FailErase   func(block int) error
 	FailPLock   func(p ftl.PPA) error
 	FailBLock   func(block int) error
+	// FailPLockWL scripts batched-pulse failures; per the chip contract
+	// a failed pulse commits nothing, so the mirrored chip is untouched.
+	FailPLockWL func(block, wl int) error
 
 	// Chips, when non-nil, mirrors every command onto real chip models
 	// (len must equal Geo.Chips).
@@ -193,6 +200,73 @@ func (t *CountingTarget) Scrub(p ftl.PPA, dep sim.Micros) sim.Micros {
 	return t.exec(chip, t.Timing.Scrub, dep)
 }
 
+// PLockWL implements ftl.BatchTarget: one shared tpLock pulse for every
+// still-unlocked page of the wordline.
+func (t *CountingTarget) PLockWL(block, wl int, pages []ftl.PPA, dep sim.Micros) (sim.Micros, error) {
+	t.PLockWLs++
+	t.WLPagesLocked += uint64(len(pages))
+	chip := t.Geo.ChipOfBlock(block)
+	done := t.exec(chip, t.Timing.PLock, dep)
+	if t.FailPLockWL != nil {
+		if err := t.FailPLockWL(block, wl); err != nil {
+			return done, err
+		}
+	}
+	if t.Chips != nil {
+		slots := make([]int, len(pages))
+		for i, p := range pages {
+			slots[i] = t.Geo.PageInBlock(p) % t.Geo.PagesPerWL
+		}
+		if _, err := t.Chips[chip].PLockWL(t.Geo.BlockInChip(block), wl, slots, dep); err != nil {
+			panic("ftltest: " + err.Error())
+		}
+	}
+	return done, nil
+}
+
+// ProgramGroup implements ftl.BatchTarget: per-page payload delivery
+// with one shared tPROG.
+func (t *CountingTarget) ProgramGroup(pages []ftl.PPA, datas [][]byte, dep sim.Micros) (sim.Micros, []error) {
+	t.ProgramGroups++
+	chip := t.Geo.ChipOf(pages[0])
+	errs := make([]error, len(pages))
+	for i, p := range pages {
+		t.Programs++
+		if t.Chips != nil {
+			data := datas[i]
+			if data == nil {
+				data = []byte{0xA5}
+			}
+			_, a := t.addr(p)
+			if _, err := t.Chips[chip].Program(a, data, dep); err != nil {
+				panic("ftltest: FTL violated flash discipline: " + err.Error())
+			}
+		}
+		if t.FailProgram != nil {
+			errs[i] = t.FailProgram(p)
+		}
+	}
+	return t.exec(chip, t.Timing.Prog, dep), errs
+}
+
+// ReadGroup implements ftl.BatchTarget: one shared tREAD for the group
+// (grouped host reads are timing-only above the FTL).
+func (t *CountingTarget) ReadGroup(pages []ftl.PPA, dep sim.Micros) sim.Micros {
+	t.ReadGroups++
+	for _, p := range pages {
+		t.Reads++
+		if t.Chips != nil {
+			chip, a := t.addr(p)
+			if _, err := t.Chips[chip].Read(a, dep); err != nil {
+				// Locked or uncorrectable pages still charge the shared
+				// read; the grouped path discards payloads either way.
+				continue
+			}
+		}
+	}
+	return t.exec(t.Geo.ChipOf(pages[0]), t.Timing.Read, dep)
+}
+
 // BuildChips constructs real nand.Chip models matching the geometry. The
 // t parameter is any test handle with Fatal (testing.T or testing.B).
 func BuildChips(t interface{ Fatal(...any) }, geo ftl.Geometry) []*nand.Chip {
@@ -205,6 +279,7 @@ func BuildChips(t interface{ Fatal(...any) }, geo ftl.Geometry) []*nand.Chip {
 			PageBytes:       geo.PageBytes,
 			FlagCells:       9,
 			EnduranceCycles: 1000,
+			Planes:          geo.Planes,
 		}, nand.WithSeed(int64(i)+1))
 		if err != nil {
 			t.Fatal(err)

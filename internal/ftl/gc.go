@@ -58,7 +58,7 @@ func (f *FTL) gcOnce(chip int) bool {
 	// live pages or double-free the block.
 	cs := &f.chips[chip]
 	if f.eraseCount[victim] != eraseEpoch || f.retired[victim] ||
-		f.usedInBlock[victim] == 0 || cs.active == victim || f.freeContains(cs, victim) {
+		f.usedInBlock[victim] == 0 || f.isActive(cs, victim) || f.freeContains(cs, victim) {
 		return true
 	}
 	if f.cfg.EagerErase {
@@ -83,7 +83,7 @@ func (f *FTL) pickVictim(chip int) int {
 	cs := &f.chips[chip]
 	begin := chip * f.geo.BlocksPerChip
 	eligible := func(b int) bool {
-		return b != cs.active && !f.retired[b] &&
+		return !f.isActive(cs, b) && !f.retired[b] &&
 			int(f.usedInBlock[b]) == f.geo.PagesPerBlock &&
 			!f.pendingEraseContains(cs, b)
 	}

@@ -1,0 +1,273 @@
+package ftl_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/blockio"
+	"repro/internal/ftl"
+	"repro/internal/ftl/ftltest"
+	"repro/internal/nand"
+	"repro/internal/sanitize"
+)
+
+func newBatchFTL(t *testing.T, policy ftl.Policy, lb ftl.LockBatchConfig) (*ftl.FTL, *ftltest.CountingTarget) {
+	t.Helper()
+	cfg := ftltest.SmallConfig()
+	cfg.LockBatch = lb
+	tgt := ftltest.New(cfg.Geometry)
+	f, err := ftl.New(cfg, tgt, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, tgt
+}
+
+func trim(t *testing.T, f *ftl.FTL, lpa int64, pages int32) {
+	t.Helper()
+	if _, err := f.Submit(blockio.Request{Op: blockio.OpTrim, LPA: lpa, Pages: pages}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A trim covering complete wordlines must go out as one pulse per
+// wordline, not one per page.
+func TestLockBatchingOnePulsePerWordline(t *testing.T) {
+	f, tgt := newBatchFTL(t, sanitize.SecSSDNoBLock(), ftl.LockBatchConfig{Enabled: true})
+	// 6 sequential pages round-robin over 2 chips: each frontier block
+	// gets pages 0,1,2 = one full TLC wordline.
+	write(t, f, 0, 6, false)
+	trim(t, f, 0, 6)
+	st := f.Stats()
+	if tgt.PLockWLs != 2 || tgt.PLocks != 0 {
+		t.Fatalf("pulses: %d batched + %d single, want 2 + 0", tgt.PLockWLs, tgt.PLocks)
+	}
+	if st.PLockBatches != 2 || st.PLockBatchedPages != 6 {
+		t.Fatalf("stats: %d batches / %d pages, want 2 / 6", st.PLockBatches, st.PLockBatchedPages)
+	}
+	if n := f.LockQueueLen(); n != 0 {
+		t.Fatalf("%d pages left queued", n)
+	}
+}
+
+// An incomplete wordline group degenerates to the plain per-page pLock
+// (a batched command for one flag group buys nothing).
+func TestLockBatchingSinglePageFallsBack(t *testing.T) {
+	f, tgt := newBatchFTL(t, sanitize.SecSSDNoBLock(), ftl.LockBatchConfig{Enabled: true})
+	write(t, f, 0, 6, false)
+	trim(t, f, 0, 1)
+	st := f.Stats()
+	if tgt.PLocks != 1 || tgt.PLockWLs != 0 {
+		t.Fatalf("pulses: %d single + %d batched, want 1 + 0", tgt.PLocks, tgt.PLockWLs)
+	}
+	if st.PLockBatches != 0 || st.PLocks != 1 {
+		t.Fatalf("stats: batches=%d plocks=%d, want 0/1", st.PLockBatches, st.PLocks)
+	}
+}
+
+// With batching disabled the queue is bypassed entirely.
+func TestLockBatchingDisabledBypassesQueue(t *testing.T) {
+	f, tgt := newBatchFTL(t, sanitize.SecSSDNoBLock(), ftl.LockBatchConfig{})
+	write(t, f, 0, 6, false)
+	trim(t, f, 0, 6)
+	if tgt.PLocks != 6 || tgt.PLockWLs != 0 {
+		t.Fatalf("pulses: %d single + %d batched, want 6 + 0", tgt.PLocks, tgt.PLockWLs)
+	}
+	if f.Stats().PLockBatches != 0 {
+		t.Fatal("batch counter moved with batching off")
+	}
+}
+
+// LockPulses is the §6 decision-rule cost model: distinct wordlines
+// with batching, raw page count without.
+func TestLockPulsesCostModel(t *testing.T) {
+	g := ftltest.SmallGeometry()
+	pages := []ftl.PPA{
+		g.PPAOf(0, 0, 0), g.PPAOf(0, 0, 1), g.PPAOf(0, 0, 2), // WL0
+		g.PPAOf(0, 0, 3),                   // WL1
+		g.PPAOf(0, 1, 0), g.PPAOf(0, 1, 1), // other block WL0
+	}
+	fBatch, _ := newBatchFTL(t, sanitize.SecSSD(), ftl.LockBatchConfig{Enabled: true})
+	if got := fBatch.LockPulses(pages); got != 3 {
+		t.Fatalf("batched pulse estimate = %d, want 3 distinct wordlines", got)
+	}
+	fPlain, _ := newBatchFTL(t, sanitize.SecSSD(), ftl.LockBatchConfig{})
+	if got := fPlain.LockPulses(pages); got != len(pages) {
+		t.Fatalf("unbatched pulse estimate = %d, want %d", got, len(pages))
+	}
+}
+
+// A failed batched pulse commits nothing; the lock manager must degrade
+// to per-page pLocks (which here succeed), and the counters must show
+// the full ladder.
+func TestBatchedPulseFailureDegradesPerPage(t *testing.T) {
+	f, tgt := newBatchFTL(t, sanitize.SecSSDNoBLock(), ftl.LockBatchConfig{Enabled: true})
+	fails := 0
+	tgt.FailPLockWL = func(block, wl int) error {
+		fails++
+		return nand.ErrPLockFailed
+	}
+	write(t, f, 0, 6, false)
+	trim(t, f, 0, 6)
+	st := f.Stats()
+	if fails != 2 {
+		t.Fatalf("batched pulses attempted = %d, want 2", fails)
+	}
+	if st.PLockBatchFailures != 2 {
+		t.Fatalf("PLockBatchFailures = %d, want 2", st.PLockBatchFailures)
+	}
+	if tgt.PLocks != 6 {
+		t.Fatalf("per-page retries = %d, want 6", tgt.PLocks)
+	}
+	if st.PLockFailures != 0 || st.LockEscalations != 0 {
+		t.Fatal("successful per-page retries must not escalate")
+	}
+	if f.LockQueueLen() != 0 {
+		t.Fatal("queue not drained after degraded flush")
+	}
+}
+
+// The full recovery ladder: batched pulse fails, the per-page retries
+// fail too, and each failed page escalates its block to a bLock.
+func TestBatchedFailureEscalatesThroughLadder(t *testing.T) {
+	f, tgt := newBatchFTL(t, sanitize.SecSSDNoBLock(), ftl.LockBatchConfig{Enabled: true})
+	tgt.FailPLockWL = func(block, wl int) error { return nand.ErrPLockFailed }
+	tgt.FailPLock = func(p ftl.PPA) error { return nand.ErrPLockFailed }
+	write(t, f, 0, 6, false)
+	trim(t, f, 0, 6)
+	st := f.Stats()
+	if st.PLockBatchFailures != 2 {
+		t.Fatalf("PLockBatchFailures = %d, want 2", st.PLockBatchFailures)
+	}
+	if st.PLockFailures == 0 {
+		t.Fatal("per-page retries never failed")
+	}
+	if st.PLockFailures != st.LockEscalations {
+		t.Fatalf("PLockFailures %d != LockEscalations %d", st.PLockFailures, st.LockEscalations)
+	}
+	if tgt.BLocks == 0 {
+		t.Fatal("no bLock issued at the bottom of the ladder")
+	}
+}
+
+// Deferred mode: queued locks ride across requests until the deadline
+// or an explicit FlushLocks barrier.
+func TestDeferredLocksAwaitDeadline(t *testing.T) {
+	f, tgt := newBatchFTL(t, sanitize.SecSSDNoBLock(),
+		ftl.LockBatchConfig{Enabled: true, Deadline: 1 << 40})
+	write(t, f, 0, 6, false)
+	trim(t, f, 0, 1) // one page: incomplete WL, deferred
+	if n := f.LockQueueLen(); n != 1 {
+		t.Fatalf("queue = %d, want 1", n)
+	}
+	if tgt.PLocks+tgt.PLockWLs != 0 {
+		t.Fatal("deferred page was pulsed early")
+	}
+	// More trims of the same wordline coalesce into the waiting group;
+	// completing the wordline issues it even before the deadline. The
+	// round-robin allocator put LPAs 0, 2 and 4 on chip 0's wordline 0.
+	trim(t, f, 2, 1)
+	trim(t, f, 4, 1)
+	if n := f.LockQueueLen(); n != 0 {
+		t.Fatalf("completed wordline still queued (%d pages)", n)
+	}
+	if tgt.PLockWLs != 1 {
+		t.Fatalf("batched pulses = %d, want 1", tgt.PLockWLs)
+	}
+}
+
+// The threshold bounds the queue: crossing it force-flushes even with a
+// far-future deadline.
+func TestThresholdForcesFlush(t *testing.T) {
+	f, tgt := newBatchFTL(t, sanitize.SecSSDNoBLock(),
+		ftl.LockBatchConfig{Enabled: true, Deadline: 1 << 40, Threshold: 2})
+	write(t, f, 0, 6, false)
+	// Trim LPAs 0 and 2: same chip (round-robin), same wordline, but the
+	// WL is incomplete (page 1's slot is LPA 4's twin... still live), so
+	// only the threshold can flush it.
+	trim(t, f, 0, 1)
+	trim(t, f, 2, 1)
+	if n := f.LockQueueLen(); n != 0 {
+		t.Fatalf("queue = %d after crossing threshold, want 0", n)
+	}
+	if tgt.PLocks+tgt.PLockWLs == 0 {
+		t.Fatal("threshold crossing issued nothing")
+	}
+}
+
+// An erase (GC or recovery) that destroys queued pages must cancel
+// their pending locks: flushing afterwards pulses nothing.
+func TestEraseCancelsQueuedLocks(t *testing.T) {
+	f, tgt := newBatchFTL(t, sanitize.SecSSDNoBLock(),
+		ftl.LockBatchConfig{Enabled: true, Deadline: 1 << 40})
+	write(t, f, 0, 2, false) // one page per chip: incomplete WLs
+	trim(t, f, 0, 2)
+	if n := f.LockQueueLen(); n != 2 {
+		t.Fatalf("queue = %d, want 2", n)
+	}
+	// The trim left both frontier blocks fully stale; erasing them
+	// sanitizes the queued pages by other means.
+	g := f.Geometry()
+	for b := 0; b < g.TotalBlocks(); b++ {
+		if f.Status(g.PPAOf(g.ChipOfBlock(b), g.BlockInChip(b), 0)) == ftl.PageInvalid {
+			f.EraseNow(b)
+		}
+	}
+	f.FlushLocks()
+	if tgt.PLocks+tgt.PLockWLs != 0 {
+		t.Fatal("erased pages were still pulsed")
+	}
+	if n := f.LockQueueLen(); n != 0 {
+		t.Fatalf("queue = %d after cancel + flush, want 0", n)
+	}
+}
+
+// Re-trimming an already-queued page must not double-queue it.
+func TestQueueDeduplicatesPages(t *testing.T) {
+	f, _ := newBatchFTL(t, sanitize.SecSSDNoBLock(),
+		ftl.LockBatchConfig{Enabled: true, Deadline: 1 << 40})
+	write(t, f, 0, 2, false)
+	trim(t, f, 0, 1)
+	if n := f.LockQueueLen(); n != 1 {
+		t.Fatalf("queue = %d, want 1", n)
+	}
+	// The page is unmapped now; overwrite its LPA and trim again — the
+	// NEW physical page queues, the old one must not re-queue.
+	write(t, f, 0, 1, false)
+	trim(t, f, 0, 1)
+	if n := f.LockQueueLen(); n != 2 {
+		t.Fatalf("queue = %d, want 2 distinct pages", n)
+	}
+}
+
+// Batching composes with the real chip mirror: after batched locks the
+// chip-level pages must be physically unreadable.
+func TestBatchedLocksOnRealChips(t *testing.T) {
+	cfg := ftltest.SmallConfig()
+	cfg.LockBatch = ftl.LockBatchConfig{Enabled: true}
+	tgt := ftltest.New(cfg.Geometry).WithChips(ftltest.BuildChips(t, cfg.Geometry))
+	f, err := ftl.New(cfg, tgt, sanitize.SecSSDNoBLock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, 0, 6, false)
+	trim(t, f, 0, 6)
+	if tgt.PLockWLs != 2 {
+		t.Fatalf("batched pulses = %d, want 2", tgt.PLockWLs)
+	}
+	g := f.Geometry()
+	locked := 0
+	for ci, chip := range tgt.Chips {
+		for b := 0; b < g.BlocksPerChip; b++ {
+			for p := 0; p < g.PagesPerBlock; p++ {
+				if _, err := chip.Read(nand.PageAddr{Block: b, Page: p}, 0); errors.Is(err, nand.ErrPageLocked) {
+					locked++
+					_ = ci
+				}
+			}
+		}
+	}
+	if locked != 6 {
+		t.Fatalf("%d chip pages locked, want 6", locked)
+	}
+}

@@ -150,7 +150,8 @@ func (f *FTL) retireBlock(block int, at sim.Micros) {
 	}
 	f.liveInBlock[block] = 0
 	f.usedInBlock[block] = int32(f.geo.PagesPerBlock)
-	delete(f.pendingSanitize, block)
+	f.clearPending(block)
+	f.cancelQueuedLocks(block)
 
 	// Pull the block from the allocator's rotation entirely.
 	cs := &f.chips[f.geo.ChipOfBlock(block)]
@@ -178,9 +179,9 @@ func (f *FTL) retireBlock(block int, at sim.Micros) {
 // block are rejected by the chip) and before retirement.
 func (f *FTL) sealBlock(block int) {
 	cs := &f.chips[f.geo.ChipOfBlock(block)]
-	if cs.active == block {
-		cs.active = -1
-		cs.frontier = 0
+	if pl := f.geo.PlaneOfBlock(block); cs.active[pl] == block {
+		cs.active[pl] = -1
+		cs.frontier[pl] = 0
 	}
 	first := f.geo.FirstPPA(block)
 	sealed := int32(0)

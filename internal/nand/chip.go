@@ -54,6 +54,11 @@ type Geometry struct {
 	WLsPerBlock int
 	CellKind    vth.CellKind
 	PageBytes   int
+	// Planes is the number of planes the die's blocks are interleaved
+	// across (block b lives in plane b mod Planes). Multi-plane commands
+	// (ProgramMulti, ReadMulti) operate on one page per plane, sharing a
+	// single cell-activity interval. 0 is treated as 1 (single-plane).
+	Planes int
 	// FlagCells is k, the number of spare flash cells backing one pAP
 	// flag (the paper selects k = 9).
 	FlagCells int
@@ -70,8 +75,21 @@ func DefaultGeometry() Geometry {
 		PageBytes:       16 * 1024,
 		FlagCells:       9,
 		EnduranceCycles: 1000,
+		Planes:          1,
 	}
 }
+
+// PlaneCount returns the effective plane count (a zero Planes field means
+// single-plane).
+func (g Geometry) PlaneCount() int {
+	if g.Planes <= 1 {
+		return 1
+	}
+	return g.Planes
+}
+
+// PlaneOf returns the plane a block belongs to.
+func (g Geometry) PlaneOf(block int) int { return block % g.PlaneCount() }
 
 // PagesPerWL returns the number of pages stored on one wordline.
 func (g Geometry) PagesPerWL() int { return g.CellKind.Bits() }
@@ -97,6 +115,12 @@ func (g Geometry) Validate() error {
 	}
 	if g.FlagCells <= 0 || g.FlagCells%2 == 0 {
 		return fmt.Errorf("nand: FlagCells must be odd and positive, got %d", g.FlagCells)
+	}
+	if g.Planes < 0 {
+		return fmt.Errorf("nand: negative plane count %d", g.Planes)
+	}
+	if p := g.PlaneCount(); g.Blocks%p != 0 {
+		return fmt.Errorf("nand: %d blocks not divisible across %d planes", g.Blocks, p)
 	}
 	return nil
 }
@@ -138,6 +162,13 @@ const (
 	OpPLock
 	OpBLock
 	OpScrub
+	// OpPLockWL counts batched SBPI pulses (PLockWL); the per-page OpPLock
+	// counter is NOT advanced for the pages such a pulse covers.
+	OpPLockWL
+	// OpProgramMulti / OpReadMulti count multi-plane commands; the
+	// per-page OpProgram / OpRead counters still advance once per page.
+	OpProgramMulti
+	OpReadMulti
 	opKinds
 )
 
@@ -155,6 +186,12 @@ func (k OpKind) String() string {
 		return "bLock"
 	case OpScrub:
 		return "scrub"
+	case OpPLockWL:
+		return "pLockWL"
+	case OpProgramMulti:
+		return "programMulti"
+	case OpReadMulti:
+		return "readMulti"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}

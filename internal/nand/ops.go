@@ -354,6 +354,133 @@ func (c *Chip) PLock(a PageAddr, now sim.Micros) (sim.Micros, error) {
 	return c.timing.PLock, nil
 }
 
+// PLockWL disables several pages of one wordline with a single SBPI
+// pulse. §5 programs pAP flags selectively per wordline: the one-shot
+// program voltage is applied to the WL while the data cells and the
+// flags of slots NOT in the batch are inhibited, so locking n sibling
+// pages costs one tpLock and one program disturb instead of n of each.
+//
+// Failure semantics differ from the single-page PLock: the pulse either
+// charges every requested flag group past the majority threshold or
+// none of them (the chip reports status FAIL before any group commits),
+// so a failed batched pulse leaves all requested pages readable and MAY
+// be retried per page — unlike a failed single-page one-shot, whose
+// flag cells are spent. Already-locked slots are skipped (charged
+// no-ops), as are slots outside the batch.
+func (c *Chip) PLockWL(blockIdx, wl int, slots []int, now sim.Micros) (sim.Micros, error) {
+	if blockIdx < 0 || blockIdx >= c.geo.Blocks {
+		return 0, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	if wl < 0 || wl >= c.geo.WLsPerBlock {
+		return 0, fmt.Errorf("%w: wordline %d", ErrBadAddress, wl)
+	}
+	bits := c.geo.PagesPerWL()
+	for _, s := range slots {
+		if s < 0 || s >= bits {
+			return 0, fmt.Errorf("%w: WL slot %d", ErrBadAddress, s)
+		}
+	}
+	c.opCount[OpPLockWL]++
+	blk := &c.blocks[blockIdx]
+	w := &blk.wls[wl]
+	need := false
+	for _, s := range slots {
+		if w.flags[s] == nil {
+			need = true
+			break
+		}
+	}
+	if !need {
+		return c.timing.PLock, nil
+	}
+	// One fault draw per pulse: the whole batch shares the one-shot
+	// program cycle.
+	if c.faults != nil && c.faults.FailPLock(blk.peCycles, c.geo.EnduranceCycles) {
+		w.disturbs++
+		return c.timing.PLock, ErrPLockFailed
+	}
+	for _, s := range slots {
+		if w.flags[s] != nil {
+			continue
+		}
+		cells := c.takeFlags()
+		for i := range cells {
+			cells[i] = c.flagModel.SampleCellVth(c.plockV, c.plockT, 0, blk.peCycles, c.rng)
+		}
+		w.flags[s] = cells
+		w.lockDay[s] = c.nowDays(now)
+	}
+	// A single pulse stresses the inhibited data cells once, however many
+	// flag groups it programs (Fig. 9(b)).
+	w.disturbs++
+	return c.timing.PLock, nil
+}
+
+// checkPlanes validates a multi-plane address vector: at most one page
+// per plane, every page on a distinct plane of this die.
+func (c *Chip) checkPlanes(addrs []PageAddr) error {
+	planes := c.geo.PlaneCount()
+	if len(addrs) == 0 || len(addrs) > planes {
+		return fmt.Errorf("%w: %d addresses for %d planes", ErrBadAddress, len(addrs), planes)
+	}
+	var seen uint64
+	for _, a := range addrs {
+		if err := c.checkAddr(a); err != nil {
+			return err
+		}
+		p := c.geo.PlaneOf(a.Block)
+		if p >= 64 {
+			return fmt.Errorf("%w: plane %d out of modeled range", ErrBadAddress, p)
+		}
+		if seen&(1<<p) != 0 {
+			return fmt.Errorf("%w: two pages on plane %d in one multi-plane op", ErrBadAddress, p)
+		}
+		seen |= 1 << p
+	}
+	return nil
+}
+
+// ProgramMulti programs one page per plane with a single shared cell-
+// activity interval (the multi-plane program command): the returned
+// latency is one tPROG regardless of how many planes participate, while
+// the payload transfers still cross the bus per page (the device model
+// accounts those separately). Per-page outcomes — program discipline
+// violations and injected failures — land in the returned slice; the
+// final error reports a malformed multi-plane address vector, in which
+// case no page was touched.
+func (c *Chip) ProgramMulti(addrs []PageAddr, datas [][]byte, now sim.Micros) (sim.Micros, []error, error) {
+	if len(addrs) != len(datas) {
+		return 0, nil, fmt.Errorf("nand: %d addresses but %d payloads", len(addrs), len(datas))
+	}
+	if err := c.checkPlanes(addrs); err != nil {
+		return 0, nil, err
+	}
+	c.opCount[OpProgramMulti]++
+	errs := make([]error, len(addrs))
+	for i, a := range addrs {
+		_, errs[i] = c.Program(a, datas[i], now)
+	}
+	return c.timing.Prog, errs, nil
+}
+
+// ReadMulti reads one page per plane with a single shared cell-activity
+// interval (the multi-plane read command). It returns only the per-page
+// lock/ECC outcomes, not the payloads: the chip has one page register
+// per plane but this model keeps one read scratch per die, and every
+// caller of the grouped read path discards the data anyway (host reads
+// are timing-only above the FTL). Use Read when the payload matters.
+func (c *Chip) ReadMulti(addrs []PageAddr, now sim.Micros) (sim.Micros, []error, error) {
+	if err := c.checkPlanes(addrs); err != nil {
+		return 0, nil, err
+	}
+	c.opCount[OpReadMulti]++
+	errs := make([]error, len(addrs))
+	for i, a := range addrs {
+		_, errs[i] = c.Read(a, now)
+	}
+	return c.timing.Read, errs, nil
+}
+
 // BLock disables access to the whole block by programming its SSL cells
 // above the read bias (§5.4 operating point).
 func (c *Chip) BLock(blockIdx int, now sim.Micros) (sim.Micros, error) {

@@ -100,17 +100,27 @@ func (s scrSSD) Invalidate(f *ftl.FTL, p ftl.PPA, secured bool) {
 }
 
 func (s scrSSD) Flush(f *ftl.FTL) {
+	var seenWL []ftl.PPA
 	for _, pb := range f.DrainPending() {
 		// Group the block's queued pages by wordline: one scrub per WL,
 		// relocating the WL's still-live siblings first (two extra reads
-		// + two extra writes in the worst case, §4).
-		seenWL := map[ftl.PPA]bool{}
+		// + two extra writes in the worst case, §4). A linear scan over
+		// the seen list beats a map here: a block queues at most a
+		// handful of wordlines per flush.
+		seenWL = seenWL[:0]
 		for _, p := range pb.Pages {
-			wl := f.Geometry().WLSiblings(p)[0]
-			if seenWL[wl] {
+			wl := f.Geometry().WLStart(p)
+			dup := false
+			for _, w := range seenWL {
+				if w == wl {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seenWL[wl] = true
+			seenWL = append(seenWL, wl)
 			if f.Status(p) != ftl.PageInvalid {
 				continue // already destroyed by an erase
 			}
@@ -166,15 +176,17 @@ func (s secSSD) Flush(f *ftl.FTL) {
 	t := f.LockTiming()
 	for _, pb := range pending {
 		// §6 decision rule: bLock when 1) every remaining page of the
-		// block is stale and 2) locking the queued pages individually
-		// would take longer than one bLock.
-		estPLock := int64(len(pb.Pages)) * int64(t.PLock)
+		// block is stale and 2) locking the queued pages would take
+		// longer than one bLock. With wordline batching the pLock cost
+		// is one pulse per distinct wordline, not per page, which is why
+		// batched devices escalate to bLock less often.
+		estPLock := int64(f.LockPulses(pb.Pages)) * int64(t.PLock)
 		if s.useBLock && f.BlockFullyStale(pb.Block) && estPLock > int64(t.BLock) {
 			f.IssueBLock(pb.Block, pb.Pages)
 			continue
 		}
 		for _, p := range pb.Pages {
-			f.IssuePLock(p)
+			f.LockPage(p)
 		}
 	}
 }

@@ -1,0 +1,86 @@
+package sim
+
+import "testing"
+
+func TestEngineClampCounterAndHook(t *testing.T) {
+	e := NewEngine()
+	var hooked []Micros
+	e.OnClamp = func(requested, now Micros) { hooked = append(hooked, requested, now) }
+	e.At(100, func(e *Engine) {
+		e.At(10, func(*Engine) {}) // past: clamped to 100
+		e.At(100, func(*Engine) {}) // exactly now: not a clamp
+		e.After(5, func(*Engine) {})
+	})
+	e.Run()
+	if e.Clamped() != 1 {
+		t.Fatalf("Clamped() = %d, want 1", e.Clamped())
+	}
+	if len(hooked) != 2 || hooked[0] != 10 || hooked[1] != 100 {
+		t.Fatalf("OnClamp got %v, want [10 100]", hooked)
+	}
+}
+
+func TestEngineClampWithoutHook(t *testing.T) {
+	e := NewEngine()
+	e.At(50, func(e *Engine) { e.At(0, func(*Engine) {}) })
+	e.Run() // no OnClamp set: must not panic
+	if e.Clamped() != 1 {
+		t.Fatalf("Clamped() = %d, want 1", e.Clamped())
+	}
+}
+
+// RunUntil on an empty queue must still advance the clock to the
+// deadline — batching deadline sweeps rely on time passing even when no
+// device work is scheduled.
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("Now() = %v, want 500", e.Now())
+	}
+	// A second, earlier deadline must not rewind.
+	e.RunUntil(200)
+	if e.Now() != 500 {
+		t.Fatalf("Now() = %v after earlier deadline, want 500", e.Now())
+	}
+	// Draining all events before the deadline still lands on the deadline.
+	e.At(600, func(*Engine) {})
+	e.RunUntil(1000)
+	if e.Now() != 1000 || e.Pending() != 0 {
+		t.Fatalf("Now() = %v pending %d, want 1000 / 0", e.Now(), e.Pending())
+	}
+}
+
+func TestTimelineWaitBackToBack(t *testing.T) {
+	var tl Timeline
+	// Three back-to-back requests all arriving at t=0: the second waits
+	// 100, the third 200.
+	tl.Reserve(0, 100)
+	tl.Reserve(0, 100)
+	tl.Reserve(0, 100)
+	if tl.WaitTotal() != 300 {
+		t.Fatalf("WaitTotal = %v, want 300", tl.WaitTotal())
+	}
+	if got := tl.Utilization(300); got != 1.0 {
+		t.Fatalf("Utilization(300) = %v, want 1.0 (fully busy)", got)
+	}
+}
+
+func TestTimelineWaitGapped(t *testing.T) {
+	var tl Timeline
+	// Gapped arrivals that never contend accumulate zero wait.
+	tl.Reserve(0, 50)
+	tl.Reserve(100, 50)
+	tl.Reserve(1000, 50)
+	if tl.WaitTotal() != 0 {
+		t.Fatalf("WaitTotal = %v, want 0 for gapped arrivals", tl.WaitTotal())
+	}
+	if got := tl.Utilization(1050); got != 150.0/1050.0 {
+		t.Fatalf("Utilization = %v, want %v", got, 150.0/1050.0)
+	}
+	// One late-but-contending arrival: busy until 1050, request at 1040.
+	tl.Reserve(1040, 10)
+	if tl.WaitTotal() != 10 {
+		t.Fatalf("WaitTotal = %v after contended arrival, want 10", tl.WaitTotal())
+	}
+}

@@ -115,7 +115,12 @@ type Engine struct {
 	seq   uint64
 	queue eventQueue
 	// Stats
-	fired uint64
+	fired   uint64
+	clamped uint64
+	// OnClamp, when set, is called whenever At clamps a past-time event
+	// to "now" (with the requested time). The telemetry layer uses it to
+	// emit a clamp-warning marker; leaving it nil costs nothing.
+	OnClamp func(requested, now Micros)
 }
 
 // NewEngine returns an Engine starting at time zero.
@@ -130,11 +135,22 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports how many events are waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Clamped reports how many events were scheduled in the past and clamped
+// forward to the then-current time. A nonzero count means some caller's
+// timing arithmetic ran backwards — worth investigating even though the
+// clock stayed monotonic.
+func (e *Engine) Clamped() uint64 { return e.clamped }
+
 // At schedules ev to fire at absolute time t. Scheduling in the past is an
 // error in the caller's logic; the event is clamped to fire "now" so that
-// time never runs backwards.
+// time never runs backwards. Each clamp is counted (Clamped) and reported
+// through OnClamp when set.
 func (e *Engine) At(t Micros, ev Event) {
 	if t < e.now {
+		e.clamped++
+		if e.OnClamp != nil {
+			e.OnClamp(t, e.now)
+		}
 		t = e.now
 	}
 	e.seq++

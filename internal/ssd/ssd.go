@@ -46,6 +46,22 @@ type Config struct {
 	WearAware bool
 	// NoCopyback forces GC relocations over the channel bus (ablation).
 	NoCopyback bool
+	// Planes overrides the per-chip plane count (multi-plane command
+	// support). Zero keeps Chip.Planes (which defaults to 1). With more
+	// than one plane the FTL stripes writes and groups reads across
+	// planes, sharing one tPROG/tREAD per group.
+	Planes int
+	// NoCachePipeline disables the chips' cache-mode pipelining
+	// (ablation): the page register is then occupied for the whole
+	// cell-activity + bus-transfer span, so transfer of page i no longer
+	// overlaps cell work of page i+1 on the same chip. The default
+	// (false) models cache-enabled operation and keeps the historical
+	// timing bit-for-bit.
+	NoCachePipeline bool
+	// LockBatch configures wordline-aware pLock batching in the FTL's
+	// lock manager (§5 SBPI): pending pLocks on one wordline coalesce
+	// into a single tpLock pulse.
+	LockBatch ftl.LockBatchConfig
 	// Seed drives the chips' RNGs.
 	Seed int64
 	// Fault configures deterministic fault injection (see internal/fault).
@@ -136,6 +152,10 @@ type SSD struct {
 	markChipBusy []sim.Micros
 	markChanBusy []sim.Micros
 	markChipWait []sim.Micros
+
+	// Multi-plane command scratch buffers (reused across calls).
+	slotScratch []int
+	addrScratch []nand.PageAddr
 }
 
 // New builds the device.
@@ -147,6 +167,9 @@ func New(cfg Config) (*SSD, error) {
 	}
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("ssd: a sanitization policy is required (use sanitize.Baseline() for none)")
+	}
+	if cfg.Planes > 0 {
+		cfg.Chip.Planes = cfg.Planes
 	}
 	nChips := cfg.Channels * cfg.ChipsPerChannel
 	s := &SSD{
@@ -185,6 +208,7 @@ func New(cfg Config) (*SSD, error) {
 		PagesPerBlock: cfg.Chip.PagesPerBlock(),
 		PagesPerWL:    cfg.Chip.PagesPerWL(),
 		PageBytes:     cfg.Chip.PageBytes,
+		Planes:        cfg.Chip.PlaneCount(),
 	}
 	logical := int(float64(s.geo.TotalPages()) * (1 - cfg.OverProvision))
 	f, err := ftl.New(ftl.Config{
@@ -195,6 +219,7 @@ func New(cfg Config) (*SSD, error) {
 		Victim:          cfg.Victim,
 		WearAware:       cfg.WearAware,
 		NoCopyback:      cfg.NoCopyback,
+		LockBatch:       cfg.LockBatch,
 		Timing:          ftl.LockTiming{PLock: cfg.Timing.PLock, BLock: cfg.Timing.BLock},
 		Tracer:          s.tr,
 	}, s, cfg.Policy)
@@ -278,6 +303,12 @@ func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 		data = res.Data
 	}
 	busStart, busDone := s.busTL[s.channelOf(chip)].Reserve(cellDone, s.cfg.Timing.Xfer)
+	if s.cfg.NoCachePipeline {
+		// Without cache-mode the page register stays occupied until the
+		// transfer drains it: hold the chip through the bus interval so
+		// the next command cannot overlap it.
+		s.chipTL[chip].Reserve(cellDone, busDone-cellDone)
+	}
 	if s.traceOn {
 		s.emitChip(trace.OpXfer, chip, p, cellDone, busStart, busDone)
 	}
@@ -296,7 +327,14 @@ func (s *SSD) Program(p ftl.PPA, data []byte, dep sim.Micros) (sim.Micros, error
 		panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", a, err))
 	}
 	busStart, busDone := s.busTL[s.channelOf(chip)].Reserve(dep, s.cfg.Timing.Xfer)
-	progStart, done := s.chipTL[chip].Reserve(busDone, s.cfg.Timing.Prog)
+	var progStart, done sim.Micros
+	if s.cfg.NoCachePipeline {
+		// The page register is busy from the moment the transfer starts
+		// until the cells finish programming: one contiguous chip span.
+		progStart, done = s.chipTL[chip].Reserve(busStart, (busDone-busStart)+s.cfg.Timing.Prog)
+	} else {
+		progStart, done = s.chipTL[chip].Reserve(busDone, s.cfg.Timing.Prog)
+	}
 	if s.traceOn {
 		s.emitChip(trace.OpXfer, chip, p, dep, busStart, busDone)
 		s.emitChip(trace.OpProgram, chip, p, busDone, progStart, done)
@@ -386,6 +424,143 @@ func (s *SSD) Scrub(p ftl.PPA, dep sim.Micros) sim.Micros {
 	}
 	return done
 }
+
+// --- ftl.BatchTarget implementation --------------------------------------
+
+// PLockWL implements ftl.BatchTarget: one batched SBPI pulse programs the
+// pAP flags of every given page of the wordline in a single tpLock of
+// chip occupancy (§5).
+func (s *SSD) PLockWL(block, wl int, pages []ftl.PPA, dep sim.Micros) (sim.Micros, error) {
+	chip := s.geo.ChipOfBlock(block)
+	slots := s.slotScratch[:0]
+	for _, p := range pages {
+		slots = append(slots, s.geo.PageInBlock(p)%s.geo.PagesPerWL)
+	}
+	s.slotScratch = slots
+	_, err := s.chips[chip].PLockWL(s.geo.BlockInChip(block), wl, slots, dep)
+	if err != nil && !errors.Is(err, nand.ErrPLockFailed) {
+		panic(fmt.Sprintf("ssd: batched pLock failed: %v", err))
+	}
+	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.PLock)
+	if s.traceOn {
+		s.tr.Op(trace.Event{
+			Class: trace.OpPLockBatch, Start: start, End: done, Queued: dep,
+			Chip: chip, Channel: s.channelOf(chip), Block: block,
+			Page: wl * s.geo.PagesPerWL, LPA: -1, Pages: len(pages),
+		})
+	}
+	return done, err
+}
+
+// ProgramGroup implements ftl.BatchTarget: a multi-plane program. The
+// per-page transfers serialize on the channel bus, then a single shared
+// tPROG covers every plane's cell activity.
+func (s *SSD) ProgramGroup(pages []ftl.PPA, datas [][]byte, dep sim.Micros) (sim.Micros, []error) {
+	chip := s.geo.ChipOf(pages[0])
+	addrs := s.addrScratch[:0]
+	for _, p := range pages {
+		_, a := s.addr(p)
+		addrs = append(addrs, a)
+	}
+	s.addrScratch = addrs
+	_, errs, fatal := s.chips[chip].ProgramMulti(addrs, datas, dep)
+	if fatal != nil {
+		panic(fmt.Sprintf("ssd: FTL violated multi-plane discipline: %v", fatal))
+	}
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
+			panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", addrs[i], err))
+		}
+	}
+	bus := &s.busTL[s.channelOf(chip)]
+	firstBusStart := sim.Micros(-1)
+	lastBusEnd := dep
+	for _, p := range pages {
+		busStart, busDone := bus.Reserve(dep, s.cfg.Timing.Xfer)
+		if firstBusStart < 0 {
+			firstBusStart = busStart
+		}
+		lastBusEnd = busDone
+		if s.traceOn {
+			s.emitChip(trace.OpXfer, chip, p, dep, busStart, busDone)
+		}
+	}
+	var progStart, done sim.Micros
+	if s.cfg.NoCachePipeline {
+		progStart, done = s.chipTL[chip].Reserve(firstBusStart, (lastBusEnd-firstBusStart)+s.cfg.Timing.Prog)
+	} else {
+		progStart, done = s.chipTL[chip].Reserve(lastBusEnd, s.cfg.Timing.Prog)
+	}
+	if s.traceOn {
+		s.tr.Op(trace.Event{
+			Class: trace.OpProgramMulti, Start: progStart, End: done, Queued: dep,
+			Chip: chip, Channel: s.channelOf(chip),
+			Block: s.geo.BlockOf(pages[0]), Page: s.geo.PageInBlock(pages[0]),
+			LPA: -1, Pages: len(pages),
+		})
+	}
+	return done, errs
+}
+
+// ReadGroup implements ftl.BatchTarget: a multi-plane read — one shared
+// tREAD, then per-page bus transfers. Uncorrectable pages are retried
+// individually (each retry burns a full tREAD, like the single-page
+// path). Timing-only: the host read path discards payloads.
+func (s *SSD) ReadGroup(pages []ftl.PPA, dep sim.Micros) sim.Micros {
+	chip := s.geo.ChipOf(pages[0])
+	addrs := s.addrScratch[:0]
+	for _, p := range pages {
+		_, a := s.addr(p)
+		addrs = append(addrs, a)
+	}
+	s.addrScratch = addrs
+	_, errs, fatal := s.chips[chip].ReadMulti(addrs, dep)
+	if fatal != nil {
+		panic(fmt.Sprintf("ssd: FTL violated multi-plane discipline: %v", fatal))
+	}
+	cellStart, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
+	if s.traceOn {
+		s.tr.Op(trace.Event{
+			Class: trace.OpReadMulti, Start: cellStart, End: cellDone, Queued: dep,
+			Chip: chip, Channel: s.channelOf(chip),
+			Block: s.geo.BlockOf(pages[0]), Page: s.geo.PageInBlock(pages[0]),
+			LPA: -1, Pages: len(pages),
+		})
+	}
+	for i, err := range errs {
+		for attempt := 1; err != nil && errors.Is(err, nand.ErrUncorrectable) &&
+			attempt < maxReadAttempts; attempt++ {
+			s.readRetries++
+			_, err = s.chips[chip].Read(addrs[i], cellDone)
+			retryStart, retryDone := s.chipTL[chip].Reserve(cellDone, s.cfg.Timing.Read)
+			if s.traceOn {
+				s.emitChip(trace.OpReadRetry, chip, pages[i], cellDone, retryStart, retryDone)
+			}
+			cellDone = retryDone
+		}
+		if err != nil && errors.Is(err, nand.ErrUncorrectable) {
+			s.readFailures++
+		}
+	}
+	bus := &s.busTL[s.channelOf(chip)]
+	end := cellDone
+	for _, p := range pages {
+		busStart, busDone := bus.Reserve(cellDone, s.cfg.Timing.Xfer)
+		end = busDone
+		if s.traceOn {
+			s.emitChip(trace.OpXfer, chip, p, cellDone, busStart, busDone)
+		}
+	}
+	if s.cfg.NoCachePipeline {
+		s.chipTL[chip].Reserve(cellDone, end-cellDone)
+	}
+	return end
+}
+
+// FlushLocks force-drains the FTL's wordline batching queue. Deferred-
+// deadline configurations (LockBatch.Deadline > 0) use it as the
+// end-of-run barrier so no queued lock outlives the workload.
+func (s *SSD) FlushLocks() { s.ftl.FlushLocks() }
 
 // --- host interface ------------------------------------------------------
 
@@ -565,6 +740,14 @@ func deltaStats(a, b ftl.Stats) ftl.Stats {
 		EraseFailures:    a.EraseFailures - b.EraseFailures,
 		RetiredBlocks:    a.RetiredBlocks - b.RetiredBlocks,
 		BackstopScrubs:   a.BackstopScrubs - b.BackstopScrubs,
+
+		PLockBatches:       a.PLockBatches - b.PLockBatches,
+		PLockBatchedPages:  a.PLockBatchedPages - b.PLockBatchedPages,
+		PLockBatchFailures: a.PLockBatchFailures - b.PLockBatchFailures,
+		ProgramGroups:      a.ProgramGroups - b.ProgramGroups,
+		GroupedPrograms:    a.GroupedPrograms - b.GroupedPrograms,
+		ReadGroups:         a.ReadGroups - b.ReadGroups,
+		GroupedReads:       a.GroupedReads - b.GroupedReads,
 	}
 }
 

@@ -101,7 +101,8 @@ func (r *Recorder) Op(ev Event) {
 			r.chanBusy[ev.Channel] += ev.Dur()
 		}
 	case OpGC, OpHostRead, OpHostWrite, OpHostTrim,
-		OpProgramFail, OpEraseFail, OpPLockFail, OpBLockFail, OpRetire:
+		OpProgramFail, OpEraseFail, OpPLockFail, OpBLockFail, OpRetire,
+		OpPLockBatchFail, OpClampWarn:
 		// FTL/host-level spans and fault/recovery markers overlap chip
 		// occupancy (the underlying chip op already counted); not busy
 		// time. OpReadRetry IS busy time: each failed attempt burned

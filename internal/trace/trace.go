@@ -68,6 +68,24 @@ const (
 	// OpRetire marks a block being retired from rotation after repeated
 	// erase failures.
 	OpRetire
+	// OpPLockBatch is one batched SBPI pulse locking several pages of a
+	// wordline at once (tpLock of chip occupancy, however many pages).
+	OpPLockBatch
+	// OpPLockBatchFail marks an injected batched-pulse failure (the lock
+	// manager degrades to per-page retries). Marker: the burned tpLock is
+	// carried by the accompanying OpPLockBatch event.
+	OpPLockBatchFail
+	// OpProgramMulti is a multi-plane program: one shared tPROG of cell
+	// activity covering one page per plane (bus transfers are separate
+	// OpXfer events, which is what makes the overlap visible in
+	// Perfetto).
+	OpProgramMulti
+	// OpReadMulti is a multi-plane read: one shared tREAD covering one
+	// page per plane.
+	OpReadMulti
+	// OpClampWarn marks a simulation-engine event scheduled in the past
+	// and clamped to the current time (zero-width diagnostic marker).
+	OpClampWarn
 	numOpClasses
 )
 
@@ -112,6 +130,16 @@ func (c OpClass) String() string {
 		return "read_retry"
 	case OpRetire:
 		return "retire"
+	case OpPLockBatch:
+		return "plock_batch"
+	case OpPLockBatchFail:
+		return "plock_batch_fail"
+	case OpProgramMulti:
+		return "program_multi"
+	case OpReadMulti:
+		return "read_multi"
+	case OpClampWarn:
+		return "clamp_warn"
 	default:
 		return fmt.Sprintf("OpClass(%d)", uint8(c))
 	}
@@ -135,6 +163,19 @@ type Event struct {
 
 // Dur returns the event's service duration.
 func (e Event) Dur() sim.Micros { return e.End - e.Start }
+
+// ClampWarner adapts a Collector into a sim.Engine OnClamp hook: each
+// past-time scheduling clamp emits an OpClampWarn marker (Start = the
+// requested time, End = the clock it was clamped to) so scheduling bugs
+// show up in the Perfetto export instead of silently reordering.
+func ClampWarner(c Collector) func(requested, now sim.Micros) {
+	if !c.Enabled() {
+		return nil
+	}
+	return func(requested, now sim.Micros) {
+		c.Op(Event{Class: OpClampWarn, Start: requested, End: now, Chip: -1, Channel: -1, LPA: -1})
+	}
+}
 
 // GaugeKind labels a sampled device-level quantity.
 type GaugeKind uint8

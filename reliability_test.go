@@ -26,16 +26,21 @@ import (
 // faultDevice builds a compact Evanesco device with deterministic fault
 // injection. The geometry is kept small so a single campaign (and each
 // fuzz iteration) stays fast while still spanning 4 chips.
-func faultDevice(t testing.TB, rate float64, seed int64) *core.Device {
+func faultDevice(t testing.TB, rate float64, seed int64, batched bool) *core.Device {
 	t.Helper()
-	dev, err := core.New(core.Options{
+	opts := core.Options{
 		Policy:        core.PolicyEvanesco,
 		Seed:          seed,
 		BlocksPerChip: 16,
 		WLsPerBlock:   8,
 		FaultRate:     rate,
 		FaultSeed:     seed,
-	})
+	}
+	if batched {
+		opts.Planes = 2
+		opts.LockBatch = ftl.LockBatchConfig{Enabled: true}
+	}
+	dev, err := core.New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,14 +51,22 @@ func faultDevice(t testing.TB, rate float64, seed int64) *core.Device {
 // secret files are written, churned over, and deleted; immediately after
 // every deletion a raw dump of all chips must contain no byte of the
 // deleted content, whatever recovery paths the injected faults forced.
-func runSecureDeleteCampaign(t testing.TB, rate float64, seed int64, churn int) *core.Device {
+func runSecureDeleteCampaign(t testing.TB, rate float64, seed int64, churn int, batched bool) *core.Device {
 	t.Helper()
-	dev := faultDevice(t, rate, seed)
+	dev := faultDevice(t, rate, seed, batched)
 	page := dev.PageBytes()
+	// On the batched device the secret spans 24 pages: the 2-plane
+	// striper then fills whole wordlines, so the delete exercises the
+	// batched SBPI pulse (and its failure ladder) rather than degrading
+	// to single-page groups.
+	span := 3
+	if batched {
+		span = 24
+	}
 	for round := 0; round < 4; round++ {
 		name := fmt.Sprintf("secret-%d.db", round)
 		needle := []byte(fmt.Sprintf("TOP-SECRET-%d-%d-%g", seed, round, rate))
-		payload := make([]byte, 3*page)
+		payload := make([]byte, span*page)
 		for i := 0; i+len(needle) <= len(payload); i += len(needle) {
 			copy(payload[i:], needle)
 		}
@@ -95,7 +108,7 @@ func TestSecureDeleteUnderFaultSweep(t *testing.T) {
 	for _, rate := range []float64{0, 1e-3, 1e-2} {
 		for seed := int64(1); seed <= 3; seed++ {
 			t.Run(fmt.Sprintf("rate=%g/seed=%d", rate, seed), func(t *testing.T) {
-				dev := runSecureDeleteCampaign(t, rate, seed, 400)
+				dev := runSecureDeleteCampaign(t, rate, seed, 400, false)
 				if rate >= 1e-2 {
 					if fc := dev.SSD().FaultCounts(); fc.OpFails() == 0 {
 						t.Fatalf("rate=%g injected no operation failures", rate)
@@ -118,7 +131,7 @@ func FuzzFaultSchedule(f *testing.F) {
 	f.Add(uint8(4), int64(-99))
 	f.Fuzz(func(t *testing.T, rateIdx uint8, seed int64) {
 		rates := []float64{0, 1e-3, 5e-3, 1e-2, 5e-2}
-		runSecureDeleteCampaign(t, rates[int(rateIdx)%len(rates)], seed, 150)
+		runSecureDeleteCampaign(t, rates[int(rateIdx)%len(rates)], seed, 150, rateIdx%2 == 0)
 	})
 }
 
@@ -203,7 +216,7 @@ func TestFaultCampaign(t *testing.T) {
 		rate = parsed
 	}
 	const seed = 41
-	dev := runSecureDeleteCampaign(t, rate, seed, 800)
+	dev := runSecureDeleteCampaign(t, rate, seed, 800, false)
 
 	st := dev.SSD().FTL().Stats()
 	fc := dev.SSD().FaultCounts()
@@ -240,6 +253,38 @@ func TestFaultCampaign(t *testing.T) {
 		}
 		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestSecureDeleteUnderFaultSweepBatched repeats the fault sweep on the
+// amortized device (2 planes, wordline-batched pLocks): the security
+// property must hold through batched-pulse failures, and the injector's
+// pLock-failure census must match the lock manager's two failure
+// counters exactly (each failed batched pulse is ONE chip-level draw,
+// then per-page retries draw again).
+func TestSecureDeleteUnderFaultSweepBatched(t *testing.T) {
+	for _, rate := range []float64{0, 1e-3, 1e-2} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("rate=%g/seed=%d", rate, seed), func(t *testing.T) {
+				dev := runSecureDeleteCampaign(t, rate, seed, 400, true)
+				st := dev.SSD().FTL().Stats()
+				fc := dev.SSD().FaultCounts()
+				if fc.PLockFails != st.PLockFailures+st.PLockBatchFailures {
+					t.Errorf("injected pLock failures %d != per-page %d + batched %d",
+						fc.PLockFails, st.PLockFailures, st.PLockBatchFailures)
+				}
+				if st.LockEscalations != st.PLockFailures {
+					t.Errorf("LockEscalations %d != PLockFailures %d",
+						st.LockEscalations, st.PLockFailures)
+				}
+				if st.PLockBatches == 0 {
+					t.Error("batched campaign issued no batched pulses")
+				}
+				if rate >= 1e-2 && fc.OpFails() == 0 {
+					t.Fatalf("rate=%g injected no operation failures", rate)
+				}
+			})
 		}
 	}
 }
