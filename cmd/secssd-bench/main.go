@@ -34,22 +34,34 @@
 //
 //	secssd-bench -trace run.trace.json [-trace-jsonl run.jsonl]
 //	             [-stats-json run.stats.json] [-trace-policy secSSD]
+//	             [-openmetrics run.om] [-audit-json run.audit.json]
+//	             [-stats-stream run.stream.jsonl] [-stats-interval US]
 //	             [-scale small] [-workloads MailServer]
 //
 // The -trace file is Chrome trace_event JSON: open it at
 // ui.perfetto.dev or chrome://tracing to see every NAND operation laid
 // out per chip and channel, with GC passes and live gauges alongside.
 //
+// -openmetrics writes the full telemetry surface in the OpenMetrics /
+// Prometheus text exposition. -stats-stream captures a periodic
+// telemetry sample (one JSONL StreamPoint per -stats-interval µs of
+// simulated time, default 10 ms). -audit-json writes the sanitization
+// audit: the provenance ledger's counters, the T_insecure phase
+// breakdown, and the end-of-run verifier report listing any secured
+// copy still invalidated but not destroyed.
+//
 // Absolute IOPS values come from the emulated timing model; the paper's
 // claims are about the normalized shape, which is what the tables print.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/experiment"
 	"repro/internal/ftl"
 	"repro/internal/prof"
@@ -72,6 +84,11 @@ func main() {
 	traceFile := flag.String("trace", "", "capture one traced run and write Chrome trace_event JSON here")
 	traceJSONL := flag.String("trace-jsonl", "", "also write the raw event log as JSONL here")
 	statsJSON := flag.String("stats-json", "", "write the telemetry snapshot JSON here")
+	openMetrics := flag.String("openmetrics", "", "write the OpenMetrics text exposition here")
+	auditJSON := flag.String("audit-json", "", "write the sanitization audit report JSON here")
+	statsStream := flag.String("stats-stream", "", "stream periodic telemetry samples (JSONL) here")
+	auditVerify := flag.Bool("audit-verify", false, "exit nonzero if the end-of-run audit verifier finds a live unlocked copy")
+	statsInterval := flag.Int64("stats-interval", 10_000, "simulated µs between streamed samples")
 	tracePolicy := flag.String("trace-policy", "secSSD", "policy for the traced run")
 	faultRate := flag.Float64("fault-rate", 0, "per-operation fault-injection probability (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (0: use the run seed)")
@@ -137,8 +154,20 @@ func main() {
 		}
 	}
 
-	if *traceFile != "" || *traceJSONL != "" || *statsJSON != "" {
-		if err := runTraced(sc, profiles, *tracePolicy, *traceFile, *traceJSONL, *statsJSON); err != nil {
+	if *traceFile != "" || *traceJSONL != "" || *statsJSON != "" ||
+		*openMetrics != "" || *auditJSON != "" || *statsStream != "" ||
+		*auditVerify {
+		art := traceArtifacts{
+			chrome:      *traceFile,
+			jsonl:       *traceJSONL,
+			stats:       *statsJSON,
+			openMetrics: *openMetrics,
+			audit:       *auditJSON,
+			stream:      *statsStream,
+			interval:    *statsInterval,
+			verify:      *auditVerify,
+		}
+		if err := runTraced(sc, profiles, *tracePolicy, art); err != nil {
 			fmt.Fprintln(os.Stderr, "secssd-bench:", err)
 			die(1)
 		}
@@ -225,9 +254,21 @@ func printAblation(cells []experiment.BatchingCell, csv bool) {
 	fmt.Println()
 }
 
+// traceArtifacts names the output files of one traced run.
+type traceArtifacts struct {
+	chrome      string
+	jsonl       string
+	stats       string
+	openMetrics string
+	audit       string
+	stream      string
+	interval    int64 // µs between streamed samples
+	verify      bool  // fail the run if the audit verifier is unclean
+}
+
 // runTraced executes one workload×policy run with a trace.Recorder
 // attached and writes the requested artifacts.
-func runTraced(sc experiment.Scale, profiles []workload.Profile, policyName, traceFile, traceJSONL, statsJSON string) error {
+func runTraced(sc experiment.Scale, profiles []workload.Profile, policyName string, art traceArtifacts) error {
 	policy, err := experiment.PolicyByName(policyName)
 	if err != nil {
 		return err
@@ -240,31 +281,93 @@ func runTraced(sc experiment.Scale, profiles []workload.Profile, policyName, tra
 		Chips:    experiment.Channels * experiment.ChipsPerChannel,
 		Channels: experiment.Channels,
 	})
-	run, err := experiment.ExecuteTraced(prof, policy, 1.0, sc, rec)
+	var closeStream func() error
+	if art.stream != "" {
+		closeStream, err = rec.StreamToFile(art.stream, art.interval)
+		if err != nil {
+			return err
+		}
+	}
+	run, err := experiment.ExecuteAudited(prof, policy, 1.0, sc, rec)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("traced run: %s × %s — %d requests, %d events (%d dropped), horizon %v\n",
 		run.Workload, run.Policy, run.Report.Requests, rec.TotalEvents(), rec.Dropped(), rec.Horizon())
-	if traceFile != "" {
-		if err := rec.WriteChromeFile(traceFile); err != nil {
+	if closeStream != nil {
+		if err := closeStream(); err != nil {
 			return err
 		}
-		fmt.Printf("chrome trace written to %s (open at ui.perfetto.dev)\n", traceFile)
+		fmt.Printf("telemetry stream written to %s (every %d µs simulated)\n", art.stream, art.interval)
 	}
-	if traceJSONL != "" {
-		if err := rec.WriteJSONLFile(traceJSONL); err != nil {
+	if art.chrome != "" {
+		if err := rec.WriteChromeFile(art.chrome); err != nil {
 			return err
 		}
-		fmt.Printf("event log written to %s\n", traceJSONL)
+		fmt.Printf("chrome trace written to %s (open at ui.perfetto.dev)\n", art.chrome)
 	}
-	if statsJSON != "" {
-		if err := rec.WriteStatsFile(statsJSON); err != nil {
+	if art.jsonl != "" {
+		if err := rec.WriteJSONLFile(art.jsonl); err != nil {
 			return err
 		}
-		fmt.Printf("telemetry snapshot written to %s\n", statsJSON)
+		fmt.Printf("event log written to %s\n", art.jsonl)
+	}
+	if art.stats != "" {
+		if err := rec.WriteStatsFile(art.stats); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", art.stats)
+	}
+	if art.openMetrics != "" {
+		if err := rec.WriteOpenMetricsFile(art.openMetrics); err != nil {
+			return err
+		}
+		fmt.Printf("openmetrics exposition written to %s\n", art.openMetrics)
+	}
+	if art.audit != "" {
+		if err := writeAuditReport(art.audit, rec); err != nil {
+			return err
+		}
+		fmt.Printf("audit report written to %s\n", art.audit)
+	}
+	ledger := rec.AuditLedger()
+	rep := ledger.Verify(rec.Horizon())
+	if rep.Clean() {
+		fmt.Printf("audit: %d secrets, %d windows closed, zero live unlocked copies\n",
+			rep.Secrets, ledger.Stats(rec.Horizon()).Windows)
+	} else {
+		fmt.Printf("audit: WARNING — %v\n", rep.Err())
+		if art.verify {
+			return fmt.Errorf("audit verification failed: %v", rep.Err())
+		}
 	}
 	return nil
+}
+
+// auditReport is the -audit-json document: the ledger's counter
+// snapshot plus the end-of-run verification.
+type auditReport struct {
+	Horizon int64              `json:"horizon_us"`
+	Stats   audit.Stats        `json:"stats"`
+	Verify  audit.VerifyReport `json:"verify"`
+}
+
+func writeAuditReport(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(auditReport{
+		Horizon: int64(rec.Horizon()),
+		Stats:   rec.AuditLedger().Stats(rec.Horizon()),
+		Verify:  rec.AuditLedger().Verify(rec.Horizon()),
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 var policyOrder = []string{"erSSD", "scrSSD", "secSSD_nobLock", "secSSD"}

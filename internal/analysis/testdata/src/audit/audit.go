@@ -1,0 +1,17 @@
+// Package audit is a stand-in for repro/internal/audit with the
+// Ledger surface the tracecheck fixture exercises.
+package audit
+
+// Event mirrors the shape of a real provenance event: fixed-size
+// fields plus a free-form note a careless producer might format into.
+type Event struct {
+	Kind int
+	Page uint32
+	Note string
+}
+
+// Ledger mimics the real per-copy provenance ledger.
+type Ledger struct{}
+
+// Record folds one event into the ledger.
+func (l *Ledger) Record(ev Event) bool { return false }

@@ -2,6 +2,8 @@
 // Collector surface the tracecheck and determinism fixtures exercise.
 package trace
 
+import "audit"
+
 // Collector mimics the real collector interface's method set.
 type Collector struct{ on bool }
 
@@ -13,3 +15,6 @@ func (c *Collector) Event(name string, args ...any) {}
 
 // Counter records a numeric sample.
 func (c *Collector) Counter(name string, v int64) {}
+
+// Audit records one provenance event.
+func (c *Collector) Audit(ev audit.Event) {}

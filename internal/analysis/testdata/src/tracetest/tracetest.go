@@ -7,11 +7,13 @@ package tracetest
 import (
 	"fmt"
 
+	"audit"
 	"trace"
 )
 
 type producer struct {
 	c       *trace.Collector
+	l       *audit.Ledger
 	traceOn bool
 }
 
@@ -42,4 +44,33 @@ func (p *producer) cheap(page int) {
 
 func (p *producer) formatOutsideTrace(page int) string {
 	return fmt.Sprintf("page=%d", page) // ok: not a collector argument
+}
+
+func (p *producer) hotAudit(page int) {
+	p.c.Audit(audit.Event{Kind: 1, Page: uint32(page),
+		Note: fmt.Sprintf("page=%d", page)}) // want `tracecheck: fmt.Sprintf allocates in a trace.Collector call argument`
+}
+
+func (p *producer) hotLedger(page int) {
+	p.l.Record(audit.Event{Kind: 1, Page: uint32(page),
+		Note: fmt.Sprintf("page=%d", page)}) // want `tracecheck: fmt.Sprintf allocates in an audit.Ledger call argument`
+}
+
+func (p *producer) guardedAudit(page int) {
+	if p.traceOn {
+		p.c.Audit(audit.Event{Kind: 1, Page: uint32(page),
+			Note: fmt.Sprintf("page=%d", page)}) // ok: behind the gate
+	}
+}
+
+func (p *producer) guardedLedger(page int) {
+	if p.c.Enabled() {
+		p.l.Record(audit.Event{Kind: 1, Page: uint32(page),
+			Note: fmt.Sprintf("page=%d", page)}) // ok: behind the gate
+	}
+}
+
+func (p *producer) cheapAudit(page int) {
+	p.c.Audit(audit.Event{Kind: 1, Page: uint32(page)}) // ok: fixed-size fields only
+	p.l.Record(audit.Event{Kind: 2})                    // ok
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // fmtAllocFuncs are the fmt functions that allocate a string per call.
@@ -16,13 +17,18 @@ var fmtAllocFuncs = map[string]bool{
 // even when the collector is a Nop — exactly the hidden hot-path cost
 // PR 1's design ruled out.
 //
+// The same discipline applies to the audit ledger: producers build an
+// audit.Event per telemetry call (Collector.Audit, Ledger.Record), and
+// a fmt.Sprintf evaluated inside that event literal pays its cost even
+// when the event is dropped by the Nop collector.
+//
 // Calls already guarded by the collector's Enabled() gate (directly or
 // via the cached traceOn boolean the producers keep) are exempt: behind
 // the gate the cost is only paid when tracing is on.
 var Tracecheck = &Analyzer{
 	Name: "tracecheck",
-	Doc: "flag fmt.Sprintf-style allocation in trace.Collector call arguments outside " +
-		"an Enabled()/traceOn guard",
+	Doc: "flag fmt.Sprintf-style allocation in trace.Collector and audit.Ledger call " +
+		"arguments outside an Enabled()/traceOn guard",
 	Run: runTracecheck,
 }
 
@@ -48,8 +54,16 @@ func runTracecheck(pass *Pass) error {
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || !isCollectorMethod(pass, call) || inGuard(call) {
+			if !ok || inGuard(call) {
 				return true
+			}
+			recv := telemetryReceiver(pass, call)
+			if recv == "" {
+				return true
+			}
+			article := "a"
+			if strings.HasPrefix(recv, "a") {
+				article = "an"
 			}
 			for _, arg := range call.Args {
 				ast.Inspect(arg, func(an ast.Node) bool {
@@ -60,9 +74,9 @@ func runTracecheck(pass *Pass) error {
 					fn := Callee(pass.Info, inner)
 					if fn != nil && FuncFromPackage(fn, "fmt") && fmtAllocFuncs[fn.Name()] {
 						pass.Reportf(inner.Pos(),
-							"fmt.%s allocates in a trace.Collector call argument even when the collector "+
-								"is the Nop default: guard the call with Enabled()/traceOn or precompute "+
-								"the value outside the hot path", fn.Name())
+							"fmt.%s allocates in %s %s call argument even when tracing is off: "+
+								"guard the call with Enabled()/traceOn or precompute the value "+
+								"outside the hot path", fn.Name(), article, recv)
 					}
 					return true
 				})
@@ -73,22 +87,31 @@ func runTracecheck(pass *Pass) error {
 	return nil
 }
 
-// isCollectorMethod reports whether the call invokes a method on the
-// trace.Collector interface or its Recorder/Nop implementations.
-func isCollectorMethod(pass *Pass, call *ast.CallExpr) bool {
+// telemetryReceiver reports which telemetry surface the call invokes a
+// method on: the trace.Collector interface (or its Recorder/Nop
+// implementations) or the audit.Ledger. It returns the qualified
+// receiver name for diagnostics, or "" for unrelated calls.
+func telemetryReceiver(pass *Pass, call *ast.CallExpr) string {
 	fn := Callee(pass.Info, call)
 	if fn == nil {
-		return false
+		return ""
 	}
 	n := ReceiverNamed(fn)
-	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Name() != "trace" {
-		return false
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
 	}
-	switch n.Obj().Name() {
-	case "Collector", "Recorder", "Nop":
-		return true
+	switch n.Obj().Pkg().Name() {
+	case "trace":
+		switch n.Obj().Name() {
+		case "Collector", "Recorder", "Nop":
+			return "trace." + n.Obj().Name()
+		}
+	case "audit":
+		if n.Obj().Name() == "Ledger" {
+			return "audit.Ledger"
+		}
 	}
-	return false
+	return ""
 }
 
 // isTraceGuard recognizes the producer idiom that gates trace work:

@@ -25,6 +25,7 @@ import (
 	"repro/internal/nand/vth"
 	"repro/internal/sanitize"
 	"repro/internal/ssd"
+	"repro/internal/trace"
 )
 
 // SecurityMode selects a file's sanitization requirement.
@@ -95,6 +96,9 @@ type Options struct {
 	// LockBatch enables wordline-aware pLock batching in the lock
 	// manager (see ftl.LockBatchConfig).
 	LockBatch ftl.LockBatchConfig
+	// Trace attaches a telemetry collector (typically a *trace.Recorder)
+	// to the device; nil disables tracing.
+	Trace trace.Collector
 }
 
 // Device is an assembled SecureSSD with its file layer.
@@ -148,6 +152,7 @@ func New(opts Options) (*Device, error) {
 	cfg.Planes = opts.Planes
 	cfg.NoCachePipeline = opts.NoCachePipeline
 	cfg.LockBatch = opts.LockBatch
+	cfg.Trace = opts.Trace
 	dev, err := ssd.New(cfg)
 	if err != nil {
 		return nil, err

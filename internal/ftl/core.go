@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/audit"
 	"repro/internal/blockio"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -34,6 +35,11 @@ type FTL struct {
 
 	tracer  trace.Collector
 	traceOn bool
+	// ladderDepth counts the recovery-ladder rungs currently on the call
+	// stack (escalation, recovery erase, retirement); destructions that
+	// complete while it is nonzero are attributed to the ladder phase of
+	// the audit ledger.
+	ladderDepth int
 
 	l2p    []PPA    // logical page -> physical page
 	p2l    []int64  // physical page -> logical page (-1 when none)
@@ -399,6 +405,12 @@ func (f *FTL) commitWrite(p PPA, lpa int64, secure bool, file uint64) {
 	if f.hooks.Programmed != nil {
 		f.hooks.Programmed(p, lpa, file)
 	}
+	if secure && f.traceOn {
+		// Register the initial physical copy of the secret with the audit
+		// ledger (GC and ladder relocations register further copies).
+		f.tracer.Audit(audit.Event{Kind: audit.KindCopy, Page: uint32(p), Src: audit.NoSrc,
+			LPA: lpa, Origin: audit.OriginHost, At: f.reqStart})
+	}
 }
 
 // readGrouped serves a host read with multi-plane grouping: consecutive
@@ -631,7 +643,8 @@ func (f *FTL) IssuePLock(p PPA) {
 		f.hooks.Destroyed(p, f.fileOf[p])
 	}
 	if f.traceOn {
-		f.tracer.Destroyed(uint32(p), done)
+		f.tracer.Audit(audit.Event{Kind: audit.KindDestroy, Page: uint32(p), Src: audit.NoSrc,
+			LPA: -1, Cause: audit.CausePLock, Dep: f.reqStart, At: done, Ladder: f.ladderDepth > 0})
 	}
 }
 
@@ -673,14 +686,12 @@ func (f *FTL) IssueBLock(block int, pages []PPA) {
 		return
 	}
 	f.lockedBlocks[block] = true
-	for _, p := range stale {
-		if f.hooks.Destroyed != nil {
-			f.hooks.Destroyed(p, f.fileOf[p])
-		}
-		if f.traceOn {
-			f.tracer.Destroyed(uint32(p), done)
-		}
-	}
+	// The bLock disables the whole block, not just the pages this batch
+	// asked for: evacuation-stale copies (relocatePage with sanitizeOld
+	// off marks them invalid without pending them) die with it too, so
+	// destruction is reported block-wide — otherwise their hooks and
+	// audit windows would never close.
+	f.destroyStale(block, done, audit.CauseBLock, f.reqStart)
 }
 
 // IssueScrub destroys a page's wordline in place (scrSSD baseline).
@@ -712,7 +723,8 @@ func (f *FTL) IssueScrub(p PPA) {
 			f.hooks.Destroyed(s, f.fileOf[s])
 		}
 		if f.traceOn {
-			f.tracer.Destroyed(uint32(s), done)
+			f.tracer.Audit(audit.Event{Kind: audit.KindDestroy, Page: uint32(s), Src: audit.NoSrc,
+				LPA: -1, Cause: audit.CauseScrub, Dep: f.reqStart, At: done, Ladder: f.ladderDepth > 0})
 		}
 	}
 }
@@ -890,6 +902,14 @@ func (f *FTL) relocatePage(p PPA, sanitizeOld bool) {
 	if f.hooks.Programmed != nil {
 		f.hooks.Programmed(np, lpa, file)
 	}
+	if st == PageSecured && f.traceOn {
+		origin := audit.OriginEvacuate
+		if sanitizeOld {
+			origin = audit.OriginGC
+		}
+		f.tracer.Audit(audit.Event{Kind: audit.KindCopy, Page: uint32(np), Src: uint32(p),
+			LPA: lpa, Origin: origin, At: f.reqClock})
+	}
 
 	// Retire the old copy.
 	f.liveInBlock[f.geo.BlockOf(p)]--
@@ -946,6 +966,7 @@ func (f *FTL) EraseNow(block int) {
 // its stale data scrubbed) instead of becoming free.
 func (f *FTL) eraseBlock(block int) bool {
 	f.stats.Erases++
+	issued := f.reqClock
 	eraseDone, eerr := f.target.Erase(block, f.reqClock)
 	if eraseDone > f.reqClock {
 		f.reqClock = eraseDone
@@ -967,7 +988,8 @@ func (f *FTL) eraseBlock(block int) bool {
 				f.hooks.Destroyed(p, f.fileOf[p])
 			}
 			if f.traceOn {
-				f.tracer.Destroyed(uint32(p), eraseDone)
+				f.tracer.Audit(audit.Event{Kind: audit.KindDestroy, Page: uint32(p), Src: audit.NoSrc,
+					LPA: -1, Cause: audit.CauseErase, Dep: issued, At: eraseDone, Ladder: f.ladderDepth > 0})
 			}
 		}
 		f.setStatus(p, PageFree)

@@ -10,6 +10,7 @@ package ftl
 // mode.
 
 import (
+	"repro/internal/audit"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -161,7 +162,8 @@ func (f *FTL) issueLockGroup(gi int) bool {
 			f.hooks.Destroyed(p, f.fileOf[p])
 		}
 		if f.traceOn {
-			f.tracer.Destroyed(uint32(p), done)
+			f.tracer.Audit(audit.Event{Kind: audit.KindDestroy, Page: uint32(p), Src: audit.NoSrc,
+				LPA: -1, Cause: audit.CausePLockBatch, Dep: f.reqStart, At: done, Ladder: f.ladderDepth > 0})
 		}
 	}
 	q.recycle(pages)

@@ -15,6 +15,7 @@ package ftl
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -53,6 +54,10 @@ func (f *FTL) quarantineFailedProgram(p PPA, secure bool, file uint64, at sim.Mi
 	if f.hooks.Invalidated != nil {
 		f.hooks.Invalidated(p, file)
 	}
+	if secure && f.traceOn {
+		f.tracer.Audit(audit.Event{Kind: audit.KindCopy, Page: uint32(p), Src: audit.NoSrc,
+			LPA: -1, Origin: audit.OriginQuarantine, At: at})
+	}
 	if f.traceOn {
 		f.tracer.Invalidated(uint32(p), secure, at)
 	}
@@ -66,6 +71,8 @@ func (f *FTL) quarantineFailedProgram(p PPA, secure bool, file uint64, at sim.Mi
 // erase.
 func (f *FTL) escalateToBLock(block int) {
 	f.stats.LockEscalations++
+	f.ladderDepth++
+	defer func() { f.ladderDepth-- }()
 	// The block will be unprogrammable once locked: consume its
 	// unwritten tail and close it if it is the chip's active block, so
 	// the relocations below (and all later writes) land elsewhere.
@@ -89,7 +96,7 @@ func (f *FTL) escalateToBLock(block int) {
 		return
 	}
 	f.lockedBlocks[block] = true
-	f.destroyStale(block, done)
+	f.destroyStale(block, done, audit.CauseBLock, f.reqStart)
 }
 
 // recoveryErase destroys a block whose locks could not be programmed.
@@ -97,6 +104,8 @@ func (f *FTL) escalateToBLock(block int) {
 // failed one retires it (with the scrub backstop).
 func (f *FTL) recoveryErase(block int) {
 	f.stats.RecoveryErases++
+	f.ladderDepth++
+	defer func() { f.ladderDepth-- }()
 	f.EraseNow(block)
 }
 
@@ -109,6 +118,8 @@ func (f *FTL) retireBlock(block int, at sim.Micros) {
 	if f.retired[block] {
 		return
 	}
+	f.ladderDepth++
+	defer func() { f.ladderDepth-- }()
 	first := f.geo.FirstPPA(block)
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
 		if f.status[first+PPA(i)].Live() {
@@ -139,7 +150,7 @@ func (f *FTL) retireBlock(block int, at sim.Micros) {
 		}
 		at = done
 	}
-	f.destroyStale(block, at)
+	f.destroyStale(block, at, audit.CauseScrub, at)
 	f.sealBlock(block)
 
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
@@ -197,9 +208,9 @@ func (f *FTL) sealBlock(block int) {
 
 // destroyStale fires the destruction hooks for every stale page of a
 // block after a whole-block destruction (bLock or backstop scrub). Both
-// the recorder and the vertrace tracker tolerate a later erase firing
-// Destroyed again for the same pages.
-func (f *FTL) destroyStale(block int, done sim.Micros) {
+// the recorder and the audit ledger tolerate a later erase firing a
+// destruction again for the same pages.
+func (f *FTL) destroyStale(block int, done sim.Micros, cause audit.Cause, dep sim.Micros) {
 	first := f.geo.FirstPPA(block)
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
 		p := first + PPA(i)
@@ -210,7 +221,8 @@ func (f *FTL) destroyStale(block int, done sim.Micros) {
 			f.hooks.Destroyed(p, f.fileOf[p])
 		}
 		if f.traceOn {
-			f.tracer.Destroyed(uint32(p), done)
+			f.tracer.Audit(audit.Event{Kind: audit.KindDestroy, Page: uint32(p), Src: audit.NoSrc,
+				LPA: -1, Cause: cause, Dep: dep, At: done, Ladder: f.ladderDepth > 0})
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/ftl"
 	"repro/internal/ftl/ftltest"
 	"repro/internal/sanitize"
@@ -22,6 +23,7 @@ func (c *capture) Op(ev trace.Event)                          { c.events = appen
 func (c *capture) Gauge(trace.GaugeKind, sim.Micros, float64) {}
 func (c *capture) Invalidated(uint32, bool, sim.Micros)       {}
 func (c *capture) Destroyed(uint32, sim.Micros)               {}
+func (c *capture) Audit(audit.Event)                          {}
 
 func (c *capture) count(class trace.OpClass) int {
 	n := 0

@@ -265,6 +265,19 @@ func (h *Histogram) BinCenter(i int) float64 {
 	return h.lo + w*(float64(i)+0.5)
 }
 
+// BinUpper returns the exclusive upper bound of bin i — the `le` bucket
+// boundary in a Prometheus/OpenMetrics exposition.
+func (h *Histogram) BinUpper(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + w*float64(i+1)
+}
+
+// Lo returns the histogram's inclusive lower range bound.
+func (h *Histogram) Lo() float64 { return h.lo }
+
+// Hi returns the histogram's exclusive upper range bound.
+func (h *Histogram) Hi() float64 { return h.hi }
+
 // OutOfRange returns the underflow and overflow counts.
 func (h *Histogram) OutOfRange() (under, over uint64) { return h.underflow, h.overflow }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/audit"
 	"repro/internal/metrics"
 )
 
@@ -252,14 +253,27 @@ type GaugePoint struct {
 
 // Snapshot is the JSON-serializable telemetry summary of a run.
 type Snapshot struct {
-	HorizonUs     int64                   `json:"horizon_us"`
-	Events        int                     `json:"events"`
-	DroppedEvents uint64                  `json:"dropped_events"`
-	Ops           map[string]OpStats      `json:"ops"`
-	ChipUtil      []float64               `json:"chip_util"`
-	ChanUtil      []float64               `json:"chan_util"`
-	TInsecure     LatencyStats            `json:"t_insecure_us"`
-	OpenInsecure  int                     `json:"t_insecure_open"`
+	HorizonUs     int64              `json:"horizon_us"`
+	Events        int                `json:"events"`
+	DroppedEvents uint64             `json:"dropped_events"`
+	Ops           map[string]OpStats `json:"ops"`
+	ChipUtil      []float64          `json:"chip_util"`
+	ChanUtil      []float64          `json:"chan_util"`
+	// UnattributedBusyUs / UnattributedEvents count busy time recorded
+	// with out-of-range chip/channel coordinates — work that would
+	// otherwise silently vanish from the utilization figures.
+	UnattributedBusyUs int64        `json:"unattributed_busy_us"`
+	UnattributedEvents uint64       `json:"unattributed_events"`
+	TInsecure          LatencyStats `json:"t_insecure_us"`
+	OpenInsecure       int          `json:"t_insecure_open"`
+	// OpenOldestUs is the age (µs before the horizon) of the oldest
+	// still-open T_insecure window; 0 when none is open. Open windows
+	// are reported, not silently dropped.
+	OpenOldestUs int64 `json:"t_insecure_open_oldest_us"`
+	// SecretWindows summarizes the per-secret multi-copy windows closed
+	// by the audit ledger; Audit carries the full ledger summary.
+	SecretWindows LatencyStats            `json:"secret_window_us"`
+	Audit         audit.Stats             `json:"audit"`
 	Gauges        map[string][]GaugePoint `json:"gauges"`
 }
 
@@ -269,16 +283,22 @@ const snapshotGaugePoints = 512
 // Snapshot summarizes the recorder's state. It does not mutate the
 // recorder, so it can be taken mid-run.
 func (r *Recorder) Snapshot() Snapshot {
+	aud := r.ledger.Stats(r.horizon)
 	sn := Snapshot{
-		HorizonUs:     int64(r.horizon),
-		Events:        len(r.events),
-		DroppedEvents: r.dropped,
-		Ops:           make(map[string]OpStats),
-		ChipUtil:      r.ChipUtilization(),
-		ChanUtil:      r.ChannelUtilization(),
-		TInsecure:     latStats(&r.tInsec),
-		OpenInsecure:  len(r.pendingInsec),
-		Gauges:        make(map[string][]GaugePoint),
+		HorizonUs:          int64(r.horizon),
+		Events:             len(r.events),
+		DroppedEvents:      r.dropped,
+		Ops:                make(map[string]OpStats),
+		ChipUtil:           r.ChipUtilization(),
+		ChanUtil:           r.ChannelUtilization(),
+		UnattributedBusyUs: int64(r.unattrBusy),
+		UnattributedEvents: r.unattrEvents,
+		TInsecure:          latStats(r.ledger.TInsec()),
+		OpenInsecure:       r.ledger.OpenCopies(),
+		OpenOldestUs:       aud.OldestOpenUs,
+		SecretWindows:      latStats(r.ledger.Windows()),
+		Audit:              aud,
+		Gauges:             make(map[string][]GaugePoint),
 	}
 	for c := 0; c < NumOpClasses; c++ {
 		if r.classCount[c] == 0 {

@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"os"
+
+	"repro/internal/sim"
 )
 
 // writeFile creates path and streams one exporter into it.
@@ -31,4 +33,28 @@ func (r *Recorder) WriteJSONLFile(path string) error {
 // WriteStatsFile writes the telemetry snapshot JSON to path.
 func (r *Recorder) WriteStatsFile(path string) error {
 	return r.writeFile(path, func(f *os.File) error { return r.WriteStatsJSON(f) })
+}
+
+// WriteOpenMetricsFile writes the OpenMetrics text exposition to path.
+func (r *Recorder) WriteOpenMetricsFile(path string) error {
+	return r.writeFile(path, func(f *os.File) error { return r.WriteOpenMetrics(f) })
+}
+
+// StreamToFile creates path and enables periodic StreamPoint emission
+// into it (see StreamTo); the returned closer emits the final point,
+// flushes, and closes the file.
+func (r *Recorder) StreamToFile(path string, interval int64) (func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	r.StreamTo(f, sim.Micros(interval))
+	return func() error {
+		serr := r.CloseStream()
+		cerr := f.Close()
+		if serr != nil {
+			return fmt.Errorf("trace: streaming %s: %w", path, serr)
+		}
+		return cerr
+	}, nil
 }

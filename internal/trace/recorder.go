@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"repro/internal/audit"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -49,10 +50,16 @@ type Recorder struct {
 	chipBusy []sim.Micros
 	chanBusy []sim.Micros
 
+	// Busy time (and event count) that could not be attributed to any
+	// chip or channel because the event carried out-of-range coordinates.
+	unattrBusy   sim.Micros
+	unattrEvents uint64
+
 	gauges [numGaugeKinds]*metrics.Series
 
-	pendingInsec map[uint32]sim.Micros
-	tInsec       metrics.Sample
+	ledger *audit.Ledger
+
+	stream *streamState
 }
 
 // NewRecorder builds a Recorder for a device with the given layout.
@@ -61,10 +68,10 @@ func NewRecorder(cfg RecorderConfig) *Recorder {
 		cfg.MaxEvents = DefaultMaxEvents
 	}
 	r := &Recorder{
-		cfg:          cfg,
-		chipBusy:     make([]sim.Micros, max(cfg.Chips, 0)),
-		chanBusy:     make([]sim.Micros, max(cfg.Channels, 0)),
-		pendingInsec: make(map[uint32]sim.Micros),
+		cfg:      cfg,
+		chipBusy: make([]sim.Micros, max(cfg.Chips, 0)),
+		chanBusy: make([]sim.Micros, max(cfg.Channels, 0)),
+		ledger:   audit.NewLedger(),
 	}
 	for c := range r.classHist {
 		r.classHist[c] = metrics.NewHistogram(latencyHistLo, latencyHistHi, latencyHistBins)
@@ -99,6 +106,9 @@ func (r *Recorder) Op(ev Event) {
 	case OpXfer:
 		if ev.Channel >= 0 && ev.Channel < len(r.chanBusy) {
 			r.chanBusy[ev.Channel] += ev.Dur()
+		} else {
+			r.unattrBusy += ev.Dur()
+			r.unattrEvents++
 		}
 	case OpGC, OpHostRead, OpHostWrite, OpHostTrim,
 		OpProgramFail, OpEraseFail, OpPLockFail, OpBLockFail, OpRetire,
@@ -110,7 +120,16 @@ func (r *Recorder) Op(ev Event) {
 	default:
 		if ev.Chip >= 0 && ev.Chip < len(r.chipBusy) {
 			r.chipBusy[ev.Chip] += ev.Dur()
+		} else {
+			// A chip op with out-of-range coordinates would silently
+			// vanish from the utilization books; count it instead of
+			// pretending the device was idle.
+			r.unattrBusy += ev.Dur()
+			r.unattrEvents++
 		}
+	}
+	if r.stream != nil && r.horizon >= r.stream.next {
+		r.emitStreamPoint()
 	}
 }
 
@@ -126,28 +145,23 @@ func (r *Recorder) Invalidated(page uint32, secured bool, at sim.Micros) {
 	if !secured {
 		return
 	}
-	if _, open := r.pendingInsec[page]; !open {
-		r.pendingInsec[page] = at
-		r.Gauge(GaugeInsecureWindows, at, float64(len(r.pendingInsec)))
-	}
+	r.Audit(audit.Event{Kind: audit.KindInvalidate, Page: page, Src: audit.NoSrc, LPA: -1, At: at})
 }
 
-// Destroyed implements Collector.
+// Destroyed implements Collector. It forwards to the audit ledger as an
+// unattributed destruction; the FTL's instrumented destroy sites call
+// Audit directly with the cause, issue time, and ladder flag instead.
 func (r *Recorder) Destroyed(page uint32, at sim.Micros) {
-	t0, ok := r.pendingInsec[page]
-	if !ok {
-		return
+	r.Audit(audit.Event{Kind: audit.KindDestroy, Page: page, Src: audit.NoSrc, LPA: -1, Dep: at, At: at})
+}
+
+// Audit implements Collector: events feed the provenance ledger, and
+// exposure changes keep the insecure-windows gauge exactly as the
+// legacy per-page tracker emitted it.
+func (r *Recorder) Audit(ev audit.Event) {
+	if r.ledger.Record(ev) {
+		r.Gauge(GaugeInsecureWindows, ev.At, float64(r.ledger.OpenCopies()))
 	}
-	delete(r.pendingInsec, page)
-	d := at - t0
-	if d < 0 {
-		// A GC relocation can advance the invalidation clock past the
-		// lock's (request-anchored) completion; the stale copy was then
-		// locked before it was ever exposed.
-		d = 0
-	}
-	r.tInsec.Add(float64(d))
-	r.Gauge(GaugeInsecureWindows, at, float64(len(r.pendingInsec)))
 }
 
 // Events returns the retained events. The slice is owned by the Recorder.
@@ -188,11 +202,22 @@ func (r *Recorder) GaugeSeries(kind GaugeKind) *metrics.Series { return r.gauges
 
 // TInsecure returns the closed T_insecure windows (µs from invalidation
 // of a secured page to its physical destruction).
-func (r *Recorder) TInsecure() *metrics.Sample { return &r.tInsec }
+func (r *Recorder) TInsecure() *metrics.Sample { return r.ledger.TInsec() }
 
 // OpenInsecure reports how many secured pages are currently invalidated
 // but not yet destroyed.
-func (r *Recorder) OpenInsecure() int { return len(r.pendingInsec) }
+func (r *Recorder) OpenInsecure() int { return r.ledger.OpenCopies() }
+
+// AuditLedger exposes the provenance ledger for reports and
+// verification.
+func (r *Recorder) AuditLedger() *audit.Ledger { return r.ledger }
+
+// Unattributed reports busy time (and how many events carried it) that
+// could not be attributed to any chip or channel because of
+// out-of-range coordinates.
+func (r *Recorder) Unattributed() (busy sim.Micros, events uint64) {
+	return r.unattrBusy, r.unattrEvents
+}
 
 // ChipUtilization returns each chip's busy time as a fraction of the
 // horizon.

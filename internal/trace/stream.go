@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/audit"
+	"repro/internal/sim"
+)
+
+// StreamPoint is one periodic telemetry sample of a running simulation:
+// a compact cumulative snapshot emitted every stats interval of
+// *simulated* time, written as one JSONL line. All fields are running
+// totals derived from the deterministic event stream, so the series is
+// bit-identical across parallel worker counts.
+type StreamPoint struct {
+	// TUs is the sample's nominal simulated time: the first stats-interval
+	// boundary the run crossed since the previous point.
+	TUs int64 `json:"t_us"`
+	// HorizonUs is the actual latest completion time when the point was
+	// emitted (>= TUs).
+	HorizonUs     int64  `json:"horizon_us"`
+	Events        uint64 `json:"events"`
+	DroppedEvents uint64 `json:"dropped_events"`
+	HostReads     uint64 `json:"host_reads"`
+	HostWrites    uint64 `json:"host_writes"`
+	HostTrims     uint64 `json:"host_trims"`
+	GCPasses      uint64 `json:"gc_passes"`
+	PLocks        uint64 `json:"plocks"`
+	PLockBatches  uint64 `json:"plock_batches"`
+	BLocks        uint64 `json:"blocks"`
+	Erases        uint64 `json:"erases"`
+	// OpenInsecure and OpenOldestUs report the still-open T_insecure
+	// windows (count and oldest age) at emission time.
+	OpenInsecure int   `json:"t_insecure_open"`
+	OpenOldestUs int64 `json:"t_insecure_open_oldest_us"`
+	// TInsecClosed / TInsecSumUs summarize the closed per-copy windows.
+	TInsecClosed int   `json:"t_insecure_closed"`
+	TInsecSumUs  int64 `json:"t_insecure_sum_us"`
+	// Windows / WindowSumUs / Phases summarize the per-secret ledger.
+	Windows            uint64               `json:"secret_windows"`
+	WindowSumUs        int64                `json:"secret_window_sum_us"`
+	ExposedCopies      int                  `json:"exposed_copies"`
+	Phases             audit.PhaseBreakdown `json:"phase_us"`
+	UnattributedBusyUs int64                `json:"unattributed_busy_us"`
+}
+
+// streamState drives the periodic emitter.
+type streamState struct {
+	w        *bufio.Writer
+	enc      *json.Encoder
+	interval sim.Micros
+	next     sim.Micros
+	err      error
+}
+
+// StreamTo enables periodic telemetry: every interval of simulated time
+// (measured on the event horizon) the Recorder writes one StreamPoint
+// line to w. interval must be positive. Call CloseStream when the run
+// finishes to emit the final point and flush.
+func (r *Recorder) StreamTo(w io.Writer, interval sim.Micros) {
+	if interval <= 0 {
+		interval = 1
+	}
+	bw := bufio.NewWriter(w)
+	r.stream = &streamState{w: bw, enc: json.NewEncoder(bw), interval: interval, next: interval}
+}
+
+// CloseStream emits a final point at the current horizon, flushes the
+// stream, and returns the first write error encountered (nil when
+// streaming was never enabled).
+func (r *Recorder) CloseStream() error {
+	s := r.stream
+	if s == nil {
+		return nil
+	}
+	r.writeStreamPoint(r.horizon)
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	r.stream = nil
+	return s.err
+}
+
+// emitStreamPoint fires when the horizon crosses the next boundary: one
+// point is written for the first crossed boundary, then the cursor
+// skips past the horizon so a big time jump costs one line, not one per
+// interval.
+func (r *Recorder) emitStreamPoint() {
+	s := r.stream
+	r.writeStreamPoint(s.next)
+	s.next = (r.horizon/s.interval + 1) * s.interval
+}
+
+func (r *Recorder) writeStreamPoint(t sim.Micros) {
+	s := r.stream
+	if s.err != nil {
+		return
+	}
+	st := r.ledger.Stats(r.horizon)
+	p := StreamPoint{
+		TUs:                int64(t),
+		HorizonUs:          int64(r.horizon),
+		Events:             r.TotalEvents(),
+		DroppedEvents:      r.dropped,
+		HostReads:          r.classCount[OpHostRead],
+		HostWrites:         r.classCount[OpHostWrite],
+		HostTrims:          r.classCount[OpHostTrim],
+		GCPasses:           r.classCount[OpGC],
+		PLocks:             r.classCount[OpPLock],
+		PLockBatches:       r.classCount[OpPLockBatch],
+		BLocks:             r.classCount[OpBLock],
+		Erases:             r.classCount[OpErase],
+		OpenInsecure:       r.ledger.OpenCopies(),
+		OpenOldestUs:       st.OldestOpenUs,
+		TInsecClosed:       r.ledger.TInsec().N(),
+		TInsecSumUs:        int64(r.ledger.TInsecSum()),
+		Windows:            st.Windows,
+		WindowSumUs:        st.WindowSumUs,
+		ExposedCopies:      st.ExposedCopies,
+		Phases:             st.Phases,
+		UnattributedBusyUs: int64(r.unattrBusy),
+	}
+	s.err = s.enc.Encode(p)
+}

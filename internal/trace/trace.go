@@ -19,6 +19,7 @@ package trace
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/sim"
 )
 
@@ -245,8 +246,15 @@ type Collector interface {
 	Invalidated(page uint32, secured bool, at sim.Micros)
 	// Destroyed reports that a stale page's data physically ceased to be
 	// readable (lock, scrub, or erase completion), closing any open
-	// T_insecure window on the page.
+	// T_insecure window on the page. It is shorthand for an Audit
+	// destruction with no cause attribution; producers use one or the
+	// other for a given destruction, never both.
 	Destroyed(page uint32, at sim.Micros)
+	// Audit records one sanitization-provenance event (see package
+	// audit): copy registrations of secured data and cause-attributed
+	// destructions. Like Op, the Event is passed on the stack; producers
+	// must not allocate to build one.
+	Audit(ev audit.Event)
 }
 
 // Nop is the disabled collector: every method is a no-op.
@@ -266,3 +274,6 @@ func (Nop) Invalidated(uint32, bool, sim.Micros) {}
 
 // Destroyed implements Collector.
 func (Nop) Destroyed(uint32, sim.Micros) {}
+
+// Audit implements Collector.
+func (Nop) Audit(audit.Event) {}

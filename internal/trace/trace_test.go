@@ -94,9 +94,18 @@ func TestRecorderBusyAttribution(t *testing.T) {
 	if bu[0] != 0 || bu[1] != 40.0/5000.0 {
 		t.Fatalf("channel utilization = %v, want [0, 0.008]", bu)
 	}
-	// Out-of-range coordinates must not panic or be attributed.
+	// Out-of-range coordinates must not panic or be attributed — but
+	// their busy time is counted, so lost attribution is visible.
 	r.Op(Event{Class: OpRead, Start: 0, End: 80, Chip: 99, Channel: 99})
 	r.Op(Event{Class: OpXfer, Start: 0, End: 40, Chip: -1, Channel: -1})
+	busy, events := r.Unattributed()
+	if busy != 120 || events != 2 {
+		t.Fatalf("Unattributed = (%v, %d), want (120, 2)", busy, events)
+	}
+	// In-range events must not leak into the unattributed counters.
+	if cu2 := r.ChipUtilization(); cu2[0] != cu[0] {
+		t.Fatalf("unattributed events changed chip 0 utilization: %v -> %v", cu[0], cu2[0])
+	}
 }
 
 func TestRecorderMaxEventsDrops(t *testing.T) {

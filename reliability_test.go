@@ -18,15 +18,18 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ftl"
+	"repro/internal/trace"
 )
 
 // faultDevice builds a compact Evanesco device with deterministic fault
 // injection. The geometry is kept small so a single campaign (and each
-// fuzz iteration) stays fast while still spanning 4 chips.
-func faultDevice(t testing.TB, rate float64, seed int64, batched bool) *core.Device {
+// fuzz iteration) stays fast while still spanning 4 chips. tr optionally
+// attaches a telemetry collector (nil: untraced).
+func faultDevice(t testing.TB, rate float64, seed int64, batched bool, tr trace.Collector) *core.Device {
 	t.Helper()
 	opts := core.Options{
 		Policy:        core.PolicyEvanesco,
@@ -35,6 +38,7 @@ func faultDevice(t testing.TB, rate float64, seed int64, batched bool) *core.Dev
 		WLsPerBlock:   8,
 		FaultRate:     rate,
 		FaultSeed:     seed,
+		Trace:         tr,
 	}
 	if batched {
 		opts.Planes = 2
@@ -51,9 +55,9 @@ func faultDevice(t testing.TB, rate float64, seed int64, batched bool) *core.Dev
 // secret files are written, churned over, and deleted; immediately after
 // every deletion a raw dump of all chips must contain no byte of the
 // deleted content, whatever recovery paths the injected faults forced.
-func runSecureDeleteCampaign(t testing.TB, rate float64, seed int64, churn int, batched bool) *core.Device {
+func runSecureDeleteCampaign(t testing.TB, rate float64, seed int64, churn int, batched bool, tr trace.Collector) *core.Device {
 	t.Helper()
-	dev := faultDevice(t, rate, seed, batched)
+	dev := faultDevice(t, rate, seed, batched, tr)
 	page := dev.PageBytes()
 	// On the batched device the secret spans 24 pages: the 2-plane
 	// striper then fills whole wordlines, so the delete exercises the
@@ -108,7 +112,7 @@ func TestSecureDeleteUnderFaultSweep(t *testing.T) {
 	for _, rate := range []float64{0, 1e-3, 1e-2} {
 		for seed := int64(1); seed <= 3; seed++ {
 			t.Run(fmt.Sprintf("rate=%g/seed=%d", rate, seed), func(t *testing.T) {
-				dev := runSecureDeleteCampaign(t, rate, seed, 400, false)
+				dev := runSecureDeleteCampaign(t, rate, seed, 400, false, nil)
 				if rate >= 1e-2 {
 					if fc := dev.SSD().FaultCounts(); fc.OpFails() == 0 {
 						t.Fatalf("rate=%g injected no operation failures", rate)
@@ -131,7 +135,7 @@ func FuzzFaultSchedule(f *testing.F) {
 	f.Add(uint8(4), int64(-99))
 	f.Fuzz(func(t *testing.T, rateIdx uint8, seed int64) {
 		rates := []float64{0, 1e-3, 5e-3, 1e-2, 5e-2}
-		runSecureDeleteCampaign(t, rates[int(rateIdx)%len(rates)], seed, 150, rateIdx%2 == 0)
+		runSecureDeleteCampaign(t, rates[int(rateIdx)%len(rates)], seed, 150, rateIdx%2 == 0, nil)
 	})
 }
 
@@ -192,14 +196,17 @@ func TestAllPoliciesSurviveFaultChurn(t *testing.T) {
 }
 
 // faultArtifact is the JSON blob the CI reliability job uploads: the
-// injected-fault census against the recovery ladder's own books.
+// injected-fault census against the recovery ladder's own books, plus
+// the sanitization audit (ledger counters and verifier report).
 type faultArtifact struct {
-	FaultRate   float64      `json:"fault_rate"`
-	FaultSeed   int64        `json:"fault_seed"`
-	Injected    fault.Counts `json:"injected"`
-	Stats       ftl.Stats    `json:"ftl_stats"`
-	ReadRetries uint64       `json:"read_retries"`
-	ReadFails   uint64       `json:"read_failures"`
+	FaultRate   float64            `json:"fault_rate"`
+	FaultSeed   int64              `json:"fault_seed"`
+	Injected    fault.Counts       `json:"injected"`
+	Stats       ftl.Stats          `json:"ftl_stats"`
+	ReadRetries uint64             `json:"read_retries"`
+	ReadFails   uint64             `json:"read_failures"`
+	Audit       audit.Stats        `json:"audit"`
+	Verify      audit.VerifyReport `json:"audit_verify"`
 }
 
 // TestFaultCampaign runs the CI campaign at the rate selected by
@@ -216,10 +223,23 @@ func TestFaultCampaign(t *testing.T) {
 		rate = parsed
 	}
 	const seed = 41
-	dev := runSecureDeleteCampaign(t, rate, seed, 800, false)
+	rec := trace.NewRecorder(trace.RecorderConfig{Chips: 4, Channels: 2})
+	dev := runSecureDeleteCampaign(t, rate, seed, 800, false, rec)
 
 	st := dev.SSD().FTL().Stats()
 	fc := dev.SSD().FaultCounts()
+	// The audit gate: after the campaign, no secured copy may remain
+	// invalidated but undestroyed, and every closed window's phases must
+	// sum to its span.
+	dev.Sync()
+	verify := rec.AuditLedger().Verify(rec.Horizon())
+	if !verify.Clean() {
+		t.Errorf("audit verifier: %v", verify.Err())
+	}
+	aud := rec.AuditLedger().Stats(rec.Horizon())
+	if aud.Phases.Sum() != aud.WindowSumUs {
+		t.Errorf("phase sum %d != window sum %d", aud.Phases.Sum(), aud.WindowSumUs)
+	}
 	if rate == 0 && fc.OpFails() != 0 {
 		t.Fatalf("rate 0 injected %d failures", fc.OpFails())
 	}
@@ -247,12 +267,63 @@ func TestFaultCampaign(t *testing.T) {
 			Stats:       st,
 			ReadRetries: rep.ReadRetries,
 			ReadFails:   rep.ReadFailures,
+			Audit:       aud,
+			Verify:      verify,
 		}, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestFaultSweepAuditLedger crosses the CI fault-rate matrix with the
+// audit ledger: every campaign — with and without pLock batching — must
+// end with zero live unlocked secured copies (checked after a FlushLocks
+// barrier drains any deferred batch), the phase sums must equal the
+// window sums, and when the injector forced lock failures the recovery
+// ladder must be visible as ladder-phase time in the closed windows.
+func TestFaultSweepAuditLedger(t *testing.T) {
+	for _, batched := range []bool{false, true} {
+		for _, rate := range []float64{0, 1e-3, 1e-2} {
+			for seed := int64(1); seed <= 2; seed++ {
+				t.Run(fmt.Sprintf("batched=%v/rate=%g/seed=%d", batched, rate, seed), func(t *testing.T) {
+					rec := trace.NewRecorder(trace.RecorderConfig{Chips: 4, Channels: 2})
+					dev := runSecureDeleteCampaign(t, rate, seed, 400, batched, rec)
+					dev.Sync() // drain deferred lock batches before auditing
+					verify := rec.AuditLedger().Verify(rec.Horizon())
+					if !verify.Clean() {
+						t.Fatalf("audit verifier: %v\nopen copies: %+v", verify.Err(), verify.Open)
+					}
+					if verify.PhaseSumErrors != 0 {
+						t.Fatalf("%d windows whose phases do not sum to their span", verify.PhaseSumErrors)
+					}
+					aud := rec.AuditLedger().Stats(rec.Horizon())
+					if aud.Phases.Sum() != aud.WindowSumUs {
+						t.Fatalf("phase sum %d != window sum %d", aud.Phases.Sum(), aud.WindowSumUs)
+					}
+					if aud.Windows == 0 {
+						t.Fatal("campaign closed no windows")
+					}
+					// Every injected pLock/bLock failure walked the recovery
+					// ladder; if any ladder rung destroyed a secured copy, the
+					// window that copy belonged to must carry ladder time.
+					st := dev.SSD().FTL().Stats()
+					if lockFails := st.PLockFailures + st.PLockBatchFailures + st.BLockFailures; lockFails > 0 {
+						if aud.LadderDestroys == 0 {
+							t.Errorf("%d lock failures but no ladder-destroyed secured copies", lockFails)
+						}
+						if aud.LadderWindows == 0 || aud.Phases.Ladder == 0 {
+							t.Errorf("lock failures left no ladder-phase time: %+v", aud)
+						}
+					}
+					if rate == 0 && aud.LadderDestroys != 0 {
+						t.Errorf("fault-free run attributed %d destroys to the ladder", aud.LadderDestroys)
+					}
+				})
+			}
 		}
 	}
 }
@@ -267,7 +338,7 @@ func TestSecureDeleteUnderFaultSweepBatched(t *testing.T) {
 	for _, rate := range []float64{0, 1e-3, 1e-2} {
 		for seed := int64(1); seed <= 3; seed++ {
 			t.Run(fmt.Sprintf("rate=%g/seed=%d", rate, seed), func(t *testing.T) {
-				dev := runSecureDeleteCampaign(t, rate, seed, 400, true)
+				dev := runSecureDeleteCampaign(t, rate, seed, 400, true, nil)
 				st := dev.SSD().FTL().Stats()
 				fc := dev.SSD().FaultCounts()
 				if fc.PLockFails != st.PLockFailures+st.PLockBatchFailures {
