@@ -8,7 +8,8 @@
 // Usage:
 //
 //	benchguard -baseline ci/bench_baseline.json -fresh BENCH_parallel.json
-//	           [-batching BENCH_batching.json] [-threshold 0.20]
+//	           [-batching BENCH_batching.json] [-engine BENCH_engine.json]
+//	           [-threshold 0.20]
 //
 // Guarded quantities, each against its own baseline value: serial
 // campaign throughput, 4-worker campaign throughput (both in grid-cells
@@ -20,6 +21,13 @@
 // exact across machines; the floor is the PR's >= 1.5x acceptance bar).
 // Pass -batching "" to skip the batching report (e.g. for historical
 // baselines).
+//
+// From BENCH_engine.json, the event-kernel gates: a dispatch-rate floor
+// on the ladder/record path (events per second against the baseline)
+// and the 0-allocs/op canary for the steady-state loop. On a single-CPU
+// runner the parallel-speedup comparisons are skipped — the reports
+// record "skipped_single_cpu" instead of a number that would only
+// measure goroutine-scheduling noise. Pass -engine "" to skip.
 package main
 
 import (
@@ -34,15 +42,33 @@ import (
 // fields additionally appear in the committed baseline, where they gate
 // BENCH_batching.json (see batchingReport).
 type report struct {
+	NumCPU              int     `json:"num_cpu"`
 	GridCells           int     `json:"grid_cells"`
 	SerialSec           float64 `json:"serial_sec"`
 	ParallelSec         float64 `json:"parallel_sec"`
 	Speedup             float64 `json:"speedup"`
+	SpeedupNote         string  `json:"speedup_note,omitempty"`
 	FlashOpsAllocsPerOp float64 `json:"flashops_allocs_per_op"`
 	// Baseline-only: simulated-IOPS floors for the batching ablation.
 	BatchingDisabledIOPS float64 `json:"batching_disabled_iops,omitempty"`
 	BatchingEnabledIOPS  float64 `json:"batching_enabled_iops,omitempty"`
 	BatchingMinSpeedup   float64 `json:"batching_min_speedup,omitempty"`
+	// Baseline-only: event-kernel gates for BENCH_engine.json (see
+	// engineReport). EngineAllocsPerOp is expected to stay exactly 0.
+	EngineEventsPerSec      float64 `json:"engine_events_per_sec,omitempty"`
+	EngineAllocsPerOp       float64 `json:"engine_allocs_per_op"`
+	EngineMinShardedSpeedup float64 `json:"engine_min_sharded_speedup,omitempty"`
+}
+
+// engineReport mirrors the BENCH_engine.json schema written by
+// BenchmarkEventKernel (engine_bench_test.go).
+type engineReport struct {
+	NumCPU             int     `json:"num_cpu"`
+	EventsPerSecHeap   float64 `json:"events_per_sec_heap"`
+	EventsPerSecLadder float64 `json:"events_per_sec_ladder"`
+	EngineAllocsPerOp  float64 `json:"engine_allocs_per_op"`
+	ShardedSpeedup     float64 `json:"sharded_speedup"`
+	ShardedNote        string  `json:"sharded_note"`
 }
 
 // batchingReport mirrors the BENCH_batching.json schema written by
@@ -95,6 +121,53 @@ func compare(baseline, fresh report, threshold float64) []string {
 	check("serial cells/sec", baseline.cellsPerSec(baseline.SerialSec), fresh.cellsPerSec(fresh.SerialSec), false)
 	check("parallel-4 cells/sec", baseline.cellsPerSec(baseline.ParallelSec), fresh.cellsPerSec(fresh.ParallelSec), false)
 	check("flash-op allocs/op", baseline.FlashOpsAllocsPerOp, fresh.FlashOpsAllocsPerOp, true)
+	// The parallel-speedup floor only means something with real
+	// parallelism: on a single-CPU runner the report records a note
+	// instead of a number, and the comparison is skipped.
+	if fresh.SpeedupNote != "" || fresh.NumCPU == 1 {
+		fmt.Printf("%-28s skipped (single CPU)\n", "parallel speedup")
+	} else if baseline.Speedup > 1 {
+		check("parallel speedup", baseline.Speedup, fresh.Speedup, false)
+	}
+	return bad
+}
+
+// compareEngine guards the event-kernel dispatch rate and its
+// 0-allocs/op canary. The sharded-speedup floor is honored only when
+// the fresh report measured one (multi-CPU runner, no skip note).
+func compareEngine(baseline report, fresh engineReport, threshold float64) []string {
+	var bad []string
+	if base := baseline.EngineEventsPerSec; base > 0 {
+		status := "ok"
+		if fresh.EventsPerSecLadder < base*(1-threshold) {
+			status = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("engine events/sec: baseline %.0f, fresh %.0f (%.0f%% worse)",
+				base, fresh.EventsPerSecLadder, (base/fresh.EventsPerSecLadder-1)*100))
+		}
+		fmt.Printf("%-28s baseline %10.0f   fresh %10.0f   %s\n",
+			"engine events/sec", base, fresh.EventsPerSecLadder, status)
+	}
+	// Zero-alloc canary: the baseline guarantee is exact, not a ratio.
+	status := "ok"
+	if fresh.EngineAllocsPerOp > baseline.EngineAllocsPerOp+0.5 {
+		status = "REGRESSED"
+		bad = append(bad, fmt.Sprintf("engine allocs/op: baseline %.3f, fresh %.3f",
+			baseline.EngineAllocsPerOp, fresh.EngineAllocsPerOp))
+	}
+	fmt.Printf("%-28s baseline %10.3f   fresh %10.3f   %s\n",
+		"engine allocs/op", baseline.EngineAllocsPerOp, fresh.EngineAllocsPerOp, status)
+	if fresh.ShardedNote != "" || fresh.NumCPU == 1 {
+		fmt.Printf("%-28s skipped (%s)\n", "engine sharded speedup", fresh.ShardedNote)
+	} else if min := baseline.EngineMinShardedSpeedup; min > 0 {
+		status := "ok"
+		if fresh.ShardedSpeedup < min {
+			status = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("engine sharded speedup floor: need >= %.2fx, fresh %.2fx",
+				min, fresh.ShardedSpeedup))
+		}
+		fmt.Printf("%-28s floor    %10.3f   fresh %10.3f   %s\n",
+			"engine sharded speedup", min, fresh.ShardedSpeedup, status)
+	}
 	return bad
 }
 
@@ -146,6 +219,7 @@ func main() {
 	baselinePath := flag.String("baseline", "ci/bench_baseline.json", "committed baseline report")
 	freshPath := flag.String("fresh", "BENCH_parallel.json", "freshly generated report")
 	batchingPath := flag.String("batching", "BENCH_batching.json", "freshly generated batching report ('' skips)")
+	enginePath := flag.String("engine", "BENCH_engine.json", "freshly generated event-kernel report ('' skips)")
 	threshold := flag.Float64("threshold", 0.20, "allowed regression fraction")
 	flag.Parse()
 
@@ -171,6 +245,18 @@ func main() {
 			os.Exit(2)
 		}
 		bad = append(bad, compareBatching(baseline, batching, *threshold)...)
+	}
+	if *enginePath != "" {
+		var engine engineReport
+		data, err := os.ReadFile(*enginePath)
+		if err == nil {
+			err = json.Unmarshal(data, &engine)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		bad = append(bad, compareEngine(baseline, engine, *threshold)...)
 	}
 	if len(bad) > 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: throughput regression beyond threshold:")

@@ -10,6 +10,7 @@
 //	             [-workloads MailServer,DBServer,FileServer,Mobile]
 //	             [-planes N] [-no-cache-pipeline]
 //	             [-batch] [-batch-deadline US] [-batch-threshold N]
+//	             [-shard-channels N]
 //	             [-fault-rate R] [-fault-seed S]
 //	             [-csv] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -29,6 +30,12 @@
 //
 // -parallel runs the independent workload×policy simulations on N
 // workers (default: one per CPU); results are bit-identical to serial.
+//
+// -shard-channels parallelizes WITHIN each simulated device: chip-state
+// mutation is deferred onto N worker lanes (chips partitioned round-
+// robin) while the coordinator computes the timing model. Output is
+// bit-identical to -shard-channels 0. Incompatible with -fault-rate
+// (deferred execution cannot honor synchronous error feedback).
 //
 // Tracing mode (runs ONE workload×policy instead of the figure sweep):
 //
@@ -80,6 +87,7 @@ func main() {
 	batch := flag.Bool("batch", false, "enable wordline-aware pLock batching")
 	batchDeadline := flag.Int64("batch-deadline", 0, "µs a partial wordline group may defer (0: flush per request)")
 	batchThreshold := flag.Int("batch-threshold", 0, "force-flush the lock queue at N pages (0: none)")
+	shardChannels := flag.Int("shard-channels", 0, "chip-execution worker lanes per device (0: serial; bit-identical)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	traceFile := flag.String("trace", "", "capture one traced run and write Chrome trace_event JSON here")
 	traceJSONL := flag.String("trace-jsonl", "", "also write the raw event log as JSONL here")
@@ -123,6 +131,11 @@ func main() {
 	sc.FaultSeed = *faultSeed
 	sc.Planes = *planes
 	sc.NoCachePipeline = *noCachePipe
+	sc.ShardChannels = *shardChannels
+	if sc.ShardChannels > 0 && sc.FaultRate > 0 {
+		fmt.Fprintln(os.Stderr, "secssd-bench: -shard-channels requires -fault-rate 0")
+		die(2)
+	}
 	if *batch {
 		sc.LockBatch = ftl.LockBatchConfig{
 			Enabled:   true,
@@ -228,8 +241,8 @@ func printDeviceConfig(sc experiment.Scale, scaleName string) {
 	}
 	fmt.Printf("# device: %d channels x %d chips, %d blocks/chip, %d WLs/block (TLC), %d B pages\n",
 		experiment.Channels, experiment.ChipsPerChannel, sc.BlocksPerChip, sc.WLsPerBlock, sc.PageBytes)
-	fmt.Printf("# parallelism: planes=%d cache-pipeline=%s queue-depth=32 plock-batching=%s\n",
-		planes, pipeline, batching)
+	fmt.Printf("# parallelism: planes=%d cache-pipeline=%s queue-depth=32 plock-batching=%s shard-channels=%d\n",
+		planes, pipeline, batching, sc.ShardChannels)
 }
 
 // printAblation prints the amortization ladder's absolute and

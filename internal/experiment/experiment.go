@@ -60,6 +60,12 @@ type Scale struct {
 	Planes          int
 	NoCachePipeline bool
 	LockBatch       ftl.LockBatchConfig
+	// ShardChannels enables the device's deferred channel-sharded
+	// execution (ssd.Config.ShardChannels): chip-state mutation runs on
+	// this many parallel lanes while the coordinator computes the timing
+	// model. Results are bit-identical to serial runs; requires
+	// FaultRate == 0.
+	ShardChannels int
 }
 
 // FaultConfig returns the scale's fault-injection configuration (the
@@ -171,6 +177,7 @@ func ExecuteTraced(prof workload.Profile, policy ftl.Policy, secureFraction floa
 	if err != nil {
 		return Run{}, err
 	}
+	defer dev.Close()
 	fs, err := filesys.New(dev, int64(dev.LogicalPages()), sc.PageBytes)
 	if err != nil {
 		return Run{}, err
@@ -231,6 +238,7 @@ func buildDevice(policy ftl.Policy, sc Scale, tr trace.Collector) (*ssd.SSD, err
 		Planes:          sc.Planes,
 		NoCachePipeline: sc.NoCachePipeline,
 		LockBatch:       sc.LockBatch,
+		ShardChannels:   sc.ShardChannels,
 	})
 }
 

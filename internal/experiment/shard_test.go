@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/ftl"
+	"repro/internal/sanitize"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestShardedExecuteBitIdentical is the system-level golden gate for the
+// deferred channel-sharded execution mode: full Fig. 14 cells must
+// produce byte-for-byte the same Run (report, stats, elapsed time) with
+// sharding on as off.
+func TestShardedExecuteBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config run")
+	}
+	profiles := []workload.Profile{workload.MailServer(), workload.Mobile()}
+	for _, prof := range profiles {
+		t.Run(prof.Name, func(t *testing.T) {
+			serial, err := Execute(prof, sanitize.SecSSD(), 1.0, SmallScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := SmallScale()
+			sc.ShardChannels = Channels
+			sharded, err := Execute(prof, sanitize.SecSSD(), 1.0, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, sharded) {
+				t.Fatalf("sharded run diverges from serial:\nserial: %+v\nshard:  %+v",
+					serial, sharded)
+			}
+		})
+	}
+}
+
+// TestShardedAuditAndTelemetryIdentical re-runs the audit gate under
+// sharding: the ledger's counters, the end-of-run Verify (zero live
+// unlocked secured copies, phase sums matching every closed window), and
+// the full OpenMetrics exposition must be byte-identical to a serial
+// run. This is the strongest equivalence check the repo has — every
+// trace event, in order, with identical timestamps.
+func TestShardedAuditAndTelemetryIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audited run")
+	}
+	run := func(shards int) (Run, *trace.Recorder) {
+		sc := SmallScale()
+		sc.Planes = 2
+		sc.LockBatch = ftl.LockBatchConfig{Enabled: true, Deadline: 2000, Threshold: 96}
+		sc.ShardChannels = shards
+		rec := trace.NewRecorder(trace.RecorderConfig{
+			Chips:    Channels * ChipsPerChannel,
+			Channels: Channels,
+		})
+		r, err := ExecuteAudited(workload.Mobile(), sanitize.SecSSD(), 1.0, sc, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, rec
+	}
+	serialRun, serialRec := run(0)
+	shardRun, shardRec := run(Channels)
+
+	if !reflect.DeepEqual(serialRun, shardRun) {
+		t.Fatalf("audited runs diverge:\nserial: %+v\nshard:  %+v", serialRun, shardRun)
+	}
+	h := serialRec.Horizon()
+	if sh := shardRec.Horizon(); sh != h {
+		t.Fatalf("horizons diverge: serial %d, sharded %d", h, sh)
+	}
+	if a, b := serialRec.AuditLedger().Stats(h), shardRec.AuditLedger().Stats(h); a != b {
+		t.Fatalf("audit stats diverge:\nserial: %+v\nshard:  %+v", a, b)
+	}
+	av, bv := serialRec.AuditLedger().Verify(h), shardRec.AuditLedger().Verify(h)
+	if !reflect.DeepEqual(av, bv) {
+		t.Fatalf("audit verification diverges:\nserial: %+v\nshard:  %+v", av, bv)
+	}
+	if !av.Clean() {
+		t.Fatalf("audit verification not clean: %+v", av)
+	}
+	var serialOM, shardOM bytes.Buffer
+	if err := serialRec.WriteOpenMetrics(&serialOM); err != nil {
+		t.Fatal(err)
+	}
+	if err := shardRec.WriteOpenMetrics(&shardOM); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialOM.Bytes(), shardOM.Bytes()) {
+		t.Fatal("OpenMetrics expositions differ between serial and sharded runs")
+	}
+}

@@ -71,6 +71,11 @@ type FTL struct {
 	// it enables multi-plane read/program grouping and batched SBPI lock
 	// pulses.
 	batchTarget BatchTarget
+	// discardReader is non-nil when the Target also implements
+	// DiscardReader: host reads (payload discarded above the FTL) then
+	// skip the data round-trip, which lets sharded targets keep the chip
+	// work deferred.
+	discardReader DiscardReader
 
 	// pendingPages collects secured invalidations per global block between
 	// Flush calls (nil = nothing queued for the block); pendingList holds
@@ -158,6 +163,7 @@ func New(cfg Config, target Target, policy Policy) (*FTL, error) {
 	}
 	f.traceOn = f.tracer.Enabled()
 	f.batchTarget, _ = target.(BatchTarget)
+	f.discardReader, _ = target.(DiscardReader)
 	if cfg.LockBatch.Enabled && f.batchTarget != nil {
 		f.lockBatching = true
 		f.lockq.groupIdx = make([]int32, g.TotalWLs())
@@ -264,7 +270,7 @@ func (f *FTL) Submit(req blockio.Request, dep sim.Micros) (sim.Micros, error) {
 			f.stats.HostReadPages++
 			if p := f.l2p[req.LPA+i]; p != NoPPA {
 				f.stats.FlashReads++
-				if _, t := f.target.Read(p, dep); t > done {
+				if t := f.hostRead(p, dep); t > done {
 					done = t
 				}
 			}
@@ -446,6 +452,17 @@ func (f *FTL) readGrouped(req blockio.Request, dep sim.Micros) sim.Micros {
 	return done
 }
 
+// hostRead issues one host-path read. The payload never leaves the FTL
+// on this path, so DiscardReader targets serve it without the data
+// round-trip (identical timing); plain targets fall back to Target.Read.
+func (f *FTL) hostRead(p PPA, dep sim.Micros) sim.Micros {
+	if f.discardReader != nil {
+		return f.discardReader.ReadDiscard(p, dep)
+	}
+	_, t := f.target.Read(p, dep)
+	return t
+}
+
 // flushReadGroup issues one accumulated read group (single-page groups
 // fall back to a plain read) and folds its completion into done.
 func (f *FTL) flushReadGroup(group []PPA, dep, done sim.Micros) sim.Micros {
@@ -453,7 +470,7 @@ func (f *FTL) flushReadGroup(group []PPA, dep, done sim.Micros) sim.Micros {
 	case len(group) == 0:
 	case len(group) == 1:
 		f.stats.FlashReads++
-		if _, t := f.target.Read(group[0], dep); t > done {
+		if t := f.hostRead(group[0], dep); t > done {
 			done = t
 		}
 	default:

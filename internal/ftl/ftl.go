@@ -232,6 +232,18 @@ type BatchTarget interface {
 	ReadGroup(pages []PPA, dep sim.Micros) sim.Micros
 }
 
+// DiscardReader is an optional Target extension for reads whose payload
+// the FTL discards — the host read path (payloads stop at the block
+// layer; only GC relocation consumes them). The FTL detects it with a
+// type assertion at construction, like BatchTarget. Implementations must
+// charge exactly the timing and tracing of a fault-free Target.Read;
+// deferring or skipping the data movement is the point (the SSD's
+// channel-sharded mode posts the chip work to a lane instead of waiting
+// for it).
+type DiscardReader interface {
+	ReadDiscard(p PPA, dep sim.Micros) sim.Micros
+}
+
 // Policy is a sanitization strategy (§7 compares five of them). The FTL
 // calls Invalidate whenever a live page becomes stale; secured pages must
 // not remain readable after the call chain completes. Flush is invoked at

@@ -7,7 +7,7 @@ func TestEngineClampCounterAndHook(t *testing.T) {
 	var hooked []Micros
 	e.OnClamp = func(requested, now Micros) { hooked = append(hooked, requested, now) }
 	e.At(100, func(e *Engine) {
-		e.At(10, func(*Engine) {}) // past: clamped to 100
+		e.At(10, func(*Engine) {})  // past: clamped to 100
 		e.At(100, func(*Engine) {}) // exactly now: not a clamp
 		e.After(5, func(*Engine) {})
 	})

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"slices"
+	"sort"
+)
+
+// Ladder-queue scheduler parameters. The queue keeps a small sorted
+// "near-future" run plus one rung of far-future buckets; distributions
+// that defeat the bucketing (everything collapsing into one oversized
+// bucket, over and over) demote the queue to the binary-heap fallback,
+// whose O(log n) bound is insensitive to the timestamp distribution.
+const (
+	// ladderBuckets is the rung width: one epoch spans ladderBuckets
+	// buckets of equal time width.
+	ladderBuckets = 128
+	// ladderSpillSize is the largest batch the queue is willing to sort
+	// in one go; a bigger batch counts as a spill.
+	ladderSpillSize = 8192
+	// ladderMaxSpills is how many spills the queue tolerates before
+	// concluding the distribution is pathological and demoting itself to
+	// the heap.
+	ladderMaxSpills = 3
+)
+
+// eventLess is the kernel's total dispatch order: (at, seq).
+func eventLess(a, b scheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// ladderQueue is a two-tier calendar ("ladder") priority queue over
+// scheduledEvents, ordered by (at, seq) exactly like the binary heap it
+// replaces:
+//
+//   - near:    a sorted ascending run dispatched from a cursor (ni), so a
+//     pop is O(1) and the steady-state insert — an event scheduled just
+//     past the current frontier — is an append.
+//   - buckets: the current epoch, [base, base+ladderBuckets*width),
+//     holding unsorted far-future events; advancing into a bucket sorts
+//     just that bucket into near.
+//   - over:    everything beyond the epoch, unsorted; when the epoch
+//     drains, over is re-bucketed into a fresh epoch whose width adapts
+//     to the span of what is actually pending.
+//
+// The discrete-event engine's schedule is overwhelmingly "now + small
+// latency", which this layout turns into append-and-pop with no
+// per-event comparisons against the whole queue. Pathological schedules
+// (every event at one far-future instant, repeatedly) would make the
+// queue re-sort giant batches; after ladderMaxSpills of those it demotes
+// itself to the binary heap (heaped), preserving semantics exactly.
+type ladderQueue struct {
+	near []scheduledEvent // sorted ascending by (at, seq)
+	ni   int              // dispatch cursor into near
+
+	// nearEnd is the exclusive upper bound of near's time coverage: an
+	// insert below it must go into near to keep dispatch order exact.
+	nearEnd Micros
+
+	buckets [ladderBuckets][]scheduledEvent
+	base    Micros // start time of bucket 0
+	width   Micros // bucket width; 0 = no active epoch
+	bhead   int    // next bucket to spread into near
+	bcount  int    // events currently bucketed
+
+	over []scheduledEvent // unsorted events beyond the epoch
+
+	size   int
+	spills int
+	heaped bool
+	heap   eventQueue
+}
+
+func (q *ladderQueue) len() int { return q.size }
+
+// push inserts an event; ev.at is never below the last popped timestamp
+// (the Engine clamps past events to now before scheduling).
+func (q *ladderQueue) push(ev scheduledEvent) {
+	q.size++
+	if q.heaped {
+		q.heap.push(ev)
+		return
+	}
+	if ev.at < q.nearEnd {
+		q.insertNear(ev)
+		return
+	}
+	if q.width > 0 {
+		if idx := int((ev.at - q.base) / q.width); idx < ladderBuckets {
+			q.buckets[idx] = append(q.buckets[idx], ev)
+			q.bcount++
+			return
+		}
+	}
+	q.over = append(q.over, ev)
+}
+
+// insertNear places ev into the sorted run. The common case — an event
+// later than everything pending — is an append.
+func (q *ladderQueue) insertNear(ev scheduledEvent) {
+	n := len(q.near)
+	if n == q.ni || !eventLess(ev, q.near[n-1]) {
+		q.near = append(q.near, ev)
+		return
+	}
+	idx := q.ni + sort.Search(n-q.ni, func(i int) bool {
+		return eventLess(ev, q.near[q.ni+i])
+	})
+	q.near = slices.Insert(q.near, idx, ev)
+}
+
+// pop removes and returns the earliest event.
+func (q *ladderQueue) pop() (scheduledEvent, bool) {
+	if q.size == 0 {
+		return scheduledEvent{}, false
+	}
+	if !q.heaped {
+		q.ensureNear()
+	}
+	q.size--
+	if q.heaped {
+		return q.heap.pop(), true
+	}
+	ev := q.near[q.ni]
+	q.near[q.ni] = scheduledEvent{} // release the Event closure to the GC
+	q.ni++
+	if q.ni == len(q.near) {
+		q.near = q.near[:0]
+		q.ni = 0
+	}
+	return ev, true
+}
+
+// peekAt returns the earliest pending timestamp without dispatching.
+func (q *ladderQueue) peekAt() (Micros, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	if !q.heaped {
+		q.ensureNear()
+	}
+	if q.heaped {
+		return q.heap[0].at, true
+	}
+	return q.near[q.ni].at, true
+}
+
+// ensureNear refills the sorted run from the buckets (or re-epochs from
+// over) until it holds the earliest pending event. Only called with
+// size > 0, so a refill source always exists.
+func (q *ladderQueue) ensureNear() {
+	for q.ni == len(q.near) {
+		if q.bcount == 0 {
+			q.reEpoch()
+			if q.heaped {
+				return
+			}
+			continue
+		}
+		j := q.bhead
+		for len(q.buckets[j]) == 0 {
+			j++
+		}
+		b := q.buckets[j]
+		// Recycle near's spent backing array as the emptied bucket's
+		// storage so the steady state allocates nothing.
+		q.buckets[j] = q.near[:0]
+		q.near = b
+		q.ni = 0
+		q.bcount -= len(b)
+		q.bhead = j + 1
+		q.nearEnd = q.base + Micros(j+1)*q.width
+		q.sortBatch()
+		if q.heaped {
+			return
+		}
+	}
+}
+
+// reEpoch rebuilds the bucket rung from the overflow store. Precondition:
+// near and the buckets are empty, over is not.
+func (q *ladderQueue) reEpoch() {
+	lo, hi := q.over[0].at, q.over[0].at
+	for _, ev := range q.over[1:] {
+		if ev.at < lo {
+			lo = ev.at
+		}
+		if ev.at > hi {
+			hi = ev.at
+		}
+	}
+	if lo == hi {
+		// Degenerate epoch: a single instant. Sort it straight into near;
+		// bucketing cannot split it any further.
+		q.near = append(q.near[:0], q.over...)
+		q.ni = 0
+		q.over = q.over[:0]
+		q.nearEnd = hi + 1
+		q.width = 0
+		q.sortBatch()
+		return
+	}
+	q.width = (hi-lo)/ladderBuckets + 1
+	q.base = lo
+	q.bhead = 0
+	for _, ev := range q.over {
+		idx := int((ev.at - q.base) / q.width)
+		q.buckets[idx] = append(q.buckets[idx], ev)
+	}
+	q.bcount = len(q.over)
+	q.over = q.over[:0]
+	q.nearEnd = q.base
+}
+
+// sortBatch sorts the freshly refilled near run and tracks spills; too
+// many oversized sorts demote the queue to the heap fallback.
+func (q *ladderQueue) sortBatch() {
+	slices.SortFunc(q.near, func(a, b scheduledEvent) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.seq < b.seq {
+			return -1
+		}
+		if a.seq > b.seq {
+			return 1
+		}
+		return 0
+	})
+	if len(q.near) > ladderSpillSize {
+		q.spills++
+		if q.spills >= ladderMaxSpills {
+			q.demote()
+		}
+	}
+}
+
+// demote abandons the ladder layout for the binary heap: same (at, seq)
+// dispatch order, insensitive to the timestamp distribution.
+func (q *ladderQueue) demote() {
+	q.heaped = true
+	if cap(q.heap) == 0 {
+		q.heap = make(eventQueue, 0, q.size)
+	}
+	for _, ev := range q.near[q.ni:] {
+		q.heap.push(ev)
+	}
+	q.near, q.ni = nil, 0
+	for i := range q.buckets {
+		for _, ev := range q.buckets[i] {
+			q.heap.push(ev)
+		}
+		q.buckets[i] = nil
+	}
+	q.bcount, q.width = 0, 0
+	for _, ev := range q.over {
+		q.heap.push(ev)
+	}
+	q.over = nil
+}

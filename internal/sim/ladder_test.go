@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// fireLog collects (timestamp, id) pairs in dispatch order.
+type firing struct {
+	at Micros
+	id int
+}
+
+// TestLadderFIFOAcrossRungBoundaries schedules many events sharing
+// timestamps through every ingress path — the near run, the bucket rung
+// (via a far-future batch that forces an epoch), and the overflow store —
+// and checks global dispatch order is (at, scheduling order).
+func TestLadderFIFOAcrossRungBoundaries(t *testing.T) {
+	e := NewEngine()
+	var got []firing
+	id := 0
+	schedule := func(at Micros) {
+		me := id
+		id++
+		e.At(at, func(*Engine) { got = append(got, firing{at, me}) })
+	}
+	// Far batch across three instants: lands in over, re-epochs into
+	// buckets on first dispatch.
+	for i := 0; i < 300; i++ {
+		schedule(Micros(1000 + 100*(i%3)))
+	}
+	// Near batch at time zero, scheduled after the far one.
+	for i := 0; i < 50; i++ {
+		schedule(5)
+	}
+	// An event that, while the rung is active, inserts more equal-time
+	// events both into near and into later buckets.
+	e.At(1000, func(e *Engine) {
+		schedule(1000) // same instant as the currently-dispatching rung
+		schedule(1100) // future bucket
+		schedule(1200)
+	})
+	e.Run()
+
+	if len(got) != id {
+		t.Fatalf("fired %d of %d events", len(got), id)
+	}
+	// Dispatch order must be sorted by at, and FIFO (ascending id) within
+	// each instant *among events scheduled before dispatch reached it*.
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("time ran backwards at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+	seenAt := make(map[Micros]int)
+	for _, f := range got {
+		if last, ok := seenAt[f.at]; ok && f.id < last {
+			t.Fatalf("FIFO violated at t=%v: id %d after id %d", f.at, f.id, last)
+		}
+		seenAt[f.at] = f.id
+	}
+}
+
+// TestRunUntilOnBucketEdge drives RunUntil to deadlines that fall
+// exactly on ladder bucket boundaries (width-1 buckets over a 128-wide
+// span) and checks inclusive dispatch plus clock advancement.
+func TestRunUntilOnBucketEdge(t *testing.T) {
+	e := NewEngine()
+	fired := make(map[Micros]bool)
+	for i := 0; i < ladderBuckets; i++ {
+		at := Micros(1000 + i)
+		e.At(at, func(*Engine) { fired[at] = true })
+	}
+	// First deadline: exactly the midpoint bucket edge.
+	mid := Micros(1000 + ladderBuckets/2)
+	e.RunUntil(mid)
+	if e.Now() != mid {
+		t.Fatalf("Now() = %v, want %v", e.Now(), mid)
+	}
+	for i := 0; i < ladderBuckets; i++ {
+		at := Micros(1000 + i)
+		if want := at <= mid; fired[at] != want {
+			t.Fatalf("event at %v fired=%v, want %v (deadline %v)", at, fired[at], want, mid)
+		}
+	}
+	// Advancing by exactly one more bucket fires exactly one more event.
+	e.RunUntil(mid + 1)
+	if !fired[mid+1] {
+		t.Fatalf("event at %v did not fire", mid+1)
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after Run", e.Pending())
+	}
+}
+
+// TestClampCountingThroughLadder exercises the clamp path after the
+// queue has been through an epoch (bucketed state), not just the
+// fresh-queue state clamp_test.go covers.
+func TestClampCountingThroughLadder(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.At(Micros(1000+i*10), func(*Engine) {})
+	}
+	e.RunUntil(1050)
+	var hook int
+	e.OnClamp = func(requested, now Micros) {
+		hook++
+		if requested != 40 || now != 1050 {
+			t.Fatalf("OnClamp(%v, %v), want (40, 1050)", requested, now)
+		}
+	}
+	ran := false
+	e.At(40, func(*Engine) { ran = true }) // the past: must clamp to 1050
+	if e.Clamped() != 1 || hook != 1 {
+		t.Fatalf("clamped=%d hook=%d, want 1,1", e.Clamped(), hook)
+	}
+	e.Step()
+	if !ran || e.Now() != 1050 {
+		t.Fatalf("clamped event ran=%v at %v, want true at 1050", ran, e.Now())
+	}
+	e.Run()
+}
+
+// runLogged drives an engine over a scripted schedule and returns the
+// full dispatch log. The script interleaves pre-seeded events and
+// in-flight rescheduling so the queue passes through near inserts,
+// bucket spreads, re-epochs, and (for wide time spans) demotion.
+func runLogged(e *Engine, seed int64, n int, span Micros) []firing {
+	rng := rand.New(rand.NewSource(seed))
+	var got []firing
+	id := 0
+	var schedule func(at Micros)
+	schedule = func(at Micros) {
+		me := id
+		id++
+		e.At(at, func(e *Engine) {
+			got = append(got, firing{e.Now(), me})
+			// A third of events reschedule a child somewhere ahead.
+			if rng.Intn(3) == 0 && id < 4*n {
+				schedule(e.Now() + Micros(rng.Int63n(int64(span))))
+			}
+		})
+	}
+	for i := 0; i < n; i++ {
+		schedule(Micros(rng.Int63n(int64(span))))
+	}
+	e.Run()
+	return got
+}
+
+// TestLadderMatchesHeapProperty cross-checks the ladder queue's dispatch
+// order against the binary-heap reference on random schedules.
+func TestLadderMatchesHeapProperty(t *testing.T) {
+	for _, span := range []Micros{3, 100, 1_000_000} {
+		for seed := int64(1); seed <= 8; seed++ {
+			ladder := runLogged(NewEngine(), seed, 200, span)
+			heap := runLogged(NewHeapEngine(), seed, 200, span)
+			if len(ladder) != len(heap) {
+				t.Fatalf("span=%v seed=%d: ladder fired %d, heap %d", span, seed, len(ladder), len(heap))
+			}
+			for i := range ladder {
+				if ladder[i] != heap[i] {
+					t.Fatalf("span=%v seed=%d: dispatch %d differs: ladder %v heap %v",
+						span, seed, i, ladder[i], heap[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLadderDemotesOnPathologicalSchedule drives the spill heuristic —
+// repeatedly massing >ladderSpillSize events onto single far instants —
+// and checks the queue falls back to the heap while preserving order.
+func TestLadderDemotesOnPathologicalSchedule(t *testing.T) {
+	e := NewEngine()
+	var got []firing
+	id := 0
+	for round := 0; round < ladderMaxSpills; round++ {
+		at := Micros((round + 1) * 1_000_000)
+		for i := 0; i < ladderSpillSize+1; i++ {
+			me := id
+			id++
+			e.At(at, func(e *Engine) { got = append(got, firing{e.Now(), me}) })
+		}
+		// Drain this instant before massing the next, so each batch
+		// re-epochs into a degenerate single-instant rung (one spill each).
+		e.RunUntil(at)
+	}
+	if !e.queue.heaped {
+		t.Fatalf("queue not demoted after %d oversized sorts (spills=%d)", ladderMaxSpills, e.queue.spills)
+	}
+	// Post-demotion scheduling still works and stays ordered.
+	for i := 0; i < 100; i++ {
+		me := id
+		id++
+		e.At(Micros(5_000_000+i%5), func(e *Engine) { got = append(got, firing{e.Now(), me}) })
+	}
+	e.Run()
+	if len(got) != id {
+		t.Fatalf("fired %d of %d", len(got), id)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("time ran backwards at %d", i)
+		}
+		if got[i].at == got[i-1].at && got[i].id < got[i-1].id {
+			t.Fatalf("FIFO violated at %d", i)
+		}
+	}
+}
+
+// TestRunLimit verifies the runaway-event safety valve.
+func TestRunLimit(t *testing.T) {
+	e := NewEngine()
+	var spins int
+	var spin Event
+	spin = func(e *Engine) {
+		spins++
+		e.At(e.Now(), spin) // self-reschedule at now: the classic livelock
+	}
+	e.At(0, spin)
+	err := e.RunLimit(1000)
+	if !errors.Is(err, ErrRunLimit) {
+		t.Fatalf("RunLimit error = %v, want ErrRunLimit", err)
+	}
+	if spins != 1000 {
+		t.Fatalf("dispatched %d events, want exactly 1000", spins)
+	}
+
+	// A well-behaved schedule under the same budget drains cleanly.
+	e2 := NewEngine()
+	n := 0
+	for i := 0; i < 50; i++ {
+		e2.At(Micros(i), func(*Engine) { n++ })
+	}
+	if err := e2.RunLimit(1000); err != nil {
+		t.Fatalf("RunLimit = %v on a finite schedule", err)
+	}
+	if n != 50 {
+		t.Fatalf("fired %d, want 50", n)
+	}
+}
+
+// FuzzEventKernel feeds byte-scripted schedules to both scheduler
+// variants under the RunLimit safety valve and requires identical
+// dispatch traces — the fuzz face of TestLadderMatchesHeapProperty.
+func FuzzEventKernel(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, int64(1))
+	f.Add([]byte{0, 0, 0, 0, 255, 255}, int64(2))
+	f.Fuzz(func(t *testing.T, script []byte, seed int64) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		run := func(e *Engine) ([]firing, error) {
+			var got []firing
+			id := 0
+			var schedule func(at Micros, depth int)
+			schedule = func(at Micros, depth int) {
+				me := id
+				id++
+				e.At(at, func(e *Engine) {
+					got = append(got, firing{e.Now(), me})
+					if depth > 0 {
+						// Deterministic child: offset derived from the script.
+						off := Micros(script[me%len(script)]) * Micros(depth)
+						schedule(e.Now()+off, depth-1)
+					}
+				})
+			}
+			for i, b := range script {
+				// Spread seeds across near and far regions, with collisions.
+				at := Micros(b)*Micros(1+i%3) + Micros(seed%7)*1000
+				if at < 0 {
+					at = -at
+				}
+				schedule(at, int(b%4))
+			}
+			err := e.RunLimit(100_000)
+			return got, err
+		}
+		lg, lerr := run(NewEngine())
+		hg, herr := run(NewHeapEngine())
+		if (lerr == nil) != (herr == nil) {
+			t.Fatalf("RunLimit divergence: ladder=%v heap=%v", lerr, herr)
+		}
+		if len(lg) != len(hg) {
+			t.Fatalf("ladder fired %d, heap fired %d", len(lg), len(hg))
+		}
+		for i := range lg {
+			if lg[i] != hg[i] {
+				t.Fatalf("dispatch %d differs: ladder %v heap %v", i, lg[i], hg[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// LaneFunc executes one deferred record on a lane worker.
+type LaneFunc func(lane int, r Record)
+
+// Lanes is a set of single-producer FIFO executors for deferring
+// independent Record work off the coordinating goroutine. The SSD's
+// channel-sharded mode posts chip mutations to one lane per channel
+// group: per-lane order is the post order (so each chip's op sequence is
+// preserved), and the coordinator flushes a lane before it needs any
+// result that lane's work produces.
+//
+// Concurrency contract: exactly one goroutine (the coordinator) calls
+// Post, Flush, FlushAll and Close. Lane workers run concurrently with
+// the coordinator but only ever execute fn; fn must not touch state the
+// coordinator reads without an intervening Flush.
+//
+// A panic inside fn is captured and re-raised on the coordinator at the
+// next Post/Flush/Close, preserving fail-fast semantics for discipline
+// violations (the serial execution path panics at the call site).
+type Lanes struct {
+	fn      LaneFunc
+	lanes   []laneState
+	panicMu sync.Mutex
+	panicV  any
+	failed  atomic.Bool
+	done    sync.WaitGroup
+	posted  []uint64 // per-lane post counters (coordinator-side stats)
+}
+
+type laneState struct {
+	ch chan Record
+	// pending counts posted-but-unfinished records. Only the coordinator
+	// Adds (in Post) and Waits (in Flush), so the WaitGroup reuse rule —
+	// no Add concurrent with Wait from zero — holds by construction.
+	pending sync.WaitGroup
+}
+
+// NewLanes starts n lane workers with the given queue depth per lane.
+func NewLanes(n, depth int, fn LaneFunc) *Lanes {
+	if n < 1 {
+		panic("sim: NewLanes: need at least one lane")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	l := &Lanes{
+		fn:     fn,
+		lanes:  make([]laneState, n),
+		posted: make([]uint64, n),
+	}
+	for i := range l.lanes {
+		l.lanes[i].ch = make(chan Record, depth)
+		l.done.Add(1)
+		go l.work(i)
+	}
+	return l
+}
+
+func (l *Lanes) work(lane int) {
+	defer l.done.Done()
+	ls := &l.lanes[lane]
+	for r := range ls.ch {
+		l.exec(lane, r)
+		ls.pending.Done()
+	}
+}
+
+func (l *Lanes) exec(lane int, r Record) {
+	defer func() {
+		if p := recover(); p != nil {
+			l.panicMu.Lock()
+			if l.panicV == nil {
+				l.panicV = fmt.Sprintf("sim: lane %d: %v", lane, p)
+			}
+			l.panicMu.Unlock()
+			l.failed.Store(true)
+		}
+	}()
+	l.fn(lane, r)
+}
+
+func (l *Lanes) check() {
+	if l.failed.Load() {
+		l.panicMu.Lock()
+		p := l.panicV
+		l.panicMu.Unlock()
+		panic(p)
+	}
+}
+
+// N returns the lane count.
+func (l *Lanes) N() int { return len(l.lanes) }
+
+// Posted returns how many records have been posted to lane i.
+func (l *Lanes) Posted(i int) uint64 { return l.posted[i] }
+
+// Post enqueues r on lane i, blocking if the lane is depth-full.
+func (l *Lanes) Post(i int, r Record) {
+	l.check()
+	l.lanes[i].pending.Add(1)
+	l.posted[i]++
+	l.lanes[i].ch <- r
+}
+
+// Flush blocks until every record posted to lane i has executed.
+func (l *Lanes) Flush(i int) {
+	l.lanes[i].pending.Wait()
+	l.check()
+}
+
+// FlushAll blocks until every posted record on every lane has executed.
+func (l *Lanes) FlushAll() {
+	for i := range l.lanes {
+		l.lanes[i].pending.Wait()
+	}
+	l.check()
+}
+
+// Close flushes all lanes and stops the workers. The Lanes must not be
+// used afterwards.
+func (l *Lanes) Close() {
+	for i := range l.lanes {
+		l.lanes[i].pending.Wait()
+		close(l.lanes[i].ch)
+	}
+	l.done.Wait()
+	l.check()
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLanesPreservePerLaneOrder(t *testing.T) {
+	const n = 3
+	got := make([][]int64, n)
+	l := NewLanes(n, 4, func(lane int, r Record) {
+		got[lane] = append(got[lane], r.Aux)
+	})
+	for i := int64(0); i < 100; i++ {
+		l.Post(int(i)%n, Record{Kind: 1, Aux: i})
+	}
+	l.FlushAll()
+	for lane := 0; lane < n; lane++ {
+		want := int64(lane)
+		if l.Posted(lane) == 0 {
+			t.Fatalf("lane %d: no posts recorded", lane)
+		}
+		for _, aux := range got[lane] {
+			if aux != want {
+				t.Fatalf("lane %d: got %d, want %d (order broken)", lane, aux, want)
+			}
+			want += n
+		}
+		if want < 100 {
+			t.Fatalf("lane %d: only reached %d", lane, want)
+		}
+	}
+	l.Close()
+}
+
+func TestLanesFlushIsPerLane(t *testing.T) {
+	block := make(chan struct{})
+	done := make([]bool, 2)
+	l := NewLanes(2, 1, func(lane int, r Record) {
+		if lane == 1 {
+			<-block
+		}
+		done[lane] = true
+	})
+	l.Post(0, Record{Kind: 1})
+	l.Post(1, Record{Kind: 1})
+	l.Flush(0) // must not wait for lane 1's blocked record
+	if !done[0] {
+		t.Fatal("Flush(0) returned before lane 0 drained")
+	}
+	close(block)
+	l.FlushAll()
+	if !done[1] {
+		t.Fatal("FlushAll returned before lane 1 drained")
+	}
+	l.Close()
+}
+
+func TestLanesPanicPropagatesToCoordinator(t *testing.T) {
+	l := NewLanes(1, 2, func(lane int, r Record) {
+		if r.Aux == 3 {
+			panic("discipline violation")
+		}
+	})
+	l.Post(0, Record{Kind: 1, Aux: 3})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "lane 0") || !strings.Contains(s, "discipline violation") {
+			t.Fatalf("panic payload %v lost lane attribution", p)
+		}
+	}()
+	l.Flush(0)
+}

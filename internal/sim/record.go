@@ -1,0 +1,158 @@
+package sim
+
+// Typed event records. A closure scheduled through Engine.At allocates:
+// the func value plus its captured variables escape to the heap on every
+// call, which dominates the kernel's steady-state completion loop
+// (program / read / pLock completions all capture a chip, an address and
+// a deadline). A Record carries the same payload by value inside the
+// queue entry and dispatches through a per-kind jump table, so the hot
+// loop schedules and fires at 0 allocs/op — proven by
+// BenchmarkEventKernel the way BenchmarkFlashOps proved the NAND scratch
+// reuse. The closure API stays for cold callers.
+
+// OpKind identifies the handler a Record dispatches to. Kind 0 is
+// reserved as "invalid" so a zero Record can never silently dispatch.
+type OpKind uint8
+
+// MaxOpKinds bounds the jump table. Kinds are small dense integers
+// assigned by each subsystem (the SSD's deferred chip-op executor uses
+// ~10 of them).
+const MaxOpKinds = 64
+
+// Record is a typed event payload. The fields are deliberately generic —
+// a coordinate tuple, two scalars and two optional vectors — so one
+// struct shape covers every op in the device model without per-op
+// allocation. Unused fields are simply zero. The vectors (Data, Slots)
+// follow free-list discipline when performance matters: take from a
+// Pool, hand to the record, recycle in the handler.
+type Record struct {
+	Kind OpKind
+
+	// Device coordinates: the scheduling site fills whichever apply.
+	Chip    int32
+	Channel int32
+	Block   int32
+	Page    int32
+	// Second coordinate pair, for two-address ops (copyback src→dst).
+	Block2 int32
+	Page2  int32
+
+	// Aux carries one op-specific scalar (typically the op's dep/now
+	// timestamp as int64 Micros).
+	Aux int64
+
+	// Data is an optional byte payload (e.g. a program's page image).
+	Data []byte
+	// Slots is an optional index vector (e.g. pLock slot numbers or
+	// packed page ids for multi-plane groups).
+	Slots []int32
+}
+
+// Handler executes a Record when its event fires. The engine passes
+// itself so handlers can schedule follow-up events.
+type Handler func(*Engine, Record)
+
+// Register installs the handler for kind. Registering kind 0, an
+// out-of-range kind, or re-registering a kind panics: the jump table is
+// fixed wiring, not a dynamic dispatch surface.
+func (e *Engine) Register(kind OpKind, h Handler) {
+	if kind == 0 || kind >= MaxOpKinds {
+		panic("sim: Register: op kind out of range")
+	}
+	if h == nil {
+		panic("sim: Register: nil handler")
+	}
+	if e.handlers[kind] != nil {
+		panic("sim: Register: op kind already registered")
+	}
+	e.handlers[kind] = h
+}
+
+// AtRecord schedules a typed record to dispatch at absolute time t, with
+// the same clamp semantics as At. The record is copied by value into the
+// queue: no allocation.
+func (e *Engine) AtRecord(t Micros, r Record) {
+	if r.Kind == 0 || r.Kind >= MaxOpKinds {
+		panic("sim: AtRecord: op kind out of range")
+	}
+	if t < e.now {
+		e.clamped++
+		if e.OnClamp != nil {
+			e.OnClamp(t, e.now)
+		}
+		t = e.now
+	}
+	e.seq++
+	e.queue.push(scheduledEvent{at: t, seq: e.seq, rec: r})
+}
+
+// AfterRecord schedules a typed record d microseconds from now.
+func (e *Engine) AfterRecord(d Micros, r Record) { e.AtRecord(e.now+d, r) }
+
+// BytePool is a fixed-capacity free list of byte slices for Record.Data
+// payloads. Get returns a zero-length slice with at least the configured
+// capacity; Put recycles one. Both are non-blocking: an empty pool
+// allocates, a full pool lets the GC take the surplus. Safe for
+// concurrent use (it is a buffered channel underneath).
+type BytePool struct {
+	ch  chan []byte
+	cap int
+}
+
+// NewBytePool returns a pool holding up to n slices of byte capacity c.
+func NewBytePool(n, c int) *BytePool {
+	return &BytePool{ch: make(chan []byte, n), cap: c}
+}
+
+// Get returns an empty slice with capacity ≥ the pool's slice capacity.
+func (p *BytePool) Get() []byte {
+	select {
+	case b := <-p.ch:
+		return b[:0]
+	default:
+		return make([]byte, 0, p.cap)
+	}
+}
+
+// Put recycles b; undersized or surplus slices are dropped.
+func (p *BytePool) Put(b []byte) {
+	if cap(b) < p.cap {
+		return
+	}
+	select {
+	case p.ch <- b:
+	default:
+	}
+}
+
+// SlotPool is the free list for Record.Slots vectors, mirroring BytePool.
+type SlotPool struct {
+	ch  chan []int32
+	cap int
+}
+
+// NewSlotPool returns a pool holding up to n vectors of capacity c.
+func NewSlotPool(n, c int) *SlotPool {
+	return &SlotPool{ch: make(chan []int32, n), cap: c}
+}
+
+// Get returns an empty vector with capacity ≥ the pool's capacity.
+func (p *SlotPool) Get() []int32 {
+	select {
+	case s := <-p.ch:
+		return s[:0]
+	default:
+		return make([]int32, 0, p.cap)
+	}
+}
+
+// Put recycles s; undersized or surplus vectors are dropped.
+func (p *SlotPool) Put(s []int32) {
+	if cap(s) < p.cap {
+		return
+	}
+	select {
+	case p.ch <- s:
+	default:
+	}
+}

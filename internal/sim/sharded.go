@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// ShardedEngine runs N Engines ("shards") under a conservative lookahead
+// barrier — the classic null-message discipline for parallel discrete-
+// event simulation, specialized to a shared-memory barrier:
+//
+//  1. The coordinator finds W, the earliest pending timestamp across all
+//     shards, and opens the window [W, W+lookahead].
+//  2. Every shard dispatches its events inside the window — in parallel,
+//     one goroutine per shard — and MAY NOT touch another shard's state;
+//     cross-shard effects are staged through Send/SendEvent instead.
+//  3. At the barrier, staged sends are merged into their target shards in
+//     a single deterministic order: (at, target shard, source shard,
+//     per-source sequence). Target-side sequence numbers are assigned in
+//     that order, so the resulting schedule — and therefore the whole
+//     run — is bit-identical whether the window bodies executed in
+//     parallel (Run) or one shard at a time (RunSerial).
+//
+// The conservative contract: a cross-shard send must be scheduled at
+// least `lookahead` after the moment it is staged. Sends that violate it
+// are clamped to the window barrier and counted (CrossClamped) — the
+// simulation stays deterministic and monotonic, but a nonzero count
+// means the chosen lookahead overstates the model's true minimum
+// cross-shard latency.
+type ShardedEngine struct {
+	shards    []*Engine
+	lookahead Micros
+	// windowEnd is the barrier of the window currently executing. It is
+	// written by the coordinator before the shard goroutines launch and
+	// only read while they run.
+	windowEnd Micros
+	// staged and sendSeq are indexed by *source* shard: during a window
+	// each is touched only by that shard's goroutine, so no locking.
+	staged   [][]stagedSend
+	sendSeq  []uint64
+	xclamped []uint64
+	mergeBuf []stagedSend
+	panics   []any // per-shard panic capture, re-raised at the barrier
+}
+
+// stagedSend is one cross-shard event awaiting the merge barrier.
+type stagedSend struct {
+	to   int
+	from int
+	at   Micros
+	seq  uint64 // per-source-shard send sequence
+	call Event
+	rec  Record
+}
+
+// NewSharded returns a ShardedEngine with n shards, all starting at time
+// zero. lookahead must be positive: it is the minimum simulated latency
+// of any cross-shard effect.
+func NewSharded(n int, lookahead Micros) *ShardedEngine {
+	if n < 1 {
+		panic("sim: NewSharded: need at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: NewSharded: lookahead must be positive")
+	}
+	se := &ShardedEngine{
+		shards:    make([]*Engine, n),
+		lookahead: lookahead,
+		staged:    make([][]stagedSend, n),
+		sendSeq:   make([]uint64, n),
+		xclamped:  make([]uint64, n),
+		panics:    make([]any, n),
+	}
+	for i := range se.shards {
+		se.shards[i] = NewEngine()
+	}
+	return se
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns shard i's Engine for registering handlers and seeding
+// initial events. During a window, an event running on shard i must only
+// use shard i's Engine.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Send stages a typed record for another shard (or, degenerately, the
+// sender's own) to dispatch at absolute time at. It must only be called
+// from an event executing on shard `from` (or from the coordinator
+// between windows). Sends earlier than the current window barrier are
+// clamped to it — see the conservative contract above.
+func (se *ShardedEngine) Send(from, to int, at Micros, r Record) {
+	if r.Kind == 0 || r.Kind >= MaxOpKinds {
+		panic("sim: Send: op kind out of range")
+	}
+	se.stage(stagedSend{to: to, from: from, at: at, rec: r})
+}
+
+// SendEvent stages a closure event for another shard, with the same
+// rules as Send.
+func (se *ShardedEngine) SendEvent(from, to int, at Micros, ev Event) {
+	if ev == nil {
+		panic("sim: SendEvent: nil event")
+	}
+	se.stage(stagedSend{to: to, from: from, at: at, call: ev})
+}
+
+func (se *ShardedEngine) stage(s stagedSend) {
+	if s.to < 0 || s.to >= len(se.shards) {
+		panic(fmt.Sprintf("sim: send to shard %d of %d", s.to, len(se.shards)))
+	}
+	if s.at < se.windowEnd {
+		se.xclamped[s.from]++
+		s.at = se.windowEnd
+	}
+	se.sendSeq[s.from]++
+	s.seq = se.sendSeq[s.from]
+	se.staged[s.from] = append(se.staged[s.from], s)
+}
+
+// Run executes every shard's events to completion, windows executing in
+// parallel (one goroutine per shard).
+func (se *ShardedEngine) Run() { se.run(true) }
+
+// RunSerial executes the identical window/merge protocol with the shard
+// bodies run one at a time on the calling goroutine. It exists to prove
+// bit-identity: Run and RunSerial produce the same schedule, clocks, and
+// counters by construction, and the golden tests assert it.
+func (se *ShardedEngine) RunSerial() { se.run(false) }
+
+func (se *ShardedEngine) run(parallel bool) {
+	for {
+		w, have := Micros(0), false
+		for _, sh := range se.shards {
+			if t, ok := sh.NextAt(); ok && (!have || t < w) {
+				w, have = t, true
+			}
+		}
+		if !have {
+			// Shards drained and (since merge always follows a window)
+			// nothing staged: done.
+			return
+		}
+		end := w + se.lookahead
+		se.windowEnd = end
+		if parallel {
+			var wg sync.WaitGroup
+			for i, sh := range se.shards {
+				wg.Add(1)
+				go func(i int, sh *Engine) {
+					defer wg.Done()
+					defer func() { se.panics[i] = recover() }()
+					sh.RunUntil(end)
+				}(i, sh)
+			}
+			wg.Wait()
+			for i, p := range se.panics {
+				if p != nil {
+					panic(fmt.Sprintf("sim: shard %d panicked: %v", i, p))
+				}
+			}
+		} else {
+			for _, sh := range se.shards {
+				sh.RunUntil(end)
+			}
+		}
+		se.merge()
+	}
+}
+
+// merge applies every staged cross-shard send in the deterministic
+// barrier order (at, to, from, seq). Target sequence numbers are
+// assigned in this order, which is what makes the parallel schedule
+// reproduce the serial one bit-for-bit.
+func (se *ShardedEngine) merge() {
+	buf := se.mergeBuf[:0]
+	for from := range se.staged {
+		buf = append(buf, se.staged[from]...)
+		se.staged[from] = se.staged[from][:0]
+	}
+	if len(buf) == 0 {
+		se.mergeBuf = buf
+		return
+	}
+	slices.SortFunc(buf, func(a, b stagedSend) int {
+		switch {
+		case a.at != b.at:
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		case a.to != b.to:
+			return a.to - b.to
+		case a.from != b.from:
+			return a.from - b.from
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for i := range buf {
+		s := &buf[i]
+		tgt := se.shards[s.to]
+		if s.call != nil {
+			tgt.At(s.at, s.call)
+		} else {
+			tgt.AtRecord(s.at, s.rec)
+		}
+		// Drop the staged closure/payload references promptly.
+		*s = stagedSend{}
+	}
+	se.mergeBuf = buf[:0]
+}
+
+// Fired sums dispatched events across shards.
+func (se *ShardedEngine) Fired() uint64 {
+	var n uint64
+	for _, sh := range se.shards {
+		n += sh.Fired()
+	}
+	return n
+}
+
+// Clamped sums per-shard past-time clamps across shards.
+func (se *ShardedEngine) Clamped() uint64 {
+	var n uint64
+	for _, sh := range se.shards {
+		n += sh.Clamped()
+	}
+	return n
+}
+
+// CrossClamped reports how many cross-shard sends violated the lookahead
+// contract and were clamped to the window barrier.
+func (se *ShardedEngine) CrossClamped() uint64 {
+	var n uint64
+	for _, c := range se.xclamped {
+		n += c
+	}
+	return n
+}
+
+// Horizon returns the furthest clock across shards.
+func (se *ShardedEngine) Horizon() Micros {
+	var h Micros
+	for _, sh := range se.shards {
+		if sh.Now() > h {
+			h = sh.Now()
+		}
+	}
+	return h
+}
+
+// NextAt reports the engine's earliest pending timestamp, if any.
+func (e *Engine) NextAt() (Micros, bool) { return e.queue.peekAt() }

@@ -5,18 +5,29 @@
 // operation latency in the paper is specified in µs (tREAD = 80µs,
 // tPROG = 700µs, tBERS = 3500µs, tpLock = 100µs, tbLock = 300µs).
 //
-// The kernel offers two building blocks:
+// The kernel offers these building blocks:
 //
-//   - Engine: a classic event queue with a monotonically advancing clock.
-//     Events scheduled at the same timestamp fire in FIFO order of
-//     scheduling, which keeps runs reproducible.
+//   - Engine: an event queue with a monotonically advancing clock,
+//     scheduled on a ladder/calendar queue (ladder.go) with a binary-heap
+//     fallback. Events scheduled at the same timestamp fire in FIFO order
+//     of scheduling, which keeps runs reproducible. Events are either
+//     closures (At/After) or typed records dispatched through a jump
+//     table with zero allocation (AtRecord/AfterRecord, record.go).
+//   - ShardedEngine: N Engines stepped under a conservative lookahead
+//     barrier with deterministic cross-shard merging (sharded.go), so a
+//     sharded run is bit-identical to a serial one.
+//   - Lanes: per-lane worker executors for deferring independent record
+//     work off the coordinating goroutine (lanes.go).
 //   - Timeline: a busy-until accumulator for a serially-reusable resource
 //     (a flash chip or a channel bus). Reserving k µs on a timeline returns
 //     the interval actually occupied, starting no earlier than the request
 //     time and no earlier than the end of the previously reserved interval.
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Micros is a simulated timestamp or duration in microseconds.
 type Micros int64
@@ -49,17 +60,24 @@ func (m Micros) String() string {
 // engine so it may schedule further events.
 type Event func(*Engine)
 
+// scheduledEvent is one queue entry. Exactly one of call / rec.Kind is
+// live: closure events carry call, typed record events (see record.go)
+// carry rec by value and dispatch through the engine's jump table with
+// no per-event allocation.
 type scheduledEvent struct {
 	at   Micros
 	seq  uint64 // tie-breaker: FIFO among equal timestamps
 	call Event
+	rec  Record
 }
 
 // eventQueue is a binary min-heap ordered by (at, seq), stored by value
 // in a plain slice. Scheduling an event costs no allocation beyond
 // amortized slice growth: container/heap would box each element through
 // `any` and force a per-push *scheduledEvent allocation, which dominated
-// the kernel's profile.
+// the kernel's profile. It survives as the ladder queue's fallback mode
+// for pathological timestamp distributions (see ladder.go) and as the
+// reference scheduler for equivalence tests (NewHeapEngine).
 type eventQueue []scheduledEvent
 
 func (q eventQueue) less(i, j int) bool {
@@ -109,11 +127,16 @@ func (q *eventQueue) pop() scheduledEvent {
 	return top
 }
 
-// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engine is a discrete-event simulator. The zero value is ready to use
+// and schedules on the ladder queue (ladder.go).
 type Engine struct {
 	now   Micros
 	seq   uint64
-	queue eventQueue
+	queue ladderQueue
+	// handlers is the typed-record jump table, indexed by OpKind
+	// (record.go). A nil slot for a dispatched kind is a programming
+	// error and panics.
+	handlers [MaxOpKinds]Handler
 	// Stats
 	fired   uint64
 	clamped uint64
@@ -126,6 +149,16 @@ type Engine struct {
 // NewEngine returns an Engine starting at time zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// NewHeapEngine returns an Engine whose scheduler is pinned to the
+// binary-heap fallback instead of the ladder queue. Dispatch order is
+// identical by construction; the variant exists as the reference
+// implementation for equivalence tests and A/B benchmarking.
+func NewHeapEngine() *Engine {
+	e := &Engine{}
+	e.queue.heaped = true
+	return e
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() Micros { return e.now }
 
@@ -133,7 +166,7 @@ func (e *Engine) Now() Micros { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // Clamped reports how many events were scheduled in the past and clamped
 // forward to the then-current time. A nonzero count means some caller's
@@ -163,13 +196,21 @@ func (e *Engine) After(d Micros, ev Event) { e.At(e.now+d, ev) }
 // Step dispatches the single earliest event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev, ok := e.queue.pop()
+	if !ok {
 		return false
 	}
-	ev := e.queue.pop()
 	e.now = ev.at
 	e.fired++
-	ev.call(e)
+	if ev.call != nil {
+		ev.call(e)
+		return true
+	}
+	h := e.handlers[ev.rec.Kind]
+	if h == nil {
+		panic(fmt.Sprintf("sim: no handler registered for op kind %d", ev.rec.Kind))
+	}
+	h(e, ev.rec)
 	return true
 }
 
@@ -179,10 +220,36 @@ func (e *Engine) Run() {
 	}
 }
 
+// ErrRunLimit is wrapped by the error RunLimit returns when the event
+// budget is exhausted with events still pending.
+var ErrRunLimit = errors.New("sim: event budget exhausted")
+
+// RunLimit dispatches events until the queue drains, like Run, but gives
+// up after maxEvents dispatches. It is the safety valve against a buggy
+// event that endlessly reschedules itself at the current time: instead
+// of spinning forever the kernel returns an error (wrapping ErrRunLimit)
+// describing where the run was stuck.
+func (e *Engine) RunLimit(maxEvents uint64) error {
+	for dispatched := uint64(0); ; dispatched++ {
+		if e.queue.len() == 0 {
+			return nil
+		}
+		if dispatched >= maxEvents {
+			return fmt.Errorf("%w: %d events dispatched, %d still pending at t=%v",
+				ErrRunLimit, dispatched, e.queue.len(), e.now)
+		}
+		e.Step()
+	}
+}
+
 // RunUntil dispatches events whose timestamp is <= deadline, then advances
 // the clock to the deadline (if the simulation has not already passed it).
 func (e *Engine) RunUntil(deadline Micros) {
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for {
+		at, ok := e.queue.peekAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {

@@ -1,0 +1,243 @@
+// Channel-sharded deferred execution (-shard-channels).
+//
+// The timing model is already coordinator-side: every Target method
+// computes its Timeline reservations, trace events and completion times
+// from configuration constants, never from what the chip returns. With
+// fault injection disabled the chip calls are infallible too (any error
+// is a flash-discipline violation, which panics in both modes), so the
+// chip-state mutation — vth sampling, read-disturb bookkeeping, page
+// copies — is the only work a Target call does that anything downstream
+// waits for. This file defers exactly that work onto sim.Lanes: one FIFO
+// worker per shard, chips statically partitioned across lanes, per-chip
+// op order preserved because a chip never changes lanes.
+//
+// Determinism: the coordinator's arithmetic is untouched, each chip sees
+// the identical op sequence with identical arguments (including the
+// `now` timestamps its retention stamps and RNG draws depend on), and
+// chips share no state. A sharded run is therefore bit-identical to a
+// serial one — reports, traces, audit ledgers, OpenMetrics exports and
+// forensic chip dumps. The golden tests in shard_test.go and
+// internal/experiment assert this end to end.
+//
+// Synchronization points: a Target.Read that must return data (GC
+// relocation) flushes the owning chip's lane first; ReadLogical, Chips
+// and FaultCounts drain every lane. Host reads go through the
+// ftl.DiscardReader interface and stay deferred.
+
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Deferred chip-op record kinds (sim.Record.Kind).
+const (
+	opProgram sim.OpKind = iota + 1
+	opProgramMulti
+	opReadDiscard
+	opReadMulti
+	opPLock
+	opPLockWL
+	opBLock
+	opErase
+	opScrub
+	opCopyback
+)
+
+// laneDepth is the per-lane queue depth: deep enough to keep a lane busy
+// across the coordinator's bookkeeping, small enough to bound the drift
+// between coordinator and chips.
+const laneDepth = 256
+
+// shardExec owns the deferred-execution machinery of one SSD.
+type shardExec struct {
+	s      *SSD
+	lanes  *sim.Lanes
+	laneOf []int32
+	bufs   *sim.BytePool // program payload copies
+	slots  *sim.SlotPool // pLock slot / packed page-id vectors
+
+	// Per-lane decode scratch. Each slice is touched only by its lane's
+	// worker, never by the coordinator while the lane is running.
+	slotInts [][]int
+	addrs    [][]nand.PageAddr
+	datas    [][][]byte
+}
+
+func newShardExec(s *SSD, lanes int) *shardExec {
+	nChips := len(s.chips)
+	if lanes > nChips {
+		lanes = nChips
+	}
+	x := &shardExec{
+		s:        s,
+		laneOf:   make([]int32, nChips),
+		bufs:     sim.NewBytePool(4*lanes, s.cfg.Chip.PageBytes),
+		slots:    sim.NewSlotPool(4*lanes, s.geo.PagesPerWL*s.geo.Planes),
+		slotInts: make([][]int, lanes),
+		addrs:    make([][]nand.PageAddr, lanes),
+		datas:    make([][][]byte, lanes),
+	}
+	// Static chip→lane partition. Round-robin spreads each channel's
+	// chips across lanes; any fixed mapping is correct (chips share no
+	// state, and the buses live on the coordinator's timelines).
+	for chip := range x.laneOf {
+		x.laneOf[chip] = int32(chip % lanes)
+	}
+	x.lanes = sim.NewLanes(lanes, laneDepth, x.exec)
+	return x
+}
+
+func (x *shardExec) post(chip int, r sim.Record) {
+	r.Chip = int32(chip)
+	x.lanes.Post(int(x.laneOf[chip]), r)
+}
+
+// flushChip waits for every deferred op on chip's lane (the lane is
+// FIFO, so this is at least chip-complete).
+func (x *shardExec) flushChip(chip int) { x.lanes.Flush(int(x.laneOf[chip])) }
+
+// exec runs one deferred record on its lane worker. Errors from the chip
+// are impossible here by construction (faults are disabled in sharded
+// mode), so every error is a discipline violation and panics — matching
+// the serial path's fail-fast behavior, re-raised on the coordinator by
+// sim.Lanes.
+func (x *shardExec) exec(lane int, r sim.Record) {
+	chip := x.s.chips[r.Chip]
+	now := sim.Micros(r.Aux)
+	a := nand.PageAddr{Block: int(r.Block), Page: int(r.Page)}
+	switch r.Kind {
+	case opProgram:
+		_, err := chip.Program(a, r.Data, now)
+		if r.Data != nil {
+			x.bufs.Put(r.Data)
+		}
+		must(err, "program", a)
+	case opReadDiscard:
+		_, err := chip.Read(a, now)
+		must(err, "read", a)
+	case opPLock:
+		_, err := chip.PLock(a, now)
+		must(err, "pLock", a)
+	case opPLockWL:
+		ints := x.slotInts[lane][:0]
+		for _, s := range r.Slots {
+			ints = append(ints, int(s))
+		}
+		x.slotInts[lane] = ints
+		_, err := chip.PLockWL(int(r.Block), int(r.Page), ints, now)
+		x.slots.Put(r.Slots)
+		must(err, "pLockWL", a)
+	case opBLock:
+		_, err := chip.BLock(int(r.Block), now)
+		must(err, "bLock", a)
+	case opErase:
+		_, err := chip.Erase(int(r.Block), now)
+		must(err, "erase", a)
+	case opScrub:
+		_, err := chip.Scrub(a, now)
+		must(err, "scrub", a)
+	case opCopyback:
+		dst := nand.PageAddr{Block: int(r.Block2), Page: int(r.Page2)}
+		_, err := chip.Copyback(a, dst, now)
+		must(err, "copyback", a)
+	case opProgramMulti:
+		addrs, datas := x.unpack(lane, r.Slots)
+		_, errs, fatal := chip.ProgramMulti(addrs, datas, now)
+		x.slots.Put(r.Slots)
+		must(fatal, "programMulti", a)
+		for i, err := range errs {
+			must(err, "programMulti page", addrs[i])
+		}
+	case opReadMulti:
+		addrs, _ := x.unpack(lane, r.Slots)
+		_, errs, fatal := chip.ReadMulti(addrs, now)
+		x.slots.Put(r.Slots)
+		must(fatal, "readMulti", a)
+		for i, err := range errs {
+			must(err, "readMulti page", addrs[i])
+		}
+	default:
+		panic(fmt.Sprintf("ssd: unknown deferred op kind %d", r.Kind))
+	}
+}
+
+// unpack decodes packed chip-local page ids (block*pagesPerBlock+page)
+// into the lane's address scratch, plus a matching all-nil datas slice.
+func (x *shardExec) unpack(lane int, packed []int32) ([]nand.PageAddr, [][]byte) {
+	ppb := x.s.geo.PagesPerBlock
+	addrs := x.addrs[lane][:0]
+	datas := x.datas[lane][:0]
+	for _, id := range packed {
+		addrs = append(addrs, nand.PageAddr{Block: int(id) / ppb, Page: int(id) % ppb})
+		datas = append(datas, nil)
+	}
+	x.addrs[lane] = addrs
+	x.datas[lane] = datas
+	return addrs, datas
+}
+
+func must(err error, op string, a nand.PageAddr) {
+	if err != nil {
+		panic(fmt.Sprintf("ssd: deferred %s at %v: %v", op, a, err))
+	}
+}
+
+// pack encodes a chip-local address as one int32 page id.
+func (x *shardExec) pack(a nand.PageAddr) int32 {
+	return int32(a.Block*x.s.geo.PagesPerBlock + a.Page)
+}
+
+// Drain blocks until every deferred chip operation has executed. It is
+// the barrier before anything inspects chip state directly (forensic
+// dumps, logical reads, fault census) and a no-op on serial devices.
+func (s *SSD) Drain() {
+	if s.shard != nil {
+		s.shard.lanes.FlushAll()
+	}
+}
+
+// Close drains and stops the lane workers. The device remains usable in
+// serial mode afterwards; Close on a serial device is a no-op.
+func (s *SSD) Close() {
+	if s.shard != nil {
+		s.shard.lanes.Close()
+		s.shard = nil
+	}
+}
+
+// Sharded reports whether deferred channel-sharded execution is active.
+func (s *SSD) Sharded() bool { return s.shard != nil }
+
+// ReadDiscard implements ftl.DiscardReader: a host read whose payload the
+// FTL discards. Timing and tracing are identical to Read's success path;
+// in sharded mode the chip work is deferred instead of flushing the lane
+// (no retries are possible with faults disabled, so the serial Read would
+// take exactly this path).
+func (s *SSD) ReadDiscard(p ftl.PPA, dep sim.Micros) sim.Micros {
+	if s.shard == nil {
+		_, done := s.Read(p, dep)
+		return done
+	}
+	chip, a := s.addr(p)
+	s.shard.post(chip, sim.Record{
+		Kind: opReadDiscard, Block: int32(a.Block), Page: int32(a.Page), Aux: int64(dep),
+	})
+	cellStart, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
+	if s.traceOn {
+		s.emitChip(trace.OpRead, chip, p, dep, cellStart, cellDone)
+	}
+	busStart, busDone := s.busTL[s.channelOf(chip)].Reserve(cellDone, s.cfg.Timing.Xfer)
+	if s.cfg.NoCachePipeline {
+		s.chipTL[chip].Reserve(cellDone, busDone-cellDone)
+	}
+	if s.traceOn {
+		s.emitChip(trace.OpXfer, chip, p, cellDone, busStart, busDone)
+	}
+	return busDone
+}

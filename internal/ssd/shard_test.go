@@ -1,0 +1,174 @@
+package ssd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/blockio"
+	"repro/internal/ftl"
+	"repro/internal/sanitize"
+)
+
+// shardWorkload drives a deterministic mixed workload (secure and
+// insecure writes — some with payloads, reads, trims) through the device
+// and returns its end-of-run report. The device is drained and closed.
+func shardWorkload(t *testing.T, cfg Config) (Report, *SSD) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prefill(0.6, true); err != nil {
+		t.Fatal(err)
+	}
+	s.Mark()
+	rng := rand.New(rand.NewSource(99))
+	logical := int64(s.LogicalPages())
+	payload := make([]byte, 2*cfg.Chip.PageBytes)
+	rng.Read(payload)
+	for i := 0; i < 1500; i++ {
+		lpa := rng.Int63n(logical - 4)
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			s.MustSubmit(blockio.Request{Op: blockio.OpRead, LPA: lpa, Pages: int32(1 + rng.Intn(4))})
+		case 3:
+			s.MustSubmit(blockio.Request{Op: blockio.OpTrim, LPA: lpa, Pages: int32(1 + rng.Intn(4))})
+		case 4:
+			// Payload-carrying secure write: exercises the pooled-copy
+			// deferred program path.
+			s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: lpa, Pages: 2, Data: payload, FileID: 5})
+		case 5:
+			s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: lpa, Pages: int32(1 + rng.Intn(4)), Insecure: true})
+		default:
+			s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: lpa, Pages: int32(1 + rng.Intn(4)), FileID: 7})
+		}
+	}
+	s.FlushLocks()
+	rep := s.Report()
+	return rep, s
+}
+
+// chipFingerprint captures everything an attacker or verifier can see of
+// the settled chip state.
+// (Flash op counts are asserted via ftl.Stats, which settle at workload
+// end; the fingerprint sticks to state that later observation reads
+// don't perturb.)
+type chipFingerprint struct {
+	Dumps     [][][]byte
+	BlockLock []bool
+	WritePtr  []int
+	PECycles  []int
+}
+
+func fingerprint(t *testing.T, s *SSD) []chipFingerprint {
+	t.Helper()
+	chips := s.Chips() // drains
+	geo := s.Geometry()
+	out := make([]chipFingerprint, len(chips))
+	now := s.Report().Elapsed
+	for ci, c := range chips {
+		var fp chipFingerprint
+		for b := 0; b < geo.BlocksPerChip; b++ {
+			locked, err := c.IsBlockLocked(b, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp.BlockLock = append(fp.BlockLock, locked)
+			fp.WritePtr = append(fp.WritePtr, c.WritePointer(b))
+			fp.PECycles = append(fp.PECycles, c.PECycles(b))
+			fp.Dumps = append(fp.Dumps, c.ForensicDump(b, now))
+		}
+		out[ci] = fp
+	}
+	return out
+}
+
+// TestShardedBitIdentical is the device-level golden gate: a serial run
+// and sharded runs (1 lane and one lane per channel) must agree on the
+// report, the FTL counters, every logical page's contents, and the full
+// forensic chip state.
+func TestShardedBitIdentical(t *testing.T) {
+	configs := map[string]func() Config{
+		"base": func() Config { return smallConfig(sanitize.SecSSD()) },
+		"batched-multiplane": func() Config {
+			cfg := smallConfig(sanitize.SecSSD())
+			cfg.Planes = 2
+			cfg.LockBatch = ftl.LockBatchConfig{Enabled: true, Deadline: 2000, Threshold: 48}
+			return cfg
+		},
+	}
+	for name, mk := range configs {
+		t.Run(name, func(t *testing.T) {
+			serialRep, serial := shardWorkload(t, mk())
+			serialStats := serial.FTL().Stats()
+			serialFP := fingerprint(t, serial)
+
+			for _, lanes := range []int{1, 2} {
+				cfg := mk()
+				cfg.ShardChannels = lanes
+				rep, dev := shardWorkload(t, cfg)
+				if !dev.Sharded() {
+					t.Fatalf("lanes=%d: sharded mode not active", lanes)
+				}
+				if !reflect.DeepEqual(serialRep, rep) {
+					t.Fatalf("lanes=%d: reports diverge:\nserial: %+v\nshard:  %+v", lanes, serialRep, rep)
+				}
+				if stats := dev.FTL().Stats(); !reflect.DeepEqual(serialStats, stats) {
+					t.Fatalf("lanes=%d: FTL stats diverge:\nserial: %+v\nshard:  %+v", lanes, serialStats, stats)
+				}
+				// Logical contents agree page by page.
+				for lpa := int64(0); lpa < int64(serial.LogicalPages()); lpa += 37 {
+					a, err := serial.ReadLogical(lpa)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := dev.ReadLogical(lpa)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(a, b) {
+						t.Fatalf("lanes=%d: logical page %d differs", lanes, lpa)
+					}
+				}
+				if fp := fingerprint(t, dev); !reflect.DeepEqual(serialFP, fp) {
+					t.Fatalf("lanes=%d: forensic chip state diverges from serial", lanes)
+				}
+				dev.Close()
+			}
+		})
+	}
+}
+
+// TestShardedRejectsFaultInjection: deferral cannot honor the recovery
+// ladder's synchronous error feedback, so the combination is refused.
+func TestShardedRejectsFaultInjection(t *testing.T) {
+	cfg := smallConfig(sanitize.SecSSD())
+	cfg.ShardChannels = 2
+	cfg.Fault.ProgramFail = 1e-3
+	if _, err := New(cfg); err == nil {
+		t.Fatal("sharded device with fault injection accepted")
+	}
+}
+
+// TestShardedCloseIsIdempotent ensures Close/Drain degrade to no-ops on
+// serial devices and after the first Close.
+func TestShardedCloseIsIdempotent(t *testing.T) {
+	serial := newSSD(t, sanitize.SecSSD())
+	serial.Drain()
+	serial.Close()
+
+	cfg := smallConfig(sanitize.SecSSD())
+	cfg.ShardChannels = 8 // more lanes than chips: clamped
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: 0, Pages: 4})
+	s.Drain()
+	s.Close()
+	s.Close()
+	if s.Sharded() {
+		t.Fatal("still sharded after Close")
+	}
+}

@@ -62,6 +62,15 @@ type Config struct {
 	// lock manager (§5 SBPI): pending pLocks on one wordline coalesce
 	// into a single tpLock pulse.
 	LockBatch ftl.LockBatchConfig
+	// ShardChannels enables deferred channel-sharded chip-op execution:
+	// chip mutations run on this many parallel FIFO lanes (typically the
+	// channel count) while the coordinator keeps computing the timing
+	// model, with flush barriers wherever chip state is consumed. Zero
+	// keeps the historical fully-serial execution. Sharded runs are
+	// bit-identical to serial ones (see shard.go) but require fault
+	// injection to be disabled: fault outcomes feed back into the FTL's
+	// recovery ladder synchronously, which deferral cannot honor.
+	ShardChannels int
 	// Seed drives the chips' RNGs.
 	Seed int64
 	// Fault configures deterministic fault injection (see internal/fault).
@@ -156,6 +165,13 @@ type SSD struct {
 	// Multi-plane command scratch buffers (reused across calls).
 	slotScratch []int
 	addrScratch []nand.PageAddr
+
+	// shard is non-nil when deferred channel-sharded execution is active
+	// (Config.ShardChannels > 0); see shard.go.
+	shard *shardExec
+	// errsScratch is the all-nil per-page error vector ProgramGroup
+	// returns in sharded mode (chip errors are impossible there).
+	errsScratch []error
 }
 
 // New builds the device.
@@ -227,6 +243,13 @@ func New(cfg Config) (*SSD, error) {
 		return nil, err
 	}
 	s.ftl = f
+	if cfg.ShardChannels > 0 {
+		if cfg.Fault.Enabled() {
+			return nil, fmt.Errorf("ssd: sharded execution (ShardChannels=%d) requires fault injection disabled: recovery feedback is synchronous", cfg.ShardChannels)
+		}
+		s.shard = newShardExec(s, cfg.ShardChannels)
+		s.errsScratch = make([]error, s.geo.Planes)
+	}
 	return s, nil
 }
 
@@ -234,8 +257,12 @@ func New(cfg Config) (*SSD, error) {
 func (s *SSD) FTL() *ftl.FTL { return s.ftl }
 
 // Chips exposes the raw chips — the attacker's entry point in the threat
-// model, and the verification hook for tests.
-func (s *SSD) Chips() []*nand.Chip { return s.chips }
+// model, and the verification hook for tests. In sharded mode it drains
+// the deferred-op lanes first, so callers always observe settled state.
+func (s *SSD) Chips() []*nand.Chip {
+	s.Drain()
+	return s.chips
+}
 
 // Geometry returns the device-global geometry.
 func (s *SSD) Geometry() ftl.Geometry { return s.geo }
@@ -280,6 +307,11 @@ const maxReadAttempts = 3
 // relocation moves (damaged) data rather than silently dropping the page.
 func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 	chip, a := s.addr(p)
+	if s.shard != nil {
+		// The caller consumes the payload (GC relocation): the chip's
+		// deferred ops must land before we read it synchronously.
+		s.shard.flushChip(chip)
+	}
 	res, err := s.chips[chip].Read(a, dep)
 	cellStart, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
 	if s.traceOn {
@@ -322,9 +354,24 @@ func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 // reservation and trace events are identical to a success.
 func (s *SSD) Program(p ftl.PPA, data []byte, dep sim.Micros) (sim.Micros, error) {
 	chip, a := s.addr(p)
-	_, err := s.chips[chip].Program(a, data, dep)
-	if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
-		panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", a, err))
+	var err error
+	if s.shard != nil {
+		// The caller may reuse data's backing array after we return, so
+		// the deferred record carries a pooled copy (nil stays nil — the
+		// workload runs are timing-only).
+		var copied []byte
+		if data != nil {
+			copied = append(s.shard.bufs.Get(), data...)
+		}
+		s.shard.post(chip, sim.Record{
+			Kind: opProgram, Block: int32(a.Block), Page: int32(a.Page),
+			Aux: int64(dep), Data: copied,
+		})
+	} else {
+		_, err = s.chips[chip].Program(a, data, dep)
+		if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
+			panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", a, err))
+		}
 	}
 	busStart, busDone := s.busTL[s.channelOf(chip)].Reserve(dep, s.cfg.Timing.Xfer)
 	var progStart, done sim.Micros
@@ -350,9 +397,17 @@ func (s *SSD) Copyback(src, dst ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 	if chipS != chipD {
 		panic("ssd: copyback across chips")
 	}
-	_, err := s.chips[chipS].Copyback(aSrc, aDst, dep)
-	if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
-		panic(fmt.Sprintf("ssd: copyback failed: %v", err))
+	var err error
+	if s.shard != nil {
+		s.shard.post(chipS, sim.Record{
+			Kind: opCopyback, Block: int32(aSrc.Block), Page: int32(aSrc.Page),
+			Block2: int32(aDst.Block), Page2: int32(aDst.Page), Aux: int64(dep),
+		})
+	} else {
+		_, err = s.chips[chipS].Copyback(aSrc, aDst, dep)
+		if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
+			panic(fmt.Sprintf("ssd: copyback failed: %v", err))
+		}
 	}
 	readStart, readDone := s.chipTL[chipS].Reserve(dep, s.cfg.Timing.Read)
 	_, done := s.chipTL[chipS].Reserve(readDone, s.cfg.Timing.Prog)
@@ -367,9 +422,14 @@ func (s *SSD) Copyback(src, dst ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 // Erase implements ftl.Target.
 func (s *SSD) Erase(block int, dep sim.Micros) (sim.Micros, error) {
 	chip := s.geo.ChipOfBlock(block)
-	_, err := s.chips[chip].Erase(s.geo.BlockInChip(block), dep)
-	if err != nil && !errors.Is(err, nand.ErrEraseFailed) {
-		panic(fmt.Sprintf("ssd: erase failed: %v", err))
+	var err error
+	if s.shard != nil {
+		s.shard.post(chip, sim.Record{Kind: opErase, Block: int32(s.geo.BlockInChip(block)), Aux: int64(dep)})
+	} else {
+		_, err = s.chips[chip].Erase(s.geo.BlockInChip(block), dep)
+		if err != nil && !errors.Is(err, nand.ErrEraseFailed) {
+			panic(fmt.Sprintf("ssd: erase failed: %v", err))
+		}
 	}
 	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Erase)
 	if s.traceOn {
@@ -384,9 +444,14 @@ func (s *SSD) Erase(block int, dep sim.Micros) (sim.Micros, error) {
 // PLock implements ftl.Target.
 func (s *SSD) PLock(p ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 	chip, a := s.addr(p)
-	_, err := s.chips[chip].PLock(a, dep)
-	if err != nil && !errors.Is(err, nand.ErrPLockFailed) {
-		panic(fmt.Sprintf("ssd: pLock failed: %v", err))
+	var err error
+	if s.shard != nil {
+		s.shard.post(chip, sim.Record{Kind: opPLock, Block: int32(a.Block), Page: int32(a.Page), Aux: int64(dep)})
+	} else {
+		_, err = s.chips[chip].PLock(a, dep)
+		if err != nil && !errors.Is(err, nand.ErrPLockFailed) {
+			panic(fmt.Sprintf("ssd: pLock failed: %v", err))
+		}
 	}
 	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.PLock)
 	if s.traceOn {
@@ -398,9 +463,14 @@ func (s *SSD) PLock(p ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 // BLock implements ftl.Target.
 func (s *SSD) BLock(block int, dep sim.Micros) (sim.Micros, error) {
 	chip := s.geo.ChipOfBlock(block)
-	_, err := s.chips[chip].BLock(s.geo.BlockInChip(block), dep)
-	if err != nil && !errors.Is(err, nand.ErrBLockFailed) {
-		panic(fmt.Sprintf("ssd: bLock failed: %v", err))
+	var err error
+	if s.shard != nil {
+		s.shard.post(chip, sim.Record{Kind: opBLock, Block: int32(s.geo.BlockInChip(block)), Aux: int64(dep)})
+	} else {
+		_, err = s.chips[chip].BLock(s.geo.BlockInChip(block), dep)
+		if err != nil && !errors.Is(err, nand.ErrBLockFailed) {
+			panic(fmt.Sprintf("ssd: bLock failed: %v", err))
+		}
 	}
 	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.BLock)
 	if s.traceOn {
@@ -415,7 +485,9 @@ func (s *SSD) BLock(block int, dep sim.Micros) (sim.Micros, error) {
 // Scrub implements ftl.Target.
 func (s *SSD) Scrub(p ftl.PPA, dep sim.Micros) sim.Micros {
 	chip, a := s.addr(p)
-	if _, err := s.chips[chip].Scrub(a, dep); err != nil {
+	if s.shard != nil {
+		s.shard.post(chip, sim.Record{Kind: opScrub, Block: int32(a.Block), Page: int32(a.Page), Aux: int64(dep)})
+	} else if _, err := s.chips[chip].Scrub(a, dep); err != nil {
 		panic(fmt.Sprintf("ssd: scrub failed: %v", err))
 	}
 	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Scrub)
@@ -432,14 +504,26 @@ func (s *SSD) Scrub(p ftl.PPA, dep sim.Micros) sim.Micros {
 // chip occupancy (§5).
 func (s *SSD) PLockWL(block, wl int, pages []ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 	chip := s.geo.ChipOfBlock(block)
-	slots := s.slotScratch[:0]
-	for _, p := range pages {
-		slots = append(slots, s.geo.PageInBlock(p)%s.geo.PagesPerWL)
-	}
-	s.slotScratch = slots
-	_, err := s.chips[chip].PLockWL(s.geo.BlockInChip(block), wl, slots, dep)
-	if err != nil && !errors.Is(err, nand.ErrPLockFailed) {
-		panic(fmt.Sprintf("ssd: batched pLock failed: %v", err))
+	var err error
+	if s.shard != nil {
+		vec := s.shard.slots.Get()
+		for _, p := range pages {
+			vec = append(vec, int32(s.geo.PageInBlock(p)%s.geo.PagesPerWL))
+		}
+		s.shard.post(chip, sim.Record{
+			Kind: opPLockWL, Block: int32(s.geo.BlockInChip(block)), Page: int32(wl),
+			Aux: int64(dep), Slots: vec,
+		})
+	} else {
+		slots := s.slotScratch[:0]
+		for _, p := range pages {
+			slots = append(slots, s.geo.PageInBlock(p)%s.geo.PagesPerWL)
+		}
+		s.slotScratch = slots
+		_, err = s.chips[chip].PLockWL(s.geo.BlockInChip(block), wl, slots, dep)
+		if err != nil && !errors.Is(err, nand.ErrPLockFailed) {
+			panic(fmt.Sprintf("ssd: batched pLock failed: %v", err))
+		}
 	}
 	start, done := s.chipTL[chip].Reserve(dep, s.cfg.Timing.PLock)
 	if s.traceOn {
@@ -457,19 +541,44 @@ func (s *SSD) PLockWL(block, wl int, pages []ftl.PPA, dep sim.Micros) (sim.Micro
 // tPROG covers every plane's cell activity.
 func (s *SSD) ProgramGroup(pages []ftl.PPA, datas [][]byte, dep sim.Micros) (sim.Micros, []error) {
 	chip := s.geo.ChipOf(pages[0])
-	addrs := s.addrScratch[:0]
-	for _, p := range pages {
-		_, a := s.addr(p)
-		addrs = append(addrs, a)
+	var errs []error
+	deferred := s.shard != nil
+	if deferred {
+		// Deferred multi-plane programs carry packed addresses only; a
+		// stripe with real payloads (rare outside timing-only runs) falls
+		// back to synchronous execution behind a lane flush.
+		for _, d := range datas {
+			if d != nil {
+				deferred = false
+				s.shard.flushChip(chip)
+				break
+			}
+		}
 	}
-	s.addrScratch = addrs
-	_, errs, fatal := s.chips[chip].ProgramMulti(addrs, datas, dep)
-	if fatal != nil {
-		panic(fmt.Sprintf("ssd: FTL violated multi-plane discipline: %v", fatal))
-	}
-	for i, err := range errs {
-		if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
-			panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", addrs[i], err))
+	if deferred {
+		vec := s.shard.slots.Get()
+		for _, p := range pages {
+			_, a := s.addr(p)
+			vec = append(vec, s.shard.pack(a))
+		}
+		s.shard.post(chip, sim.Record{Kind: opProgramMulti, Aux: int64(dep), Slots: vec})
+		errs = s.errsScratch[:len(pages)]
+	} else {
+		addrs := s.addrScratch[:0]
+		for _, p := range pages {
+			_, a := s.addr(p)
+			addrs = append(addrs, a)
+		}
+		s.addrScratch = addrs
+		var fatal error
+		_, errs, fatal = s.chips[chip].ProgramMulti(addrs, datas, dep)
+		if fatal != nil {
+			panic(fmt.Sprintf("ssd: FTL violated multi-plane discipline: %v", fatal))
+		}
+		for i, err := range errs {
+			if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
+				panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", addrs[i], err))
+			}
 		}
 	}
 	bus := &s.busTL[s.channelOf(chip)]
@@ -508,15 +617,28 @@ func (s *SSD) ProgramGroup(pages []ftl.PPA, datas [][]byte, dep sim.Micros) (sim
 // path). Timing-only: the host read path discards payloads.
 func (s *SSD) ReadGroup(pages []ftl.PPA, dep sim.Micros) sim.Micros {
 	chip := s.geo.ChipOf(pages[0])
-	addrs := s.addrScratch[:0]
-	for _, p := range pages {
-		_, a := s.addr(p)
-		addrs = append(addrs, a)
-	}
-	s.addrScratch = addrs
-	_, errs, fatal := s.chips[chip].ReadMulti(addrs, dep)
-	if fatal != nil {
-		panic(fmt.Sprintf("ssd: FTL violated multi-plane discipline: %v", fatal))
+	var errs []error
+	if s.shard != nil {
+		vec := s.shard.slots.Get()
+		for _, p := range pages {
+			_, a := s.addr(p)
+			vec = append(vec, s.shard.pack(a))
+		}
+		s.shard.post(chip, sim.Record{Kind: opReadMulti, Aux: int64(dep), Slots: vec})
+		// errs stays nil: read faults are impossible with injection off,
+		// so the retry loop below sees no work — exactly the serial path.
+	} else {
+		addrs := s.addrScratch[:0]
+		for _, p := range pages {
+			_, a := s.addr(p)
+			addrs = append(addrs, a)
+		}
+		s.addrScratch = addrs
+		var fatal error
+		_, errs, fatal = s.chips[chip].ReadMulti(addrs, dep)
+		if fatal != nil {
+			panic(fmt.Sprintf("ssd: FTL violated multi-plane discipline: %v", fatal))
+		}
 	}
 	cellStart, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
 	if s.traceOn {
@@ -531,7 +653,9 @@ func (s *SSD) ReadGroup(pages []ftl.PPA, dep sim.Micros) sim.Micros {
 		for attempt := 1; err != nil && errors.Is(err, nand.ErrUncorrectable) &&
 			attempt < maxReadAttempts; attempt++ {
 			s.readRetries++
-			_, err = s.chips[chip].Read(addrs[i], cellDone)
+			// errs is only non-nil on the serial path, where addrScratch
+			// holds this group's chip addresses.
+			_, err = s.chips[chip].Read(s.addrScratch[i], cellDone)
 			retryStart, retryDone := s.chipTL[chip].Reserve(cellDone, s.cfg.Timing.Read)
 			if s.traceOn {
 				s.emitChip(trace.OpReadRetry, chip, pages[i], cellDone, retryStart, retryDone)
@@ -615,6 +739,7 @@ func (s *SSD) ReadLogical(lpa int64) ([]byte, error) {
 	if p == ftl.NoPPA {
 		return nil, nil
 	}
+	s.Drain()
 	chip, a := s.addr(p)
 	res, err := s.chips[chip].Read(a, s.makespan)
 	if err != nil {
@@ -755,6 +880,7 @@ func deltaStats(a, b ftl.Stats) ftl.Stats {
 // layer actually did over the whole run (the campaign artifact and the
 // golden determinism tests read this).
 func (s *SSD) FaultCounts() fault.Counts {
+	s.Drain()
 	var c fault.Counts
 	for _, chip := range s.chips {
 		c.Add(chip.FaultCounts())

@@ -24,6 +24,10 @@ var parallelBenchOnce sync.Once
 // and ParallelSec are the wall clock of one full Figure 14 campaign at
 // 1 and 4 workers on this machine; Speedup is their ratio, which cannot
 // exceed the CPU count recorded next to it.
+// On a single-CPU machine the 4-worker campaign cannot beat serial —
+// the "speedup" would only measure goroutine-scheduling overhead — so
+// Speedup is recorded as 0 with SpeedupNote "skipped_single_cpu", and
+// benchguard skips its parallel-speedup comparison.
 type parallelBenchReport struct {
 	GOMAXPROCS          int     `json:"gomaxprocs"`
 	NumCPU              int     `json:"num_cpu"`
@@ -32,6 +36,7 @@ type parallelBenchReport struct {
 	SerialSec           float64 `json:"serial_sec"`
 	ParallelSec         float64 `json:"parallel_sec"`
 	Speedup             float64 `json:"speedup"`
+	SpeedupNote         string  `json:"speedup_note,omitempty"`
 	FlashOpsAllocsPerOp float64 `json:"flashops_allocs_per_op"`
 }
 
@@ -74,8 +79,12 @@ func writeParallelBenchReport(b *testing.B, profiles []workload.Profile) {
 		ParallelSec:         campaign(4),
 		FlashOpsAllocsPerOp: flashOpsAllocsPerOp(b),
 	}
-	rep.Speedup = rep.SerialSec / rep.ParallelSec
-	b.ReportMetric(rep.Speedup, "speedup")
+	if rep.NumCPU == 1 {
+		rep.SpeedupNote = "skipped_single_cpu"
+	} else {
+		rep.Speedup = rep.SerialSec / rep.ParallelSec
+		b.ReportMetric(rep.Speedup, "speedup")
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -84,8 +93,13 @@ func writeParallelBenchReport(b *testing.B, profiles []workload.Profile) {
 	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
-	b.Logf("BENCH_parallel.json: serial %.2fs, 4 workers %.2fs, speedup %.2fx on %d CPU(s), flash ops %.1f allocs/op",
-		rep.SerialSec, rep.ParallelSec, rep.Speedup, rep.NumCPU, rep.FlashOpsAllocsPerOp)
+	if rep.SpeedupNote != "" {
+		b.Logf("BENCH_parallel.json: serial %.2fs, 4 workers %.2fs, speedup skipped (%s), flash ops %.1f allocs/op",
+			rep.SerialSec, rep.ParallelSec, rep.SpeedupNote, rep.FlashOpsAllocsPerOp)
+	} else {
+		b.Logf("BENCH_parallel.json: serial %.2fs, 4 workers %.2fs, speedup %.2fx on %d CPU(s), flash ops %.1f allocs/op",
+			rep.SerialSec, rep.ParallelSec, rep.Speedup, rep.NumCPU, rep.FlashOpsAllocsPerOp)
+	}
 }
 
 // flashOpsAllocsPerOp replicates BenchmarkFlashOps' program+pLock+erase
