@@ -1,11 +1,15 @@
 // Command secvet runs the simulator's custom invariant checkers (the
-// internal/analysis suite): determinism, aliasing, lockcheck, and
-// tracecheck. It is a multichecker in the x/tools mold, runnable two
-// ways:
+// internal/analysis suite): the v1 AST rules (determinism, aliasing,
+// lockcheck, tracecheck) and the v2 dataflow rules (poolcheck,
+// shardcheck, auditcheck). It is a multichecker in the x/tools mold,
+// runnable two ways:
 //
 // Standalone over package patterns (exit 2 when findings exist):
 //
 //	go run ./cmd/secvet ./...
+//
+// Machine-readable reports go to stdout with -json or -sarif (exit
+// semantics unchanged); -debug prints loader statistics to stderr.
 //
 // As a go vet tool, speaking vet's unitchecker protocol (-V=full,
 // -flags, and the per-package vet.cfg invocation):
@@ -29,6 +33,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -67,11 +72,18 @@ func run(args []string) int {
 	}
 	tests := fs.Bool("tests", true, "also analyze test files (matches go vet)")
 	simpkgs := fs.String("simpkgs", "", "override the simulation-package regexp the determinism map-range rule is scoped to")
+	jsonOut := fs.Bool("json", false, "write findings to stdout as JSON instead of text to stderr")
+	sarifOut := fs.Bool("sarif", false, "write findings to stdout as SARIF 2.1.0 instead of text to stderr")
+	debug := fs.Bool("debug", false, "print loader statistics to stderr")
 	enabled := make(map[string]*bool)
 	for _, a := range analysis.All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
 	}
 	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "secvet: -json and -sarif are mutually exclusive")
 		return exitError
 	}
 	if *simpkgs != "" {
@@ -117,8 +129,26 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "secvet: %v\n", err)
 		return exitError
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	if *debug {
+		st := analysis.Stats()
+		fmt.Fprintf(os.Stderr, "secvet: loader: %d packages in %v (%d go list runs, %d cache hits)\n",
+			st.Packages, st.Elapsed.Round(time.Millisecond), st.ListInvocations, st.CachedLists)
+	}
+	switch {
+	case *jsonOut:
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "secvet: %v\n", err)
+			return exitError
+		}
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "secvet: %v\n", err)
+			return exitError
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
 	}
 	if len(diags) > 0 {
 		return exitFindings

@@ -2,6 +2,7 @@ package main_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -50,10 +51,117 @@ func TestSecvetFailsOnBadModule(t *testing.T) {
 	for _, want := range []string{
 		"determinism: map iteration order feeds append",
 		"aliasing: nand.ReadResult.Data stored outside the read's statement block",
+		"poolcheck: buf used after Put",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestSecvetJSONOutput checks the -json emitter: findings on stdout as
+// a parseable document, exit code still 2.
+func TestSecvetJSONOutput(t *testing.T) {
+	bin := buildSecvet(t)
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = filepath.Join("testdata", "badmodule")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit = %v, want code 2\nstderr: %s", err, stderr.String())
+	}
+	var rep struct {
+		Count    int
+		Findings []struct {
+			File, Rule, Message string
+			Line                int
+		}
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Count == 0 || len(rep.Findings) != rep.Count {
+		t.Fatalf("count = %d, findings = %d, want equal and nonzero", rep.Count, len(rep.Findings))
+	}
+	rules := make(map[string]bool)
+	for _, f := range rep.Findings {
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		rules[f.Rule] = true
+	}
+	for _, want := range []string{"determinism", "aliasing", "poolcheck"} {
+		if !rules[want] {
+			t.Errorf("no %s finding in JSON output:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestSecvetSARIFOutput checks the -sarif emitter shape: version,
+// driver name, and at least one result with a location.
+func TestSecvetSARIFOutput(t *testing.T) {
+	bin := buildSecvet(t)
+	cmd := exec.Command(bin, "-sarif", "./...")
+	cmd.Dir = filepath.Join("testdata", "badmodule")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit = %v, want code 2", err)
+	}
+	var log struct {
+		Version string
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string
+					Rules []struct{ ID string }
+				}
+			}
+			Results []struct {
+				RuleID    string
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct{ URI string }
+						Region           struct{ StartLine int }
+					}
+				}
+			}
+		}
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version = %q, runs = %d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "secvet" || len(run.Tool.Driver.Rules) == 0 {
+		t.Fatalf("driver = %+v, want secvet with a rule catalogue", run.Tool.Driver)
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results in SARIF output")
+	}
+	for _, r := range run.Results {
+		if r.RuleID == "" || len(r.Locations) == 0 ||
+			r.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" ||
+			r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("incomplete SARIF result: %+v", r)
+		}
+	}
+}
+
+// TestSecvetExclusiveFormats rejects -json together with -sarif.
+func TestSecvetExclusiveFormats(t *testing.T) {
+	bin := buildSecvet(t)
+	cmd := exec.Command(bin, "-json", "-sarif", "./...")
+	cmd.Dir = filepath.Join("testdata", "goodmodule")
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want code 1", err)
 	}
 }
 

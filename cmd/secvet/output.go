@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Count    int           `json:"count"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// writeJSON emits the findings as one indented JSON document.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	rep := jsonReport{Count: len(diags), Findings: []jsonFinding{}}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:    relPath(d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Minimal SARIF 2.1.0 document model — just the subset CI annotation
+// consumers require.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF emits the findings as a SARIF 2.1.0 log. The rule
+// catalogue covers the whole suite plus the allow pseudo-rules, so
+// consumers can render titles even for rules with no findings.
+func writeSARIF(w io.Writer, diags []analysis.Diagnostic) error {
+	driver := sarifDriver{Name: "secvet"}
+	for _, a := range analysis.All() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	driver.Rules = append(driver.Rules,
+		sarifRule{ID: analysis.AllowRule, ShortDescription: sarifText{Text: "malformed secvet:allow directive"}},
+		sarifRule{ID: analysis.AllowStaleRule, ShortDescription: sarifText{Text: "secvet:allow directive that suppresses nothing"}},
+	)
+	results := []sarifResult{}
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relPath makes a diagnostic path repo-relative (and slash-separated,
+// per SARIF) when it lies under the working directory; absolute paths
+// from other roots pass through untouched.
+func relPath(path string) string {
+	wd, err := filepath.Abs(".")
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && !filepath.IsAbs(rel) &&
+		rel != ".." && !(len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}

@@ -1,0 +1,33 @@
+package sim
+
+// BytePool is the payload pool stand-in poolcheck keys on (matched by
+// receiver type name in a package named sim).
+type BytePool struct {
+	free chan []byte
+}
+
+// Get vends a buffer.
+func (p *BytePool) Get() []byte {
+	select {
+	case b := <-p.free:
+		return b[:0]
+	default:
+		return make([]byte, 0, 64)
+	}
+}
+
+// Put recycles a buffer.
+func (p *BytePool) Put(b []byte) {
+	select {
+	case p.free <- b:
+	default:
+	}
+}
+
+// Stage reads the payload after recycling it: the pool may have handed
+// the backing array to a concurrent Get already.
+func Stage(p *BytePool, data []byte) byte {
+	buf := append(p.Get(), data...)
+	p.Put(buf)
+	return buf[0]
+}

@@ -1,14 +1,35 @@
 package analysis
 
-import "strings"
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
 
 // AllowRule is the pseudo-rule name under which malformed allow
 // comments are reported. It cannot itself be suppressed.
 const AllowRule = "allowsyntax"
 
-// allowSet records, per file and line, which rules an allow comment
-// waives. The wildcard rule "*" waives everything.
-type allowSet map[string]map[int][]string
+// AllowStaleRule is the pseudo-rule name under which allow directives
+// that suppress nothing are reported, so waivers can't rot. Like
+// AllowRule it cannot be suppressed: the fix for a stale waiver is to
+// delete it.
+const AllowStaleRule = "allowstale"
+
+// allowDirective is one parsed secvet:allow comment with its usage
+// state for stale-waiver detection.
+type allowDirective struct {
+	pos   token.Position
+	rules []string
+	used  bool
+}
+
+// allowSet indexes a package's allow directives by file and line. The
+// wildcard rule "*" waives everything.
+type allowSet struct {
+	byLine map[string]map[int][]*allowDirective
+	all    []*allowDirective
+}
 
 // collectAllows scans a package's comments for secvet:allow directives.
 // A well-formed directive is
@@ -17,9 +38,10 @@ type allowSet map[string]map[int][]string
 //
 // and waives the listed rules on its own line and on the line directly
 // below (so it can sit above the flagged statement). Directives missing
-// the reason string are reported as AllowRule diagnostics.
-func collectAllows(p *Package) (allowSet, []Diagnostic) {
-	allows := make(allowSet)
+// the reason string, and directives naming rules outside the canonical
+// suite, are reported immediately.
+func collectAllows(p *Package) (*allowSet, []Diagnostic) {
+	allows := &allowSet{byLine: make(map[string]map[int][]*allowDirective)}
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -39,12 +61,23 @@ func collectAllows(p *Package) (allowSet, []Diagnostic) {
 					continue
 				}
 				var names []string
+				named := 0
 				for _, r := range strings.Split(rules, ",") {
-					if r = strings.TrimSpace(r); r != "" {
-						names = append(names, r)
+					if r = strings.TrimSpace(r); r == "" {
+						continue
 					}
+					named++
+					if r != "*" && ByName(r) == nil {
+						diags = append(diags, Diagnostic{
+							Pos:     pos,
+							Rule:    AllowStaleRule,
+							Message: fmt.Sprintf("secvet:allow names unknown rule %q: it can never suppress anything", r),
+						})
+						continue
+					}
+					names = append(names, r)
 				}
-				if len(names) == 0 {
+				if named == 0 {
 					diags = append(diags, Diagnostic{
 						Pos:     pos,
 						Rule:    AllowRule,
@@ -52,12 +85,17 @@ func collectAllows(p *Package) (allowSet, []Diagnostic) {
 					})
 					continue
 				}
-				byLine := allows[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int][]string)
-					allows[pos.Filename] = byLine
+				if len(names) == 0 {
+					continue // every named rule was unknown, already reported
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				d := &allowDirective{pos: pos, rules: names}
+				allows.all = append(allows.all, d)
+				byLine := allows.byLine[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*allowDirective)
+					allows.byLine[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
 			}
 		}
 	}
@@ -65,18 +103,55 @@ func collectAllows(p *Package) (allowSet, []Diagnostic) {
 }
 
 // suppressed reports whether an allow directive on the diagnostic's
-// line, or on the line directly above it, waives the rule.
-func (a allowSet) suppressed(d Diagnostic) bool {
-	byLine := a[d.Pos.Filename]
+// line, or on the line directly above it, waives the rule — marking
+// every matching directive as earning its keep.
+func (a *allowSet) suppressed(d Diagnostic) bool {
+	byLine := a.byLine[d.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
+	hit := false
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, rule := range byLine[line] {
-			if rule == d.Rule || rule == "*" {
-				return true
+		for _, dir := range byLine[line] {
+			for _, rule := range dir.rules {
+				if rule == d.Rule || rule == "*" {
+					dir.used = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale reports directives that suppressed nothing in this run. A
+// directive is only judged when every rule it names actually ran (a
+// wildcard requires the full canonical suite), so partial runs — single
+// analyzers under analysistest, -rules subsets — never condemn a waiver
+// they didn't test.
+func (a *allowSet) stale(ran map[string]bool, fullSuite bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, dir := range a.all {
+		if dir.used {
+			continue
+		}
+		judgeable := true
+		for _, r := range dir.rules {
+			if r == "*" {
+				judgeable = judgeable && fullSuite
+			} else {
+				judgeable = judgeable && ran[r]
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  dir.pos,
+			Rule: AllowStaleRule,
+			Message: fmt.Sprintf("stale waiver: //secvet:allow %s suppresses no finding; delete it",
+				strings.Join(dir.rules, ",")),
+		})
+	}
+	return diags
 }

@@ -14,3 +14,10 @@ func TestAllowDirectives(t *testing.T) {
 	analysistest.Run(t, "testdata",
 		[]*analysis.Analyzer{analysis.Determinism}, "allowtest")
 }
+
+// TestAllowStale runs the full suite (so wildcard waivers are
+// judgeable) over a fixture mixing earning, rotted, and misspelled
+// waivers.
+func TestAllowStale(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.All(), "allowstaletest")
+}

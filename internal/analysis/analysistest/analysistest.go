@@ -18,16 +18,13 @@
 package analysistest
 
 import (
-	"bytes"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
-	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -75,26 +72,8 @@ func newLoader(t *testing.T, src string) *loader {
 		fset: token.NewFileSet(),
 		pkgs: make(map[string]*analysis.Package),
 	}
-	l.std = importer.ForCompiler(l.fset, "gc", l.stdExport).(types.ImporterFrom)
+	l.std = importer.ForCompiler(l.fset, "gc", analysis.StdExport).(types.ImporterFrom)
 	return l
-}
-
-// stdExport resolves a standard-library import to its compiler export
-// data via the build cache (go list compiles it on first use; no
-// network involved).
-func (l *loader) stdExport(path string) (io.ReadCloser, error) {
-	cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
-	if err != nil {
-		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
-	}
-	exp := strings.TrimSpace(string(out))
-	if exp == "" {
-		return nil, fmt.Errorf("no export data for %q", path)
-	}
-	return os.Open(exp)
 }
 
 // Import implements types.Importer for the fixture typechecker.

@@ -1,8 +1,10 @@
 package analysis
 
-// All returns the full secvet suite in its canonical order.
+// All returns the full secvet suite in its canonical order: the v1
+// AST walkers first, then the v2 dataflow analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Aliasing, Lockcheck, Tracecheck}
+	return []*Analyzer{Determinism, Aliasing, Lockcheck, Tracecheck,
+		Poolcheck, Shardcheck, Auditcheck}
 }
 
 // ByName returns the analyzer with the given rule name, or nil.

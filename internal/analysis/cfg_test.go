@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildFromBody parses and typechecks a function body and returns its
+// CFG. Snippets must be self-contained (no imports).
+func buildFromBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewInfo()
+	conf := types.Config{Error: func(error) {}}
+	conf.Check("p", fset, []*ast.File{file}, info)
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return BuildCFG(fd.Body, info)
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+// TestBuildCFG pins the block structure produced for each control
+// construct. The rendering is CFG.String(): one line per block,
+// "bID[node-count]: successors", conditional successors marked +/-.
+func TestBuildCFG(t *testing.T) {
+	tests := []struct {
+		name, body, want string
+	}{
+		{
+			name: "linear",
+			body: "x := 1\n_ = x",
+			want: "b0[2]: b1\nb1[0]:\nb2[0]:\n",
+		},
+		{
+			name: "if-else",
+			body: "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x",
+			want: "b0[2]: b3+ b5-\nb1[0]:\nb2[1]: b1\nb3[1]: b2\nb4[0]:\nb5[1]: b2\nb6[0]:\nb7[0]:\n",
+		},
+		{
+			name: "if-no-else",
+			body: "x := 1\nif x > 0 {\nx = 2\n}\n_ = x",
+			want: "b0[2]: b3+ b2-\nb1[0]:\nb2[1]: b1\nb3[1]: b2\nb4[0]:\nb5[0]:\n",
+		},
+		{
+			name: "for",
+			body: "s := 0\nfor i := 0; i < 3; i++ {\ns += i\n}\n_ = s",
+			want: "b0[2]: b2\nb1[0]:\nb2[1]: b6+ b4-\nb3[0]:\nb4[1]: b1\nb5[1]: b2\nb6[1]: b5\nb7[0]:\nb8[0]:\nb9[0]:\n",
+		},
+		{
+			name: "range",
+			body: "xs := []int{1}\nt := 0\nfor _, v := range xs {\nt += v\n}\n_ = t",
+			want: "b0[3]: b2\nb1[0]:\nb2[0]: b5 b4\nb3[0]:\nb4[1]: b1\nb5[2]: b2\nb6[0]:\nb7[0]:\n",
+		},
+		{
+			name: "switch-fallthrough-default",
+			body: "x := 1\nswitch x {\ncase 1:\nx = 2\nfallthrough\ncase 2:\nx = 3\ndefault:\nx = 4\n}\n_ = x",
+			want: "b0[2]: b3 b4 b5\nb1[0]:\nb2[1]: b1\nb3[2]: b4\nb4[2]: b2\nb5[1]: b2\nb6[0]:\nb7[0]:\nb8[0]:\nb9[0]:\n",
+		},
+		{
+			name: "switch-no-default",
+			body: "x := 1\nswitch x {\ncase 1:\nx = 2\n}\n_ = x",
+			want: "b0[2]: b3 b2\nb1[0]:\nb2[1]: b1\nb3[2]: b2\nb4[0]:\nb5[0]:\n",
+		},
+		{
+			name: "select",
+			body: "c := make(chan int)\nselect {\ncase v := <-c:\n_ = v\ncase c <- 1:\n}\n_ = c",
+			want: "b0[1]: b3 b5\nb1[0]:\nb2[1]: b1\nb3[2]: b2\nb4[0]:\nb5[1]: b2\nb6[0]:\nb7[0]:\n",
+		},
+		{
+			name: "defer-panic",
+			body: "defer println(\"x\")\nx := 1\nif x > 1 {\npanic(\"bad\")\n}\n_ = x",
+			// b1 (exit) holds the DeferredCall; the panic block edges
+			// straight to exit; b4 is the dead code after the panic.
+			want: "b0[3]: b3+ b2-\nb1[1]:\nb2[1]: b1\nb3[1]: b1\nb4[0]: b2\nb5[0]:\nb6[0]:\n",
+		},
+		{
+			name: "early-return",
+			body: "x := 1\nif x > 0 {\nreturn\n}\n_ = x",
+			want: "b0[2]: b3+ b2-\nb1[0]:\nb2[1]: b1\nb3[1]: b1\nb4[0]: b2\nb5[0]:\nb6[0]:\n",
+		},
+		{
+			name: "labeled-break",
+			body: "x := 0\nouter:\nfor i := 0; i < 3; i++ {\nfor j := 0; j < 3; j++ {\nif j == 1 {\nbreak outer\n}\nx++\n}\n}\n_ = x",
+			want: "b0[1]: b2\nb1[0]:\nb2[1]: b4\nb3[0]:\nb4[1]: b8+ b6-\nb5[0]:\nb6[1]: b1\nb7[1]: b4\nb8[1]: b9\nb9[1]: b13+ b11-\nb10[0]:\nb11[0]: b7\nb12[1]: b9\nb13[1]: b15+ b14-\nb14[1]: b12\nb15[0]: b6\nb16[0]: b14\nb17[0]:\nb18[0]:\nb19[0]:\nb20[0]:\nb21[0]:\nb22[0]:\n",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := buildFromBody(t, tc.body).String()
+			if got != tc.want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGEmptySelect checks that select{} has no path to the exit: the
+// statement blocks forever, so code after it is unreachable.
+func TestCFGEmptySelect(t *testing.T) {
+	cfg := buildFromBody(t, "x := 1\n_ = x\nselect {}\nx = 2")
+	// The exit block must have the fall-off edge only from the dead
+	// block after the select, which itself has no predecessors: a
+	// forward reachability from entry must not reach any block holding
+	// the trailing assignment.
+	reach := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if reach[b.ID] {
+			return
+		}
+		reach[b.ID] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	walk(cfg.Entry())
+	for _, b := range cfg.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok || a.Tok != token.ASSIGN {
+				continue
+			}
+			if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+				t.Errorf("assignment after select{} is reachable in block b%d", b.ID)
+			}
+		}
+	}
+	if reach[cfg.Exit().ID] {
+		t.Error("exit block reachable across select{}")
+	}
+}
+
+// TestInspectShallow checks that the shallow walk visits a function
+// literal node without descending into its body, and unwraps the
+// synthetic CFG nodes.
+func TestInspectShallow(t *testing.T) {
+	cfg := buildFromBody(t, "xs := []int{1}\nfor _, v := range xs {\ngo func() { println(v) }()\n}")
+	sawLit, sawInnerCall, sawBind := false, false, false
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			InspectShallow(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					sawLit = true
+				case *RangeBind:
+					sawBind = true
+				case *ast.CallExpr:
+					if id, ok := m.Fun.(*ast.Ident); ok && id.Name == "println" {
+						sawInnerCall = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !sawLit {
+		t.Error("InspectShallow never visited the FuncLit node")
+	}
+	if !sawBind {
+		t.Error("InspectShallow never visited the RangeBind node")
+	}
+	if sawInnerCall {
+		t.Error("InspectShallow descended into the FuncLit body")
+	}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// seenNodes is a saturating monotone analysis: the state is the set of
+// node positions observed on some path. Its lattice is finite (bounded
+// by the node count), so Forward must always converge on it.
+type seenNodes struct{ NoEdgeRefinement }
+
+func (seenNodes) Entry() any { return map[token.Pos]bool{} }
+
+func (seenNodes) Clone(state any) any {
+	src := state.(map[token.Pos]bool)
+	dst := make(map[token.Pos]bool, len(src))
+	for k := range src {
+		dst[k] = true
+	}
+	return dst
+}
+
+func (seenNodes) Transfer(state any, n ast.Node) any {
+	state.(map[token.Pos]bool)[n.Pos()] = true
+	return state
+}
+
+func (seenNodes) Join(dst, src any) any {
+	d := dst.(map[token.Pos]bool)
+	for k := range src.(map[token.Pos]bool) {
+		d[k] = true
+	}
+	return d
+}
+
+func (seenNodes) Equal(a, b any) bool {
+	am, bm := a.(map[token.Pos]bool), b.(map[token.Pos]bool)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k := range am {
+		if !bm[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestForwardReachability(t *testing.T) {
+	cfg := buildFromBody(t, "x := 1\nif x > 0 {\nreturn\n}\n_ = x")
+	in, converged := cfg.Forward(seenNodes{})
+	if !converged {
+		t.Fatal("monotone analysis did not converge")
+	}
+	// The entry block and exit block are reachable; the dead block
+	// created after the return must stay nil.
+	if in[cfg.Entry().ID] == nil {
+		t.Error("entry block has no state")
+	}
+	if in[cfg.Exit().ID] == nil {
+		t.Error("exit block has no state")
+	}
+	dead := 0
+	for _, b := range cfg.Blocks {
+		if in[b.ID] == nil {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Error("expected at least one unreachable block (dead code after return)")
+	}
+	// The exit's entry state must contain every node: both paths lead
+	// there, and join is set union.
+	exitState := in[cfg.Exit().ID].(map[token.Pos]bool)
+	total := 0
+	for _, b := range cfg.Blocks {
+		if in[b.ID] != nil {
+			total += len(b.Nodes)
+		}
+	}
+	if len(exitState) < total-len(cfg.Exit().Nodes) {
+		t.Errorf("exit state saw %d nodes, want at least %d", len(exitState), total-len(cfg.Exit().Nodes))
+	}
+}
+
+// divergent is a deliberately non-monotone "analysis": its state grows
+// without bound around loops, so the only way out is the visit budget.
+type divergent struct{ NoEdgeRefinement }
+
+func (divergent) Entry() any                         { return 0 }
+func (divergent) Clone(state any) any                { return state }
+func (divergent) Transfer(state any, _ ast.Node) any { return state.(int) + 1 }
+func (divergent) Join(dst, src any) any              { return max(dst.(int), src.(int)) }
+func (divergent) Equal(a, b any) bool                { return a.(int) == b.(int) }
+
+func TestForwardBudgetStopsDivergence(t *testing.T) {
+	cfg := buildFromBody(t, "s := 0\nfor i := 0; i < 3; i++ {\ns += i\n}\n_ = s")
+	_, converged := cfg.Forward(divergent{})
+	if converged {
+		t.Fatal("divergent analysis reported convergence; the visit budget is not enforced")
+	}
+}
+
+// FuzzCFGDataflow feeds arbitrary function bodies through CFG
+// construction and a saturating monotone analysis, asserting both that
+// construction never panics and that the iteration always converges.
+func FuzzCFGDataflow(f *testing.F) {
+	seeds := []string{
+		"x := 1\n_ = x",
+		"for i := 0; i < 3; i++ {\nif i == 1 {\ncontinue\n}\nbreak\n}",
+		"xs := map[int]int{}\nfor k := range xs {\n_ = k\n}",
+		"L:\nfor {\nswitch 1 {\ncase 1:\nbreak L\ndefault:\ngoto L\n}\n}",
+		"defer func() {}()\nselect {}",
+		"c := make(chan int)\nselect {\ncase <-c:\ncase c <- 1:\nreturn\n}",
+		"switch x := any(1).(type) {\ncase int:\n_ = x\nfallthrough\ndefault:\n}",
+		"panic(\"x\")",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "f.go", src, 0)
+		if err != nil {
+			t.Skip()
+		}
+		info := NewInfo()
+		// Typecheck errors are fine: the builder only consults info to
+		// recognize builtins, and partial info must not crash it.
+		conf := types.Config{Error: func(error) {}}
+		conf.Check("p", fset, []*ast.File{file}, info)
+		ast.Inspect(file, func(n ast.Node) bool {
+			var b *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				b = n.Body
+			case *ast.FuncLit:
+				b = n.Body
+			}
+			if b == nil {
+				return true
+			}
+			cfg := BuildCFG(b, info)
+			if len(cfg.Blocks) < 2 {
+				t.Fatalf("CFG with %d blocks", len(cfg.Blocks))
+			}
+			if _, converged := cfg.Forward(seenNodes{}); !converged {
+				t.Fatalf("saturating analysis failed to converge on:\n%s\n%s", body, cfg)
+			}
+			return true
+		})
+	})
+}

@@ -14,6 +14,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 )
 
 // A Package is one loaded, type-checked package ready for analysis.
@@ -42,6 +44,38 @@ type LoadOptions struct {
 	Tests bool
 }
 
+// LoadStats accumulates loader work across a process, for -debug
+// output: how many `go list` child processes actually ran, how many
+// were answered from cache, and the wall time spent loading.
+type LoadStats struct {
+	ListInvocations int
+	CachedLists     int
+	Packages        int
+	Elapsed         time.Duration
+}
+
+// loaderCache dedupes `go list` invocations process-wide: one secvet
+// run drives every analyzer off a single package load, and repeated
+// Load calls (or standard-library export lookups from the test
+// harness) reuse the first answer instead of forking the go tool
+// again.
+var loaderCache = struct {
+	sync.Mutex
+	lists   map[string][]byte // go list -deps -export output by dir/tests/patterns
+	exports map[string]string // import path → export-data file
+	stats   LoadStats
+}{
+	lists:   make(map[string][]byte),
+	exports: make(map[string]string),
+}
+
+// Stats returns a snapshot of the loader counters.
+func Stats() LoadStats {
+	loaderCache.Lock()
+	defer loaderCache.Unlock()
+	return loaderCache.stats
+}
+
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
 	ImportPath string
@@ -63,23 +97,14 @@ type listPkg struct {
 // matched package (plus its test variants when opts.Tests is set)
 // against the build cache's export data, entirely offline.
 func Load(opts LoadOptions, patterns ...string) ([]*Package, error) {
+	//secvet:allow determinism -- loader profiling for -debug output, not simulation state
+	start := time.Now()
 	if len(patterns) == 0 {
 		patterns = []string{"."}
 	}
-	args := []string{"list", "-deps", "-export",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,TestGoFiles,ImportMap,DepOnly,ForTest,Error"}
-	if opts.Tests {
-		args = append(args, "-test")
-	}
-	args = append(args, "--")
-	args = append(args, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = opts.Dir
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
+	out, err := listDeps(opts, patterns)
 	if err != nil {
-		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, err
 	}
 
 	var pkgs []*listPkg
@@ -107,6 +132,13 @@ func Load(opts LoadOptions, patterns ...string) ([]*Package, error) {
 			shadowed[lp.ForTest] = true
 		}
 	}
+	// Seed the shared export cache so later standard-library lookups
+	// (StdExport) never fork another go list.
+	loaderCache.Lock()
+	for path, exp := range exports {
+		loaderCache.exports[path] = exp
+	}
+	loaderCache.Unlock()
 
 	fset := token.NewFileSet()
 	var loaded []*Package
@@ -128,7 +160,77 @@ func Load(opts LoadOptions, patterns ...string) ([]*Package, error) {
 			loaded = append(loaded, p)
 		}
 	}
+	loaderCache.Lock()
+	loaderCache.stats.Packages += len(loaded)
+	loaderCache.stats.Elapsed += time.Since(start)
+	loaderCache.Unlock()
 	return loaded, nil
+}
+
+// listDeps runs (or replays) the `go list -deps -export` enumeration
+// for one Load call.
+func listDeps(opts LoadOptions, patterns []string) ([]byte, error) {
+	key := fmt.Sprintf("%s\x00%t\x00%s", opts.Dir, opts.Tests, strings.Join(patterns, "\x00"))
+	loaderCache.Lock()
+	if out, ok := loaderCache.lists[key]; ok {
+		loaderCache.stats.CachedLists++
+		loaderCache.Unlock()
+		return out, nil
+	}
+	loaderCache.stats.ListInvocations++
+	loaderCache.Unlock()
+
+	args := []string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,TestGoFiles,ImportMap,DepOnly,ForTest,Error"}
+	if opts.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = opts.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	loaderCache.Lock()
+	loaderCache.lists[key] = out
+	loaderCache.Unlock()
+	return out, nil
+}
+
+// StdExport resolves an import path to its compiler export data,
+// preferring the cache seeded by earlier Load calls and memoizing the
+// per-path `go list -export` fallback (the build cache compiles it on
+// first use; no network involved).
+func StdExport(path string) (io.ReadCloser, error) {
+	loaderCache.Lock()
+	exp, ok := loaderCache.exports[path]
+	if ok {
+		loaderCache.stats.CachedLists++
+	} else {
+		loaderCache.stats.ListInvocations++
+	}
+	loaderCache.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+		}
+		exp = strings.TrimSpace(string(out))
+		if exp == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		loaderCache.Lock()
+		loaderCache.exports[path] = exp
+		loaderCache.Unlock()
+	}
+	return os.Open(exp)
 }
 
 // canonicalPath strips the test-variant annotation from an import path:

@@ -1,0 +1,498 @@
+package analysis
+
+// Poolcheck: lifetime discipline for sim.BytePool / sim.SlotPool
+// payloads. The pools are free lists feeding sim.Record's Data/Slots
+// vectors across goroutines (the SSD's channel-sharded executor), so
+// the usual slice-aliasing mistakes become cross-lane memory
+// corruption: reading a slice after Put means a concurrent Get may
+// already own the backing array; Put twice hands one array to two
+// owners; Put of a slice the pool never vended poisons the free list
+// with foreign (possibly shared, possibly undersized-then-grown)
+// memory.
+//
+// The analyzer runs the shared CFG/dataflow layer per function body
+// (function literals are separate bodies) with a four-point lifetime
+// lattice per tracked value — unknown ⊑ {pooled, foreign} ⊑ dead —
+// tracking aliases through plain locals, one-level record fields
+// (r.Data = buf), and struct literals (sim.Record{Data: buf}). Closure
+// captures of a dead value are reported at the literal. The analysis
+// is intraprocedural: a slice received as a parameter or a deeper field
+// has unknown provenance and is never reported as foreign, only its
+// post-Put uses are caught.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Poolcheck reports use-after-Put, double-Put, and foreign-slice Put
+// on sim.BytePool / sim.SlotPool payloads.
+var Poolcheck = &Analyzer{
+	Name: "poolcheck",
+	Doc: "enforce free-list lifetime discipline on sim.BytePool/sim.SlotPool payloads: " +
+		"no use after Put, no double Put, no Put of slices the pool never vended",
+	Run: runPoolcheck,
+}
+
+// poolTypes are the free-list types whose Get/Put methods the lattice
+// tracks, matched by package name so fixtures' stand-ins count.
+var poolTypes = map[string]bool{"BytePool": true, "SlotPool": true}
+
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	recv := ReceiverNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return false
+	}
+	return recv.Obj().Pkg().Name() == "sim" && poolTypes[recv.Obj().Name()]
+}
+
+func runPoolcheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					poolcheckBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				poolcheckBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// poolKey names one tracked value: a local/param variable, or a
+// one-level field path rooted at one (field != "").
+type poolKey struct {
+	obj   types.Object
+	field string
+}
+
+type poolState uint8
+
+const (
+	poolUnknown poolState = iota
+	poolPooled            // vended by a pool Get on every path here
+	poolForeign           // definitely not from a Get (make/literal)
+	poolDead              // recycled by Put on some path here
+)
+
+// poolFact is one value's lattice point plus the canonical key of its
+// alias group (zero when the value is its own group).
+type poolFact struct {
+	st     poolState
+	origin poolKey
+	// putPos remembers where the group died, for the diagnostic.
+	putPos ast.Node
+}
+
+type poolFacts map[poolKey]poolFact
+
+type poolFlow struct {
+	NoEdgeRefinement
+	pass *Pass
+}
+
+func (pf *poolFlow) Entry() any { return poolFacts{} }
+
+func (pf *poolFlow) Clone(state any) any {
+	src := state.(poolFacts)
+	dst := make(poolFacts, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+func (pf *poolFlow) Equal(a, b any) bool {
+	am, bm := a.(poolFacts), b.(poolFacts)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		w, ok := bm[k]
+		if !ok || v.st != w.st || v.origin != w.origin {
+			return false
+		}
+	}
+	return true
+}
+
+func (pf *poolFlow) Join(dst, src any) any {
+	dm, sm := dst.(poolFacts), src.(poolFacts)
+	for k, sv := range sm {
+		dv, ok := dm[k]
+		if !ok {
+			// Absent = unknown: dead survives the merge (may-dead), the
+			// definite states do not (must-pooled / must-foreign).
+			if sv.st == poolDead {
+				dm[k] = poolFact{st: poolDead, origin: sv.origin, putPos: sv.putPos}
+			}
+			continue
+		}
+		merged := poolFact{st: joinPoolState(dv.st, sv.st)}
+		if dv.origin == sv.origin {
+			merged.origin = dv.origin
+		}
+		if merged.st == poolDead {
+			if dv.st == poolDead {
+				merged.putPos = dv.putPos
+			} else {
+				merged.putPos = sv.putPos
+			}
+		}
+		if merged.st == poolUnknown && merged.origin == (poolKey{}) {
+			delete(dm, k)
+			continue
+		}
+		dm[k] = merged
+	}
+	for k, dv := range dm {
+		if _, ok := sm[k]; ok {
+			continue
+		}
+		if dv.st == poolDead {
+			continue // may-dead survives
+		}
+		if dv.origin != (poolKey{}) {
+			dm[k] = poolFact{st: poolUnknown, origin: dv.origin}
+			continue
+		}
+		delete(dm, k)
+	}
+	return dm
+}
+
+func joinPoolState(a, b poolState) poolState {
+	switch {
+	case a == b:
+		return a
+	case a == poolDead || b == poolDead:
+		return poolDead
+	default:
+		return poolUnknown
+	}
+}
+
+// key resolves an expression to a tracked key, or a zero key.
+func (pf *poolFlow) key(e ast.Expr) poolKey {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := pf.objOf(e); ok {
+			return poolKey{obj: obj}
+		}
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if obj, ok := pf.objOf(base); ok {
+				return poolKey{obj: obj, field: e.Sel.Name}
+			}
+		}
+	}
+	return poolKey{}
+}
+
+// objOf resolves an identifier to a variable object (local, param, or
+// package-level), excluding functions/types/constants.
+func (pf *poolFlow) objOf(id *ast.Ident) (types.Object, bool) {
+	obj := pf.pass.Info.Uses[id]
+	if obj == nil {
+		obj = pf.pass.Info.Defs[id]
+	}
+	if _, ok := obj.(*types.Var); ok {
+		return obj, true
+	}
+	return nil, false
+}
+
+func resolveOrigin(s poolFacts, k poolKey) poolKey {
+	if f, ok := s[k]; ok && f.origin != (poolKey{}) {
+		return f.origin
+	}
+	return k
+}
+
+// classify derives the fact for a right-hand-side expression.
+func (pf *poolFlow) classify(s poolFacts, e ast.Expr) poolFact {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		switch {
+		case isPoolMethod(pf.pass.Info, e, "Get"):
+			return poolFact{st: poolPooled}
+		case IsBuiltin(pf.pass.Info, e, "make"):
+			return poolFact{st: poolForeign}
+		case IsBuiltin(pf.pass.Info, e, "append") && len(e.Args) > 0:
+			// append preserves provenance: growth reallocates, but the
+			// pool's Put guards capacity, so the grown slice is still the
+			// legitimate recycle candidate (the ssd coordinator's
+			// append(bufs.Get(), data...) idiom).
+			return pf.classify(s, e.Args[0])
+		}
+	case *ast.CompositeLit:
+		if t := pf.pass.TypeOf(e); t != nil {
+			if _, ok := t.Underlying().(*types.Slice); ok {
+				return poolFact{st: poolForeign}
+			}
+		}
+	case *ast.SliceExpr:
+		f := pf.classify(s, e.X)
+		// Re-slicing shares the backing array: same alias group, but a
+		// subslice of a foreign array is still foreign etc.
+		return f
+	case *ast.Ident, *ast.SelectorExpr:
+		k := pf.key(e)
+		if k != (poolKey{}) {
+			f := s[k]
+			return poolFact{st: f.st, origin: resolveOrigin(s, k), putPos: f.putPos}
+		}
+	}
+	return poolFact{}
+}
+
+// kill marks every member of k's alias group dead.
+func (pf *poolFlow) kill(s poolFacts, k poolKey, at ast.Node) {
+	o := resolveOrigin(s, k)
+	for kk, f := range s {
+		if kk == o || f.origin == o {
+			s[kk] = poolFact{st: poolDead, origin: o, putPos: at}
+		}
+	}
+	s[k] = poolFact{st: poolDead, origin: o, putPos: at}
+	if o != k {
+		s[o] = poolFact{st: poolDead, origin: o, putPos: at}
+	}
+}
+
+func (pf *poolFlow) Transfer(state any, n ast.Node) any {
+	s := state.(poolFacts)
+	switch n := n.(type) {
+	case *RangeBind:
+		// Key/value are freshly bound each iteration.
+		for _, e := range []ast.Expr{n.Rng.Key, n.Rng.Value} {
+			if e == nil {
+				continue
+			}
+			if k := pf.key(e); k != (poolKey{}) {
+				delete(s, k)
+			}
+		}
+		return s
+	case *ast.AssignStmt:
+		pf.transferAssign(s, n)
+	}
+	// Puts anywhere in the node (ExprStmt, rarely nested) kill their
+	// argument's alias group. This runs after the assignment handling:
+	// Put returns nothing, so it can never be an assignment's RHS.
+	InspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || !isPoolMethod(pf.pass.Info, call, "Put") || len(call.Args) != 1 {
+			return true
+		}
+		if k := pf.key(call.Args[0]); k != (poolKey{}) {
+			pf.kill(s, k, call)
+		}
+		return true
+	})
+	return s
+}
+
+func (pf *poolFlow) transferAssign(s poolFacts, a *ast.AssignStmt) {
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			k := pf.key(lhs)
+			if k == (poolKey{}) {
+				continue
+			}
+			f := pf.classify(s, a.Rhs[i])
+			if f.st == poolPooled && f.origin == (poolKey{}) {
+				f.origin = k // a fresh Get anchors its own alias group
+			}
+			if f.st == poolUnknown && f.origin == (poolKey{}) {
+				delete(s, k)
+				continue
+			}
+			s[k] = f
+			// Assigning into a struct literal's field copies: handled via
+			// the composite-literal case below.
+		}
+		// Struct literals alias their slice-valued fields:
+		// r := Record{Data: buf} makes (r, Data) an alias of buf.
+		for i, lhs := range a.Lhs {
+			base, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, ok := pf.objOf(base)
+			if !ok {
+				continue
+			}
+			lit, ok := ast.Unparen(a.Rhs[i]).(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			if t := pf.pass.TypeOf(lit); t == nil {
+				continue
+			} else if _, isStruct := t.Underlying().(*types.Struct); !isStruct {
+				continue
+			}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				fieldID, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				f := pf.classify(s, kv.Value)
+				if f.st == poolUnknown && f.origin == (poolKey{}) {
+					continue
+				}
+				if f.origin == (poolKey{}) {
+					f.origin = pf.key(kv.Value)
+				}
+				s[poolKey{obj: obj, field: fieldID.Name}] = f
+			}
+		}
+		return
+	}
+	// Multi-value assignment (x, y := f()): provenance unknown.
+	for _, lhs := range a.Lhs {
+		if k := pf.key(lhs); k != (poolKey{}) {
+			delete(s, k)
+		}
+	}
+}
+
+// --- reporting ---------------------------------------------------------
+
+func poolcheckBody(pass *Pass, body *ast.BlockStmt) {
+	cfg := BuildCFG(body, pass.Info)
+	pf := &poolFlow{pass: pass}
+	in, converged := cfg.Forward(pf)
+	if !converged {
+		return // budget blown: stay silent rather than report from a partial fixpoint
+	}
+	reported := map[int]bool{}
+	for _, blk := range cfg.Blocks {
+		if in[blk.ID] == nil {
+			continue // unreachable
+		}
+		state := pf.Clone(in[blk.ID]).(poolFacts)
+		for _, n := range blk.Nodes {
+			pf.report(state, n, reported)
+			state = pf.Transfer(state, n).(poolFacts)
+		}
+	}
+}
+
+func (pf *poolFlow) report(s poolFacts, n ast.Node, seen map[int]bool) {
+	once := func(pos ast.Node, format string, args ...any) {
+		p := int(pos.Pos())
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		pf.pass.Reportf(pos.Pos(), format, args...)
+	}
+
+	// Put findings first, and remember the arguments so the read walk
+	// below doesn't double-report them.
+	putArgs := map[ast.Expr]bool{}
+	InspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || !isPoolMethod(pf.pass.Info, call, "Put") || len(call.Args) != 1 {
+			return true
+		}
+		arg := call.Args[0]
+		putArgs[arg] = true
+		k := pf.key(arg)
+		if k == (poolKey{}) {
+			return true
+		}
+		switch f := s[k]; f.st {
+		case poolDead:
+			once(call, "%s recycled twice (double-Put): two Gets would hand out the same backing array", keyString(k))
+		case poolForeign:
+			once(call, "%s was not vended by a pool Get (foreign-slice Put): recycling foreign memory poisons the free list", keyString(k))
+		}
+		return true
+	})
+
+	// Bare assignment targets are overwrites, not reads.
+	assignTargets := map[ast.Expr]bool{}
+	if a, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range a.Lhs {
+			switch ast.Unparen(lhs).(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+				assignTargets[lhs] = true
+			}
+		}
+	}
+
+	InspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// Capture check: any identifier in the literal bound to a
+			// variable whose alias group is dead here.
+			ast.Inspect(m.Body, func(inner ast.Node) bool {
+				id, ok := inner.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := pf.objOf(id)
+				if !ok || obj.Pos() == 0 {
+					return true
+				}
+				if obj.Pos() >= m.Pos() && obj.Pos() < m.End() {
+					return true // declared inside the literal
+				}
+				for k, f := range s {
+					if k.obj == obj && f.st == poolDead {
+						once(m, "closure captures %s after Put: the callback may observe a recycled buffer", keyString(k))
+						return true
+					}
+				}
+				return true
+			})
+			return true // shallow walk stops at the literal anyway
+		case *ast.SelectorExpr:
+			if assignTargets[m] || putArgs[m] {
+				return false
+			}
+			k := pf.key(ast.Expr(m))
+			if k != (poolKey{}) {
+				if f := s[k]; f.st == poolDead {
+					once(m, "%s used after Put: the pool may have handed its backing array to a concurrent Get (use-after-Put)", keyString(k))
+				}
+				return false // don't also flag the base identifier
+			}
+			return true
+		case *ast.Ident:
+			var e ast.Expr = m
+			if assignTargets[e] || putArgs[e] {
+				return true
+			}
+			k := pf.key(e)
+			if k == (poolKey{}) {
+				return true
+			}
+			if f := s[k]; f.st == poolDead {
+				once(m, "%s used after Put: the pool may have handed its backing array to a concurrent Get (use-after-Put)", keyString(k))
+			}
+		}
+		return true
+	})
+}
+
+func keyString(k poolKey) string {
+	if k.field != "" {
+		return k.obj.Name() + "." + k.field
+	}
+	return k.obj.Name()
+}

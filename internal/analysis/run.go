@@ -10,6 +10,14 @@ import (
 // the surviving diagnostics sorted by position. Analyzer failures
 // (not findings) are returned as the error.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range All() {
+		fullSuite = fullSuite && ran[a.Name]
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allows, allowDiags := collectAllows(pkg)
@@ -34,6 +42,7 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				}
 			}
 		}
+		diags = append(diags, allows.stale(ran, fullSuite)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

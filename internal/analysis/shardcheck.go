@@ -1,0 +1,563 @@
+package analysis
+
+// Shardcheck: the ShardedEngine contract, statically. The sharded PDES
+// kernel is bit-identical to its serial twin only if every cross-shard
+// interaction goes through the staged-send barrier (sim/sharded.go):
+//
+//   1. During a window, an event running on shard i must touch only
+//      shard i's Engine. Reaching another shard's engine — through a
+//      se.Shard(j) chain or a captured engine variable — schedules
+//      without a merge-order sequence number and races the other
+//      shard's goroutine.
+//   2. A staged send must land at least `lookahead` after the moment it
+//      is staged. Sends at Now(), or Now()+c with c below the
+//      configured lookahead, are always clamped to the window barrier
+//      (counted in CrossClamped): the run stays deterministic, but the
+//      model's declared latency was a lie.
+//   3. ssd.Config must not combine ShardChannels with enabled fault
+//      injection. ssd.New rejects the combination at runtime; this rule
+//      reports it at the assignment that completes it — including the
+//      split shape (literal sets ShardChannels, a later field write
+//      enables faults) that the constructor check can only catch when
+//      the config finally reaches it.
+//
+// Rules 1 and 2 are scoped to shard callbacks: function literals
+// registered through a shard's engine (se.Shard(i).At/After/Register,
+// or the same methods on a variable bound to se.Shard(i)) and closures
+// staged via SendEvent. Rule 3 runs the shared CFG/dataflow layer with
+// must-facts per Config variable, so a combination present on only one
+// branch of a join is not reported.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Shardcheck enforces the ShardedEngine staging contract: no foreign
+// shard scheduling inside callbacks, no sends inside the lookahead
+// window, no ShardChannels+fault-injection configs.
+var Shardcheck = &Analyzer{
+	Name: "shardcheck",
+	Doc: "enforce the sharded-engine contract: cross-shard effects go through Send/SendEvent " +
+		"with at least the lookahead of latency, and sharded configs keep fault injection off",
+	Run: runShardcheck,
+}
+
+// schedMethods are the Engine entry points that assign event ordering;
+// calling one on a foreign shard's engine bypasses the merge barrier.
+var schedMethods = map[string]bool{
+	"At": true, "After": true, "AtRecord": true, "AfterRecord": true, "Register": true,
+}
+
+// callbackMethods are the registration points whose FuncLit arguments
+// execute as shard events.
+var callbackMethods = map[string]bool{
+	"At": true, "After": true, "Register": true,
+}
+
+func runShardcheck(pass *Pass) error {
+	minLookahead, haveLookahead := packageLookahead(pass)
+	for _, f := range pass.Files {
+		shardVars := collectShardEngineVars(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, lit := range shardCallbackLits(pass, n, shardVars) {
+					checkShardCallback(pass, lit, shardVars, minLookahead, haveLookahead)
+				}
+			case *ast.CompositeLit:
+				checkConfigLit(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkConfigFlow(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkConfigFlow(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageLookahead returns the smallest constant lookahead passed to
+// sim.NewSharded anywhere in the package (the conservative bound for
+// rule 2's constant-offset check).
+func packageLookahead(pass *Pass) (int64, bool) {
+	var min int64
+	have := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := Callee(pass.Info, call)
+			if fn == nil || fn.Name() != "NewSharded" || fn.Pkg() == nil || fn.Pkg().Name() != "sim" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			if v, ok := constInt(pass, call.Args[1]); ok && (!have || v < min) {
+				min, have = v, true
+			}
+			return true
+		})
+	}
+	return min, have
+}
+
+func constInt(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}
+
+// collectShardEngineVars finds variables bound to a shard's engine
+// (x := se.Shard(i)) so captured-engine scheduling can be traced.
+func collectShardEngineVars(pass *Pass, f *ast.File) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i, rhs := range a.Rhs {
+			if !isShardCall(pass, rhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(a.Lhs[i]).(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					vars[obj] = true
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// isShardCall reports whether e is a call to ShardedEngine.Shard.
+func isShardCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := Callee(pass.Info, call)
+	return fn != nil && MethodOn(fn, "sim", "ShardedEngine", "Shard")
+}
+
+// shardCallbackLits returns the function literals in call that will run
+// as shard events: literal args to se.Shard(i).At/After/Register (or
+// the same methods on a bound shard-engine variable), and literal
+// events staged through SendEvent.
+func shardCallbackLits(pass *Pass, call *ast.CallExpr, shardVars map[types.Object]bool) []*ast.FuncLit {
+	fn := Callee(pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	registration := false
+	switch {
+	case MethodOn(fn, "sim", "ShardedEngine", "SendEvent"):
+		registration = true
+	case ReceiverNamed(fn) != nil && callbackMethods[fn.Name()] &&
+		MethodOn(fn, "sim", "Engine", fn.Name()):
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		if isShardCall(pass, sel.X) {
+			registration = true
+		} else if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && shardVars[obj] {
+				registration = true
+			}
+		}
+	}
+	if !registration {
+		return nil
+	}
+	var lits []*ast.FuncLit
+	for _, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+	}
+	return lits
+}
+
+// checkShardCallback applies rules 1 and 2 inside one callback body.
+// Nested literals run in the same shard context, so the walk descends.
+func checkShardCallback(pass *Pass, lit *ast.FuncLit, shardVars map[types.Object]bool, minLookahead int64, haveLookahead bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := Callee(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case schedMethods[fn.Name()] && MethodOn(fn, "sim", "Engine", fn.Name()):
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isShardCall(pass, sel.X) {
+				pass.Reportf(call.Pos(),
+					"%s on another shard's engine from inside a shard callback: the event bypasses "+
+						"the merge barrier and races that shard's window; stage it through Send/SendEvent",
+					fn.Name())
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				obj := pass.Info.Uses[id]
+				if obj != nil && shardVars[obj] && !declaredWithin(obj, lit) {
+					pass.Reportf(call.Pos(),
+						"%s on captured shard engine %s from inside a shard callback: use the callback's "+
+							"own engine parameter, or stage cross-shard work through Send/SendEvent",
+						fn.Name(), id.Name)
+				}
+			}
+		case (fn.Name() == "Send" || fn.Name() == "SendEvent") &&
+			MethodOn(fn, "sim", "ShardedEngine", fn.Name()) && len(call.Args) >= 3:
+			checkSendAt(pass, call.Args[2], minLookahead, haveLookahead)
+		}
+		return true
+	})
+}
+
+func declaredWithin(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()
+}
+
+// checkSendAt applies rule 2 to a staged send's timestamp.
+func checkSendAt(pass *Pass, at ast.Expr, minLookahead int64, haveLookahead bool) {
+	e := ast.Unparen(at)
+	if isNowCall(pass, e) {
+		pass.Reportf(at.Pos(),
+			"cross-shard send scheduled at Now(): the lookahead contract requires at least the "+
+				"lookahead of latency, so this is always clamped to the window barrier (CrossClamped)")
+		return
+	}
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var offset int64
+	var haveOffset bool
+	switch {
+	case bin.Op.String() == "+" && isNowCall(pass, bin.X):
+		offset, haveOffset = constInt(pass, bin.Y)
+	case bin.Op.String() == "+" && isNowCall(pass, bin.Y):
+		offset, haveOffset = constInt(pass, bin.X)
+	case bin.Op.String() == "-" && isNowCall(pass, bin.X):
+		if v, ok := constInt(pass, bin.Y); ok && v > 0 {
+			offset, haveOffset = -v, true
+		}
+	}
+	if !haveOffset {
+		return
+	}
+	if offset <= 0 {
+		pass.Reportf(at.Pos(),
+			"cross-shard send scheduled at or before Now(): the lookahead contract requires at "+
+				"least the lookahead of latency ahead of the staging instant")
+		return
+	}
+	if haveLookahead && offset < minLookahead {
+		pass.Reportf(at.Pos(),
+			"cross-shard send scheduled Now()+%d with a configured lookahead of %d: inside the "+
+				"window it is clamped to the barrier (CrossClamped), overstating cross-shard latency",
+			offset, minLookahead)
+	}
+}
+
+func isNowCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := Callee(pass.Info, call)
+	return fn != nil && (MethodOn(fn, "sim", "Engine", "Now") ||
+		MethodOn(fn, "sim", "ShardedEngine", "Horizon"))
+}
+
+// --- rule 3: ShardChannels + fault injection --------------------------
+
+// checkConfigLit flags an ssd.Config composite literal that carries the
+// rejected combination outright.
+func checkConfigLit(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil || !IsNamed(t, "ssd", "Config") {
+		return
+	}
+	sharded, faulted := false, false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "ShardChannels":
+			sharded = sharded || nonzeroConst(pass, kv.Value)
+		case "Fault":
+			faulted = faulted || faultEnabledExpr(pass, kv.Value)
+		}
+	}
+	if sharded && faulted {
+		pass.Reportf(lit.Pos(),
+			"ssd.Config combines ShardChannels with enabled fault injection: ssd.New rejects this "+
+				"(recovery feedback is synchronous), so one of the two must go")
+	}
+}
+
+func nonzeroConst(pass *Pass, e ast.Expr) bool {
+	v, ok := constInt(pass, e)
+	return ok && v != 0
+}
+
+// faultProbFields are the fault.Config fields whose non-zero value
+// makes Enabled() true.
+var faultProbFields = map[string]bool{
+	"ProgramFail": true, "EraseFail": true, "PLockFail": true,
+	"BLockFail": true, "ReadBER": true,
+}
+
+// faultEnabledExpr reports whether e definitely yields an enabled
+// fault.Config: a literal setting a probability field to something
+// other than constant zero, or fault.Uniform with a rate not known to
+// be zero. Opaque expressions (params, method results) stay silent —
+// the runtime rejection owns those.
+func faultEnabledExpr(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		if t := pass.TypeOf(e); t == nil || !IsNamed(t, "fault", "Config") {
+			return false
+		}
+		for _, el := range e.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || !faultProbFields[key.Name] {
+				continue
+			}
+			if v, ok := pass.Info.Types[kv.Value]; ok && v.Value != nil {
+				if constant.Sign(constant.ToFloat(v.Value)) != 0 {
+					return true
+				}
+				continue
+			}
+			return true // non-constant probability: enabled on some input
+		}
+	case *ast.CallExpr:
+		fn := Callee(pass.Info, e)
+		if fn == nil || fn.Name() != "Uniform" || fn.Pkg() == nil || fn.Pkg().Name() != "fault" {
+			return false
+		}
+		if len(e.Args) == 0 {
+			return false
+		}
+		if v, ok := pass.Info.Types[e.Args[0]]; ok && v.Value != nil {
+			return constant.Sign(constant.ToFloat(v.Value)) > 0
+		}
+		return true // fault.Uniform(runtimeRate, ...): enabled whenever the rate is
+	}
+	return false
+}
+
+// shardCfgFact tracks one ssd.Config variable's definite facts.
+type shardCfgFact struct{ sharded, faulted bool }
+
+type shardCfgFacts map[types.Object]shardCfgFact
+
+type shardCfgFlow struct {
+	NoEdgeRefinement
+	pass *Pass
+}
+
+func (sf *shardCfgFlow) Entry() any { return shardCfgFacts{} }
+
+func (sf *shardCfgFlow) Clone(state any) any {
+	src := state.(shardCfgFacts)
+	dst := make(shardCfgFacts, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+func (sf *shardCfgFlow) Equal(a, b any) bool {
+	am, bm := a.(shardCfgFacts), b.(shardCfgFacts)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		if w, ok := bm[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Join keeps must-facts only: a fact survives a merge when it holds on
+// every in-edge, so one-branch combinations are not reported.
+func (sf *shardCfgFlow) Join(dst, src any) any {
+	dm, sm := dst.(shardCfgFacts), src.(shardCfgFacts)
+	for k, dv := range dm {
+		sv, ok := sm[k]
+		if !ok {
+			delete(dm, k)
+			continue
+		}
+		merged := shardCfgFact{sharded: dv.sharded && sv.sharded, faulted: dv.faulted && sv.faulted}
+		if merged == (shardCfgFact{}) {
+			delete(dm, k)
+			continue
+		}
+		dm[k] = merged
+	}
+	return dm
+}
+
+func (sf *shardCfgFlow) Transfer(state any, n ast.Node) any {
+	s := state.(shardCfgFacts)
+	if a, ok := n.(*ast.AssignStmt); ok {
+		sf.applyAssign(s, a, nil)
+	}
+	return s
+}
+
+// configObj resolves an identifier of type ssd.Config to its object.
+func (sf *shardCfgFlow) configObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := sf.pass.Info.Uses[id]
+	if obj == nil {
+		obj = sf.pass.Info.Defs[id]
+	}
+	if obj == nil || obj.Type() == nil || !IsNamed(obj.Type(), "ssd", "Config") {
+		return nil
+	}
+	return obj
+}
+
+// applyAssign folds one assignment into the facts. When report is
+// non-nil it is called for each variable whose facts this assignment
+// completes into the rejected combination.
+func (sf *shardCfgFlow) applyAssign(s shardCfgFacts, a *ast.AssignStmt, report func(obj types.Object, at ast.Node)) {
+	if len(a.Lhs) != len(a.Rhs) {
+		for _, lhs := range a.Lhs {
+			if obj := sf.configObj(lhs); obj != nil {
+				delete(s, obj)
+			}
+		}
+		return
+	}
+	for i, lhs := range a.Lhs {
+		rhs := a.Rhs[i]
+		// Whole-variable assignment: cfg := ssd.Config{...} / cfg2 := cfg.
+		if obj := sf.configObj(lhs); obj != nil {
+			if src := sf.configObj(rhs); src != nil {
+				s[obj] = s[src]
+				continue
+			}
+			if lit, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok {
+				f := shardCfgFact{}
+				for _, el := range lit.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "ShardChannels":
+						f.sharded = f.sharded || nonzeroConst(sf.pass, kv.Value)
+					case "Fault":
+						f.faulted = f.faulted || faultEnabledExpr(sf.pass, kv.Value)
+					}
+				}
+				s[obj] = f
+				// Both-in-one-literal is checkConfigLit's finding.
+				continue
+			}
+			delete(s, obj)
+			continue
+		}
+		// Field assignment: cfg.ShardChannels = n / cfg.Fault = fc.
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		obj := sf.configObj(sel.X)
+		if obj == nil {
+			continue
+		}
+		f := s[obj]
+		before := f
+		switch sel.Sel.Name {
+		case "ShardChannels":
+			f.sharded = nonzeroConst(sf.pass, rhs)
+		case "Fault":
+			f.faulted = faultEnabledExpr(sf.pass, rhs)
+		default:
+			continue
+		}
+		s[obj] = f
+		if report != nil && f.sharded && f.faulted && !(before.sharded && before.faulted) {
+			report(obj, a)
+		}
+	}
+}
+
+// checkConfigFlow runs the rule-3 dataflow over one function body.
+func checkConfigFlow(pass *Pass, body *ast.BlockStmt) {
+	cfg := BuildCFG(body, pass.Info)
+	sf := &shardCfgFlow{pass: pass}
+	in, converged := cfg.Forward(sf)
+	if !converged {
+		return
+	}
+	seen := map[int]bool{}
+	for _, blk := range cfg.Blocks {
+		if in[blk.ID] == nil {
+			continue
+		}
+		state := sf.Clone(in[blk.ID]).(shardCfgFacts)
+		for _, n := range blk.Nodes {
+			if a, ok := n.(*ast.AssignStmt); ok {
+				sf.applyAssign(state, a, func(obj types.Object, at ast.Node) {
+					p := int(at.Pos())
+					if seen[p] {
+						return
+					}
+					seen[p] = true
+					pass.Reportf(at.Pos(),
+						"this assignment completes the ShardChannels+fault-injection combination on %s: "+
+							"ssd.New rejects it (recovery feedback is synchronous), and setting it after "+
+							"construction bypasses that check entirely", obj.Name())
+				})
+			} else {
+				state = sf.Transfer(state, n).(shardCfgFacts)
+			}
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestShardcheck(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*analysis.Analyzer{analysis.Shardcheck}, "shardtest")
+}

@@ -1,0 +1,40 @@
+// Package allowstaletest exercises stale-waiver detection: directives
+// that suppress a finding earn their keep, directives that suppress
+// nothing are reported, and unknown rule names are called out. This
+// fixture runs under the full analyzer suite so even wildcard waivers
+// are judgeable.
+package allowstaletest
+
+import "time"
+
+// earning suppresses a real determinism finding: not stale.
+func earning() int64 {
+	//secvet:allow determinism -- fixture: wall-clock explicitly waived
+	return time.Now().UnixNano()
+}
+
+// rotted waives a rule on a line with nothing to waive.
+func rotted() int64 {
+	//secvet:allow determinism -- fixture: the finding below was since fixed // want `allowstale: stale waiver: //secvet:allow determinism suppresses no finding; delete it`
+	return 42
+}
+
+// rottedWildcard is a wildcard with nothing under it; the full suite
+// ran, so it is judgeable.
+func rottedWildcard() int64 {
+	//secvet:allow * -- fixture: once covered a finding // want `allowstale: stale waiver: //secvet:allow \* suppresses no finding`
+	return 7
+}
+
+// typo names a rule that does not exist, so it can never suppress.
+func typo() int64 {
+	//secvet:allow determinsm -- fixture: misspelled rule // want `allowstale: secvet:allow names unknown rule "determinsm"`
+	return time.Now().UnixNano() // want `determinism: time.Now is wall-clock`
+}
+
+// halfEarning names two rules but only one fires: the directive still
+// suppresses something, so it is not stale.
+func halfEarning() int64 {
+	//secvet:allow determinism,aliasing -- fixture: one of two rules still fires
+	return time.Now().UnixNano()
+}

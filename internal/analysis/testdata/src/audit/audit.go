@@ -2,12 +2,39 @@
 // Ledger surface the tracecheck fixture exercises.
 package audit
 
+// Event kinds, mirroring the real provenance vocabulary auditcheck
+// matches by name.
+const (
+	KindCopy = iota
+	KindInvalidate
+	KindDestroy
+)
+
+// Cause attributes a destruction to the mechanism that issued it.
+type Cause int
+
+// Destruction causes.
+const (
+	CausePLock Cause = iota
+	CausePLockBatch
+	CauseBLock
+	CauseScrub
+	CauseErase
+)
+
+// NoSrc marks a copy event with no source page.
+const NoSrc = ^uint32(0)
+
 // Event mirrors the shape of a real provenance event: fixed-size
 // fields plus a free-form note a careless producer might format into.
 type Event struct {
-	Kind int
-	Page uint32
-	Note string
+	Kind  int
+	Page  uint32
+	Src   uint32
+	LPA   int64
+	Cause Cause
+	At    int64
+	Note  string
 }
 
 // Ledger mimics the real per-copy provenance ledger.

@@ -1,0 +1,199 @@
+// Package auditftl exercises the auditcheck analyzer: lifecycle hooks
+// that skip their audit emission on some traced path, and the PR 6
+// regression shape (subset-only destruction reporting after a
+// block-wide bLock) — next to the real code's clean gating idioms.
+// The package clause says ftl because auditcheck scopes by package
+// name.
+package ftl
+
+import (
+	"audit"
+	"trace"
+)
+
+// PPA is a physical page address.
+type PPA int32
+
+// Hooks mirrors the real FTL lifecycle hook bundle auditcheck keys on.
+type Hooks struct {
+	Programmed  func(p PPA, lpa int64, file uint64)
+	Invalidated func(p PPA, file uint64)
+	Destroyed   func(p PPA, file uint64)
+}
+
+// Target is the device command surface.
+type Target interface {
+	PLock(p PPA, at int64) (int64, error)
+	BLock(block int, at int64) (int64, error)
+}
+
+// FTL is the fixture translation layer.
+type FTL struct {
+	hooks    Hooks
+	tracer   *trace.Collector
+	traceOn  bool
+	target   Target
+	status   []int
+	fileOf   []uint64
+	reqStart int64
+}
+
+const pageStale = 1
+
+// --- violations -------------------------------------------------------
+
+// destroyNoAudit fires the hook and never tells the ledger.
+func (f *FTL) destroyNoAudit(p PPA) {
+	if f.hooks.Destroyed != nil {
+		f.hooks.Destroyed(p, f.fileOf[p]) // want `auditcheck: hooks.Destroyed fires without an audit.KindDestroy event on some traced path`
+	}
+}
+
+// destroyAuditOneBranch audits only under a non-tracing condition: the
+// deep=false path leaks the obligation.
+func (f *FTL) destroyAuditOneBranch(p PPA, deep bool) {
+	if f.hooks.Destroyed != nil {
+		f.hooks.Destroyed(p, f.fileOf[p]) // want `auditcheck: hooks.Destroyed fires without an audit.KindDestroy event on some traced path`
+	}
+	if deep {
+		f.tracer.Audit(audit.Event{Kind: audit.KindDestroy, Page: uint32(p)})
+	}
+}
+
+// destroyWrongKind emits a copy event for a destruction: the kind
+// mismatch leaves the destroy obligation pending on the traced path.
+func (f *FTL) destroyWrongKind(p PPA) {
+	if f.hooks.Destroyed != nil {
+		f.hooks.Destroyed(p, f.fileOf[p]) // want `auditcheck: hooks.Destroyed fires without an audit.KindDestroy event on some traced path`
+	}
+	if f.traceOn {
+		f.tracer.Audit(audit.Event{Kind: audit.KindCopy, Page: uint32(p)})
+	}
+}
+
+// invalidateSilently drops the invalidation record entirely.
+func (f *FTL) invalidateSilently(p PPA) {
+	if f.hooks.Invalidated != nil {
+		f.hooks.Invalidated(p, f.fileOf[p]) // want `auditcheck: hooks.Invalidated fires without a trace Invalidated record`
+	}
+}
+
+// programNoCopyEvent reports the new physical copy to hooks but not to
+// the ledger, even when tracing.
+func (f *FTL) programNoCopyEvent(p PPA, lpa int64) {
+	if f.hooks.Programmed != nil {
+		f.hooks.Programmed(p, lpa, f.fileOf[p]) // want `auditcheck: hooks.Programmed fires without an audit.KindCopy event on some traced path`
+	}
+	if f.traceOn {
+		f.tracer.Event("program", uint32(p))
+	}
+}
+
+// issueBLockSubset is the PR 6 bug shape: after the block-wide bLock,
+// destruction is reported only for the pended subset handed in by the
+// caller.
+func (f *FTL) issueBLockSubset(block int, pages []PPA) error {
+	stale := pages[:0]
+	for _, p := range pages {
+		if f.status[p] == pageStale {
+			stale = append(stale, p)
+		}
+	}
+	done, err := f.target.BLock(block, f.reqStart)
+	if err != nil {
+		return err
+	}
+	for _, p := range stale { // want `auditcheck: destruction after a block-wide bLock is reported only for the pended subset`
+		if f.hooks.Destroyed != nil {
+			f.hooks.Destroyed(p, f.fileOf[p])
+		}
+		if f.traceOn {
+			f.tracer.Audit(audit.Event{Kind: audit.KindDestroy, Page: uint32(p), At: done})
+		}
+	}
+	return nil
+}
+
+// --- legitimate idioms: none of these may be reported -----------------
+
+// commitWrite pairs the program hook with a secure-gated copy event,
+// the real commit path's shape.
+func (f *FTL) commitWrite(p PPA, lpa int64, secure bool) {
+	if f.hooks.Programmed != nil {
+		f.hooks.Programmed(p, lpa, f.fileOf[p])
+	}
+	if secure && f.traceOn {
+		f.tracer.Audit(audit.Event{Kind: audit.KindCopy, Page: uint32(p), LPA: lpa, Src: audit.NoSrc})
+	}
+}
+
+// gatedEarlyOut uses the markFault idiom: bail before reporting when
+// tracing is off.
+func (f *FTL) gatedEarlyOut(p PPA) {
+	if f.hooks.Invalidated != nil {
+		f.hooks.Invalidated(p, f.fileOf[p])
+	}
+	if !f.traceOn {
+		return
+	}
+	f.tracer.Invalidated(uint32(p), true, f.reqStart)
+}
+
+// issuePLock is the single-page sanitize path: hook plus traceOn-gated
+// destroy event.
+func (f *FTL) issuePLock(p PPA) error {
+	done, err := f.target.PLock(p, f.reqStart)
+	if err != nil {
+		return err
+	}
+	if f.hooks.Destroyed != nil {
+		f.hooks.Destroyed(p, f.fileOf[p])
+	}
+	if f.traceOn {
+		f.tracer.Audit(audit.Event{Kind: audit.KindDestroy, Page: uint32(p), Cause: audit.CausePLock, At: done})
+	}
+	return nil
+}
+
+// issueBLockBlockwide is the fixed PR 6 shape: delegate to a span
+// iterator instead of the caller's subset.
+func (f *FTL) issueBLockBlockwide(block int, pages []PPA) error {
+	_ = pages
+	done, err := f.target.BLock(block, f.reqStart)
+	if err != nil {
+		return err
+	}
+	f.destroyStale(block, done)
+	return nil
+}
+
+// destroyStale iterates the block's page span, not a caller-provided
+// subset, and closes each audit window.
+func (f *FTL) destroyStale(block int, done int64) {
+	for i := 0; i < 4; i++ {
+		p := PPA(block*4 + i)
+		if f.status[p] != pageStale {
+			continue
+		}
+		if f.hooks.Destroyed != nil {
+			f.hooks.Destroyed(p, f.fileOf[p])
+		}
+		if f.traceOn {
+			f.tracer.Audit(audit.Event{Kind: audit.KindDestroy, Page: uint32(p), Cause: audit.CauseBLock, At: done})
+		}
+	}
+}
+
+// opaqueKind passes a computed event: an Audit whose kind is not
+// statically visible discharges every obligation.
+func (f *FTL) opaqueKind(p PPA, ev audit.Event) {
+	if f.hooks.Destroyed != nil {
+		f.hooks.Destroyed(p, f.fileOf[p])
+	}
+	if f.hooks.Invalidated != nil {
+		f.hooks.Invalidated(p, f.fileOf[p])
+	}
+	if f.traceOn {
+		f.tracer.Audit(ev)
+	}
+}

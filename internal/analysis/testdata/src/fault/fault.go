@@ -1,0 +1,32 @@
+// Package fault is the fixture stand-in for the fault-injection
+// layer's Config surface, matched by package name by shardcheck.
+package fault
+
+// Config sets per-operation failure probabilities; the zero value
+// disables injection.
+type Config struct {
+	ProgramFail float64
+	EraseFail   float64
+	PLockFail   float64
+	BLockFail   float64
+	ReadBER     float64
+	WearWeight  float64
+	Seed        int64
+}
+
+// Enabled reports whether any injection is configured.
+func (c Config) Enabled() bool {
+	return c.ProgramFail > 0 || c.EraseFail > 0 || c.PLockFail > 0 ||
+		c.BLockFail > 0 || c.ReadBER > 0
+}
+
+// Uniform returns the one-knob configuration.
+func Uniform(rate float64, seed int64) Config {
+	if rate <= 0 {
+		return Config{Seed: seed}
+	}
+	return Config{
+		ProgramFail: rate, EraseFail: rate, PLockFail: rate,
+		BLockFail: rate, ReadBER: rate, Seed: seed,
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+// Free-list stand-ins for poolcheck fixtures: the analyzer matches
+// Get/Put by receiver type name in a package named sim, so these mirror
+// the repro types' method sets without the channel plumbing.
+
+// BytePool recycles byte-slice payloads.
+type BytePool struct{ free chan []byte }
+
+// Get vends a zero-length slice with recycled capacity.
+func (p *BytePool) Get() []byte {
+	select {
+	case b := <-p.free:
+		return b[:0]
+	default:
+		return make([]byte, 0, 64)
+	}
+}
+
+// Put recycles a slice previously vended by Get.
+func (p *BytePool) Put(b []byte) {
+	select {
+	case p.free <- b:
+	default:
+	}
+}
+
+// SlotPool recycles int32 slot vectors.
+type SlotPool struct{ free chan []int32 }
+
+// Get vends a zero-length vector with recycled capacity.
+func (p *SlotPool) Get() []int32 {
+	select {
+	case v := <-p.free:
+		return v[:0]
+	default:
+		return make([]int32, 0, 16)
+	}
+}
+
+// Put recycles a vector previously vended by Get.
+func (p *SlotPool) Put(v []int32) {
+	select {
+	case p.free <- v:
+	default:
+	}
+}
+
+// Record is the typed event payload carrying pooled vectors.
+type Record struct {
+	Kind  int
+	Chip  int
+	Data  []byte
+	Slots []int32
+}

@@ -1,0 +1,59 @@
+package sim
+
+// Event-kernel stand-ins for shardcheck fixtures: the analyzer matches
+// Engine/ShardedEngine methods by receiver type name in a package
+// named sim, so these mirror the scheduling surface without the queue.
+
+// Micros is simulated time.
+type Micros int64
+
+// Event is a closure event.
+type Event func(*Engine)
+
+// Handler dispatches one typed record.
+type Handler func(*Engine, Record)
+
+// Engine is one shard's event queue.
+type Engine struct{ now Micros }
+
+// Now returns the shard clock.
+func (e *Engine) Now() Micros { return e.now }
+
+// At schedules a closure event at absolute time t.
+func (e *Engine) At(t Micros, ev Event) {}
+
+// After schedules a closure event d after now.
+func (e *Engine) After(d Micros, ev Event) {}
+
+// AtRecord schedules a typed record at absolute time t.
+func (e *Engine) AtRecord(t Micros, r Record) {}
+
+// AfterRecord schedules a typed record d after now.
+func (e *Engine) AfterRecord(d Micros, r Record) {}
+
+// Register installs the handler for a record kind.
+func (e *Engine) Register(kind int, h Handler) {}
+
+// ShardedEngine runs shards under a lookahead barrier.
+type ShardedEngine struct{ shards []*Engine }
+
+// NewSharded returns a ShardedEngine with n shards.
+func NewSharded(n int, lookahead Micros) *ShardedEngine {
+	se := &ShardedEngine{shards: make([]*Engine, n)}
+	for i := range se.shards {
+		se.shards[i] = &Engine{}
+	}
+	return se
+}
+
+// Shard returns shard i's engine.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Send stages a typed record for another shard.
+func (se *ShardedEngine) Send(from, to int, at Micros, r Record) {}
+
+// SendEvent stages a closure event for another shard.
+func (se *ShardedEngine) SendEvent(from, to int, at Micros, ev Event) {}
+
+// Horizon returns the furthest clock across shards.
+func (se *ShardedEngine) Horizon() Micros { return 0 }

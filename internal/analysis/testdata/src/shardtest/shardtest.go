@@ -1,0 +1,112 @@
+// Package shardtest exercises the shardcheck analyzer: foreign-shard
+// scheduling from inside shard callbacks, sends inside the lookahead
+// window, and ssd.Config ShardChannels+fault combinations — next to
+// the legitimate staging idioms.
+package shardtest
+
+import (
+	"fault"
+	"internal/sim"
+	"ssd"
+)
+
+const kindHop = 1
+
+// mkEngine pins the package's constant lookahead for the Now()+c rule.
+func mkEngine() *sim.ShardedEngine { return sim.NewSharded(2, 100) }
+
+func foreignShardScheduling(se *sim.ShardedEngine) {
+	se.Shard(0).Register(kindHop, func(e *sim.Engine, r sim.Record) {
+		se.Shard(1).AtRecord(10, r) // want `shardcheck: AtRecord on another shard's engine from inside a shard callback`
+	})
+}
+
+func capturedEngine(se *sim.ShardedEngine) {
+	other := se.Shard(1)
+	se.Shard(0).At(10, func(e *sim.Engine) {
+		other.After(5, func(*sim.Engine) {}) // want `shardcheck: After on captured shard engine other`
+	})
+}
+
+func sendAtNow(se *sim.ShardedEngine) {
+	se.Shard(0).Register(kindHop, func(e *sim.Engine, r sim.Record) {
+		se.Send(0, 1, e.Now(), r) // want `shardcheck: cross-shard send scheduled at Now\(\)`
+	})
+}
+
+func sendInsideLookahead(se *sim.ShardedEngine) {
+	se.Shard(0).Register(kindHop, func(e *sim.Engine, r sim.Record) {
+		se.Send(0, 1, e.Now()+10, r) // want `shardcheck: cross-shard send scheduled Now\(\)\+10 with a configured lookahead of 100`
+	})
+}
+
+func sendBeforeNow(se *sim.ShardedEngine) {
+	se.Shard(0).Register(kindHop, func(e *sim.Engine, r sim.Record) {
+		se.Send(0, 1, e.Now()-5, r) // want `shardcheck: cross-shard send scheduled at or before Now\(\)`
+	})
+}
+
+func sendEventCallback(se *sim.ShardedEngine) {
+	se.SendEvent(0, 1, 200, func(e *sim.Engine) {
+		se.Shard(0).At(300, func(*sim.Engine) {}) // want `shardcheck: At on another shard's engine from inside a shard callback`
+	})
+}
+
+func comboLiteral() (*ssd.SSD, error) {
+	return ssd.New(ssd.Config{ // want `shardcheck: ssd.Config combines ShardChannels with enabled fault injection`
+		ShardChannels: 4,
+		Fault:         fault.Config{ProgramFail: 1e-3},
+	})
+}
+
+func comboSplit() (*ssd.SSD, error) {
+	cfg := ssd.Config{ShardChannels: 4}
+	cfg.Fault = fault.Uniform(0.01, 1) // want `shardcheck: this assignment completes the ShardChannels\+fault-injection combination on cfg`
+	return ssd.New(cfg)
+}
+
+func comboCopy() {
+	base := ssd.Config{ShardChannels: 2}
+	c2 := base
+	c2.Fault = fault.Config{ReadBER: 1e-4} // want `shardcheck: this assignment completes the ShardChannels\+fault-injection combination on c2`
+	_ = c2
+}
+
+// --- legitimate idioms: none of these may be reported -----------------
+
+// legitCallback hops through the staged-send barrier with lookahead to
+// spare, and schedules locally through its own engine parameter.
+func legitCallback(se *sim.ShardedEngine) {
+	se.Shard(0).Register(kindHop, func(e *sim.Engine, r sim.Record) {
+		e.AfterRecord(7, r)
+		se.Send(0, 1, e.Now()+150, r)
+	})
+}
+
+// legitSeeding registers handlers and seeds initial events from the
+// coordinator, outside any window.
+func legitSeeding(se *sim.ShardedEngine) {
+	for i := 0; i < 2; i++ {
+		eng := se.Shard(i)
+		eng.Register(kindHop, func(e *sim.Engine, r sim.Record) { _ = r })
+		eng.AtRecord(sim.Micros(i), sim.Record{Kind: kindHop})
+	}
+}
+
+// branchOnlyCombo never holds both facts on one path: the must-join
+// keeps it silent.
+func branchOnlyCombo(sharded bool) ssd.Config {
+	cfg := ssd.Config{}
+	if sharded {
+		cfg.ShardChannels = 4
+	} else {
+		cfg.Fault = fault.Uniform(0.02, 7)
+	}
+	return cfg
+}
+
+// runtimeDecided leaves both knobs to runtime values: the constructor's
+// rejection owns that case.
+func runtimeDecided(sc int, fc fault.Config) (*ssd.SSD, error) {
+	return ssd.New(ssd.Config{ShardChannels: sc, Fault: fc})
+}

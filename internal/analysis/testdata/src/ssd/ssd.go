@@ -1,0 +1,30 @@
+// Package ssd is the fixture stand-in for the device model's Config
+// surface, matched by package name by shardcheck.
+package ssd
+
+import (
+	"errors"
+
+	"fault"
+)
+
+// Config mirrors the device configuration fields shardcheck reasons
+// about.
+type Config struct {
+	Channels      int
+	ShardChannels int
+	Seed          int64
+	Fault         fault.Config
+}
+
+// SSD is the device stand-in.
+type SSD struct{ cfg Config }
+
+// New rejects the ShardChannels+fault combination like the real
+// constructor.
+func New(cfg Config) (*SSD, error) {
+	if cfg.ShardChannels > 0 && cfg.Fault.Enabled() {
+		return nil, errors.New("ssd: sharded execution requires fault injection disabled")
+	}
+	return &SSD{cfg: cfg}, nil
+}

@@ -18,3 +18,6 @@ func (c *Collector) Counter(name string, v int64) {}
 
 // Audit records one provenance event.
 func (c *Collector) Audit(ev audit.Event) {}
+
+// Invalidated records one invalidation.
+func (c *Collector) Invalidated(page uint32, secure bool, at int64) {}

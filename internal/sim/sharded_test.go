@@ -87,6 +87,7 @@ func TestShardedCrossClampCounts(t *testing.T) {
 	})
 	se.Shard(0).At(10, func(e *Engine) {
 		// Zero-latency cross-shard send: violates lookahead=100.
+		//secvet:allow shardcheck -- deliberate contract violation to exercise the CrossClamped path
 		se.Send(0, 1, e.Now(), Record{Kind: shardKindHop})
 	})
 	se.RunSerial()
