@@ -57,6 +57,20 @@
 // breakdown, and the end-of-run verifier report listing any secured
 // copy still invalidated but not destroyed.
 //
+// Attack mode (runs the adversarial forensics matrix instead of the
+// figure sweep):
+//
+//	secssd-bench -attack-json scores.json [-attack-verify] [-power-cut N]
+//
+// The matrix plays the §5.1 attacker (raw chip dump, retention-aided
+// read, power-cut-then-dump) against every policy and scores
+// recoverable secured bytes, cross-checked against the audit ledger.
+// -power-cut N restricts the matrix to the power-cut scenario with the
+// cut striking the Nth sanitize operation of the delete. -attack-verify
+// exits nonzero unless every sanitizing policy recovers zero bytes AND
+// the baseline control leaks (a toothless control fails too); this is
+// the CI forensics gate.
+//
 // Absolute IOPS values come from the emulated timing model; the paper's
 // claims are about the normalized shape, which is what the tables print.
 package main
@@ -68,6 +82,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/attack"
 	"repro/internal/audit"
 	"repro/internal/experiment"
 	"repro/internal/ftl"
@@ -96,6 +111,9 @@ func main() {
 	auditJSON := flag.String("audit-json", "", "write the sanitization audit report JSON here")
 	statsStream := flag.String("stats-stream", "", "stream periodic telemetry samples (JSONL) here")
 	auditVerify := flag.Bool("audit-verify", false, "exit nonzero if the end-of-run audit verifier finds a live unlocked copy")
+	attackJSON := flag.String("attack-json", "", "attack mode: write the attack-score matrix and verdict JSON here")
+	attackVerify := flag.Bool("attack-verify", false, "attack mode: exit nonzero unless sanitizers leak nothing and the control leaks")
+	powerCut := flag.Uint64("power-cut", 0, "attack mode: power-cut cells only, cutting the Nth sanitize op of the delete")
 	statsInterval := flag.Int64("stats-interval", 10_000, "simulated µs between streamed samples")
 	tracePolicy := flag.String("trace-policy", "secSSD", "policy for the traced run")
 	faultRate := flag.Float64("fault-rate", 0, "per-operation fault-injection probability (0 disables)")
@@ -144,6 +162,21 @@ func main() {
 		}
 	}
 
+	// Attack mode replaces the figure sweep entirely: the harness builds
+	// its own compact devices, so the bench scale only contributes the
+	// run seed.
+	if *attackJSON != "" || *attackVerify || *powerCut > 0 {
+		pass, err := runAttack(sc.Seed, *powerCut, *attackJSON, *parallelN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secssd-bench:", err)
+			die(1)
+		}
+		if !pass && *attackVerify {
+			die(1)
+		}
+		return
+	}
+
 	// Effective configuration up front: everything below is reproducible
 	// from these lines alone.
 	if sc.FaultRate > 0 {
@@ -185,6 +218,13 @@ func main() {
 			die(1)
 		}
 		return
+	}
+
+	switch *fig {
+	case "all", "14a", "14b", "14c", "headline", "ablation":
+	default:
+		fmt.Fprintf(os.Stderr, "secssd-bench: unknown figure %q (want 14a, 14b, 14c, headline, ablation, or all)\n", *fig)
+		die(2)
 	}
 
 	needAB := *fig == "all" || *fig == "14a" || *fig == "14b" || *fig == "headline"
@@ -265,6 +305,78 @@ func printAblation(cells []experiment.BatchingCell, csv bool) {
 			c.Label, c.Run.IOPS(), norm, c.Run.WAF(), s.PLocks, s.PLockBatches, s.PLockBatchedPages, s.BLocks)
 	}
 	fmt.Println()
+}
+
+// attackReport is the -attack-json document: every cell's score plus
+// the gate verdict.
+type attackReport struct {
+	Seed    int64          `json:"seed"`
+	Scores  []attack.Score `json:"scores"`
+	Verdict attack.Verdict `json:"verdict"`
+}
+
+// runAttack executes the adversarial forensics matrix, prints the
+// scores, optionally writes the JSON artifact, and returns the gate
+// verdict.
+func runAttack(seed int64, powerCut uint64, jsonPath string, workers int) (bool, error) {
+	var cells []attack.Config
+	if powerCut > 0 {
+		for _, p := range attack.Policies() {
+			cells = append(cells, attack.Config{
+				Policy:      p,
+				Scenario:    attack.ScenarioPowerCut,
+				CutAfterOps: powerCut,
+				Seed:        seed,
+			})
+		}
+	} else {
+		cells = attack.DefaultCells(seed)
+	}
+	scores, err := attack.Matrix(cells, workers)
+	if err != nil {
+		return false, err
+	}
+	verdict := attack.Verify(scores)
+
+	fmt.Printf("=== Attack matrix: §5.1 adversary vs. every policy (seed %d) ===\n", seed)
+	for _, s := range scores {
+		extra := ""
+		if s.Scenario == string(attack.ScenarioPowerCut) {
+			extra = fmt.Sprintf("  cut=%v remounted=%v", s.CutFired, s.Remounted)
+			if s.CutFired {
+				extra = fmt.Sprintf("  cut=%s remounted=%v", s.CutOp, s.Remounted)
+			}
+		}
+		fmt.Printf("  %-32s recovered %7d / %d B on %2d pages  live=%v  audit open=%d clean=%v%s\n",
+			s.Label, s.RecoverableBytes, s.SecretBytes, s.HitPages,
+			s.LiveIntact, s.OpenAuditCopies, s.AuditClean, extra)
+	}
+	if verdict.Pass {
+		fmt.Printf("verdict: PASS — %d cells, %d baseline control leaks\n", verdict.Cells, verdict.ControlLeaks)
+	} else {
+		fmt.Printf("verdict: FAIL — %d cells\n", verdict.Cells)
+		for _, f := range verdict.Failures {
+			fmt.Printf("  - %s\n", f)
+		}
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return false, err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(attackReport{Seed: seed, Scores: scores, Verdict: verdict})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("attack scores written to %s\n", jsonPath)
+	}
+	return verdict.Pass, nil
 }
 
 // traceArtifacts names the output files of one traced run.

@@ -76,6 +76,13 @@ type FTL struct {
 	// skip the data round-trip, which lets sharded targets keep the chip
 	// work deferred.
 	discardReader DiscardReader
+	// metaWriter is non-nil when the Target also implements MetaWriter:
+	// every committed program is then stamped with remount metadata
+	// (LPA, write sequence, security class) in the page's spare area.
+	metaWriter MetaWriter
+	// writeSeq is the device-wide monotone write sequence number behind
+	// those stamps; Restore resumes it past the highest surviving stamp.
+	writeSeq uint64
 
 	// pendingPages collects secured invalidations per global block between
 	// Flush calls (nil = nothing queued for the block); pendingList holds
@@ -164,6 +171,7 @@ func New(cfg Config, target Target, policy Policy) (*FTL, error) {
 	f.traceOn = f.tracer.Enabled()
 	f.batchTarget, _ = target.(BatchTarget)
 	f.discardReader, _ = target.(DiscardReader)
+	f.metaWriter, _ = target.(MetaWriter)
 	if cfg.LockBatch.Enabled && f.batchTarget != nil {
 		f.lockBatching = true
 		f.lockq.groupIdx = make([]int32, g.TotalWLs())
@@ -397,8 +405,21 @@ func (f *FTL) storeAt(p PPA, lpa int64, secure bool, file uint64, data []byte, d
 	return done, nil
 }
 
+// stampMeta records a committed write's remount metadata in the page's
+// spare area (targets without one skip it). Only successful programs
+// are stamped: quarantined and power-cut-torn pages keep no stamp,
+// which is how the remount scan tells a torn write from committed data.
+func (f *FTL) stampMeta(p PPA, lpa int64, secure bool) {
+	if f.metaWriter == nil {
+		return
+	}
+	f.writeSeq++
+	f.metaWriter.WriteMeta(p, lpa, f.writeSeq, secure)
+}
+
 // commitWrite publishes the mapping for a freshly-programmed host page.
 func (f *FTL) commitWrite(p PPA, lpa int64, secure bool, file uint64) {
+	f.stampMeta(p, lpa, secure)
 	f.l2p[lpa] = p
 	f.p2l[p] = lpa
 	f.fileOf[p] = file
@@ -909,6 +930,7 @@ func (f *FTL) relocatePage(p PPA, sanitizeOld bool) {
 	}
 
 	// Remap.
+	f.stampMeta(np, lpa, st == PageSecured)
 	if lpa >= 0 {
 		f.l2p[lpa] = np
 	}

@@ -244,6 +244,20 @@ type DiscardReader interface {
 	ReadDiscard(p PPA, dep sim.Micros) sim.Micros
 }
 
+// MetaWriter is an optional Target extension for targets that model a
+// per-page spare (out-of-band) area. After every successful program the
+// FTL stamps the page with the metadata real controllers persist there
+// — the logical address, a device-wide monotone write sequence number,
+// and the request's security class — so a post-crash remount
+// (ftl.Restore) can rebuild the mapping table from a media scan. The
+// stamp rides the program pulse: it costs no latency, draws no fault
+// decision, and a power cut that tears the program leaves the page
+// stamp-less. Detected with a type assertion at construction, like
+// BatchTarget and DiscardReader.
+type MetaWriter interface {
+	WriteMeta(p PPA, lpa int64, seq uint64, secure bool)
+}
+
 // Policy is a sanitization strategy (§7 compares five of them). The FTL
 // calls Invalidate whenever a live page becomes stale; secured pages must
 // not remain readable after the call chain completes. Flush is invoked at

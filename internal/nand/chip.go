@@ -235,6 +235,9 @@ type block struct {
 	// sslCenter > 0 means bLock programmed the SSL to that center Vth.
 	sslCenter  float64
 	sslLockDay float64
+	// meta holds the per-page spare-area stamps (see OOBMeta). Cleared
+	// by Erase and, per wordline, by Scrub.
+	meta []OOBMeta
 }
 
 // Chip is one emulated NAND die.
@@ -268,6 +271,10 @@ type Chip struct {
 	// bypasses the ECC transfer path this model represents.
 	faults     *fault.Injector
 	inCopyback bool
+
+	// cut, when set, is the device-wide power-loss schedule (see
+	// WithPowerCut); mutating ops check it at pulse start.
+	cut *fault.CutState
 
 	opCount [opKinds]uint64
 
@@ -375,6 +382,7 @@ func New(geo Geometry, opts ...Option) (*Chip, error) {
 		blk := &c.blocks[b]
 		blk.pages = make([][]byte, ppb)
 		blk.pageBits = make([]int, ppb)
+		blk.meta = make([]OOBMeta, ppb)
 		blk.wls = make([]wordline, geo.WLsPerBlock)
 		for w := range blk.wls {
 			blk.wls[w].flags = make([][]float64, geo.PagesPerWL())

@@ -1,0 +1,95 @@
+package nand
+
+import "repro/internal/sim"
+
+// OOBMeta is the FTL metadata a controller stamps into a page's
+// out-of-band (spare) area alongside the payload: the logical address
+// the page was written for, a monotone write sequence number, and the
+// request's security class. Real FTLs persist exactly this so a crash
+// can rebuild the mapping table from a media scan; the remount path
+// (ftl.Restore) keeps the highest-sequence readable copy of each LPA as
+// live and re-sanitizes the rest.
+type OOBMeta struct {
+	// LPA is the logical page the payload belongs to.
+	LPA int64
+	// Seq is the device-wide monotone write sequence number; among
+	// surviving copies of one LPA the highest Seq wins at remount.
+	Seq uint64
+	// Secure marks the payload as secured data (written with the
+	// paper's secure-deletion flag).
+	Secure bool
+	// Valid distinguishes a real stamp from the zero value. A page
+	// without a valid stamp after a crash is a torn write: the program
+	// pulse landed but the controller lost power before regaining
+	// control.
+	Valid bool
+}
+
+// StampOOB records FTL metadata in the page's spare area. The model
+// treats the stamp as part of the page's program pulse — the spare
+// bytes ride the same wordline program — so it costs no extra latency
+// and draws no fault decision; but a power cut that strikes the program
+// itself leaves the page stamp-less, which is exactly the torn-write
+// signature the remount scan keys on. Only an already-programmed page
+// can be stamped.
+func (c *Chip) StampOOB(a PageAddr, m OOBMeta) error {
+	if err := c.checkAddr(a); err != nil {
+		return err
+	}
+	blk := &c.blocks[a.Block]
+	if a.Page >= blk.writePtr {
+		return ErrNotErased
+	}
+	m.Valid = true
+	blk.meta[a.Page] = m
+	return nil
+}
+
+// PageProbe is one physical page's surviving media state as seen by the
+// controller's boot-time remount scan. The probe models the flash
+// array's raw state machine view (write pointer, access-control flags,
+// spare area) rather than a data-path read: it perturbs no disturb
+// counters and draws no fault decisions, so a remount scan leaves the
+// fault schedule and the reliability model untouched.
+type PageProbe struct {
+	// Programmed reports whether the block's write pointer has passed
+	// the page.
+	Programmed bool
+	// Locked reports whether the page is unreadable (pAP disabled, or
+	// the enclosing block's bAP disabled), evaluated with retention
+	// decay up to now.
+	Locked bool
+	// NonZero reports whether the readable payload contains at least
+	// one nonzero byte. Always false for locked pages — the probe
+	// honours the same data-out gating as reads.
+	NonZero bool
+	// Meta is the page's spare-area stamp. The zero value (Valid
+	// false) for locked pages, unstamped pages, and torn writes.
+	Meta OOBMeta
+}
+
+// ProbePage returns the remount scan's view of one page.
+func (c *Chip) ProbePage(a PageAddr, now sim.Micros) (PageProbe, error) {
+	if err := c.checkAddr(a); err != nil {
+		return PageProbe{}, err
+	}
+	blk := &c.blocks[a.Block]
+	pr := PageProbe{Programmed: a.Page < blk.writePtr}
+	day := c.nowDays(now)
+	wl, slot := c.wlOf(a.Page)
+	if c.blockLockedAt(blk, day) || c.pageLockedAt(&blk.wls[wl], slot, day) {
+		pr.Locked = true
+		return pr, nil
+	}
+	if !pr.Programmed {
+		return pr, nil
+	}
+	for _, b := range blk.pages[a.Page] {
+		if b != 0 {
+			pr.NonZero = true
+			break
+		}
+	}
+	pr.Meta = blk.meta[a.Page]
+	return pr, nil
+}

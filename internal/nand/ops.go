@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/nand/vth"
 	"repro/internal/sim"
 )
@@ -260,6 +261,14 @@ func (c *Chip) Program(a PageAddr, data []byte, now sim.Micros) (sim.Micros, err
 		w.programmed = true
 	}
 
+	// A power cut mid-pulse tears the write: the page is consumed and
+	// holds a readable prefix, but no OOB stamp ever lands — the
+	// remount scan's torn-write signature (see PowerLoss).
+	if c.strike(fault.CutProgram) {
+		c.tearPayload(stored)
+		panic(PowerLoss{Op: OpProgram, Addr: a, At: now})
+	}
+
 	// A program failure still consumed the page: the one-shot pulse
 	// charged a prefix of the cells before the chip reported FAIL, so the
 	// write pointer advanced and a partial (possibly readable) copy of
@@ -282,6 +291,11 @@ func (c *Chip) Erase(blockIdx int, now sim.Micros) (sim.Micros, error) {
 	}
 	c.opCount[OpErase]++
 	blk := &c.blocks[blockIdx]
+	// An interrupted tBERS destroys nothing: data, flags and SSL state
+	// survive for the remount scan (and the attacker).
+	if c.strike(fault.CutErase) {
+		panic(PowerLoss{Op: OpErase, Addr: PageAddr{Block: blockIdx, Page: -1}, At: now})
+	}
 	// A failed erase leaves the block exactly as it was — data, flags and
 	// SSL state intact — after burning the full tBERS. The FTL retires
 	// such a block (its contents may be locked, never free).
@@ -296,6 +310,7 @@ func (c *Chip) Erase(blockIdx int, now sim.Micros) (sim.Micros, error) {
 		}
 		blk.pages[i] = nil
 		blk.pageBits[i] = 0
+		blk.meta[i] = OOBMeta{}
 	}
 	for w := range blk.wls {
 		wl := &blk.wls[w]
@@ -332,6 +347,14 @@ func (c *Chip) PLock(a PageAddr, now sim.Micros) (sim.Micros, error) {
 	blk := &c.blocks[a.Block]
 	wl, slot := c.wlOf(a.Page)
 	w := &blk.wls[wl]
+	// A cut mid-pulse leaves the flag cells short of the majority
+	// threshold: the page stays readable, the WL took the disturb.
+	if c.strike(fault.CutPLock) {
+		if w.flags[slot] == nil {
+			w.disturbs++
+		}
+		panic(PowerLoss{Op: OpPLock, Addr: a, At: now})
+	}
 	if w.flags[slot] == nil {
 		// A failed one-shot flag program leaves the page readable (the
 		// majority circuit still sees the flag enabled) but its pulse
@@ -389,6 +412,15 @@ func (c *Chip) PLockWL(blockIdx, wl int, slots []int, now sim.Micros) (sim.Micro
 			need = true
 			break
 		}
+	}
+	// The batched pulse is atomic all-or-none, and a power cut takes
+	// the "none" arm just like an injected FAIL: every requested flag
+	// is left unprogrammed and readable.
+	if c.strike(fault.CutPLockBatch) {
+		if need {
+			w.disturbs++
+		}
+		panic(PowerLoss{Op: OpPLockWL, Addr: PageAddr{Block: blockIdx, Page: wl * c.geo.PagesPerWL()}, At: now})
 	}
 	if !need {
 		return c.timing.PLock, nil
@@ -489,6 +521,11 @@ func (c *Chip) BLock(blockIdx int, now sim.Micros) (sim.Micros, error) {
 	}
 	c.opCount[OpBLock]++
 	blk := &c.blocks[blockIdx]
+	// A cut mid-pulse leaves the SSL cells below the disable
+	// threshold: the block stays readable.
+	if c.strike(fault.CutBLock) {
+		panic(PowerLoss{Op: OpBLock, Addr: PageAddr{Block: blockIdx, Page: -1}, At: now})
+	}
 	if blk.sslCenter == 0 {
 		// A failed SSL program leaves the block readable; the FTL falls
 		// back to copy-out + erase.
@@ -512,6 +549,11 @@ func (c *Chip) Scrub(a PageAddr, now sim.Micros) (sim.Micros, error) {
 	}
 	c.opCount[OpScrub]++
 	blk := &c.blocks[a.Block]
+	// An interrupted scrub reprogram destroys nothing the remount scan
+	// (or the attacker) can't still read: the WL survives intact.
+	if c.strike(fault.CutScrub) {
+		panic(PowerLoss{Op: OpScrub, Addr: a, At: now})
+	}
 	wl, _ := c.wlOf(a.Page)
 	bits := c.geo.PagesPerWL()
 	for slot := 0; slot < bits; slot++ {
@@ -519,6 +561,8 @@ func (c *Chip) Scrub(a PageAddr, now sim.Micros) (sim.Micros, error) {
 		if blk.pages[page] != nil {
 			clear(blk.pages[page]) // reads as zeros; buffers are chip-private
 		}
+		// The WL reprogram destroys the spare area with the data.
+		blk.meta[page] = OOBMeta{}
 	}
 	// Scrubbing programs every cell of the wordline, so any not-yet-
 	// written page slots on it are consumed: the write pointer skips to

@@ -47,6 +47,7 @@ const (
 	opErase
 	opScrub
 	opCopyback
+	opStampMeta
 )
 
 // laneDepth is the per-lane queue depth: deep enough to keep a lane busy
@@ -146,6 +147,16 @@ func (x *shardExec) exec(lane int, r sim.Record) {
 		dst := nand.PageAddr{Block: int(r.Block2), Page: int(r.Page2)}
 		_, err := chip.Copyback(a, dst, now)
 		must(err, "copyback", a)
+	case opStampMeta:
+		// Aux packs lpa<<1|secure (no timestamp: stamps are untimed);
+		// Block2/Page2 carry the write sequence's high and low halves.
+		seq := uint64(uint32(r.Block2))<<32 | uint64(uint32(r.Page2))
+		err := chip.StampOOB(a, nand.OOBMeta{
+			LPA:    r.Aux >> 1,
+			Seq:    seq,
+			Secure: r.Aux&1 == 1,
+		})
+		must(err, "stampMeta", a)
 	case opProgramMulti:
 		addrs, datas := x.unpack(lane, r.Slots)
 		_, errs, fatal := chip.ProgramMulti(addrs, datas, now)

@@ -169,6 +169,11 @@ type SSD struct {
 	// shard is non-nil when deferred channel-sharded execution is active
 	// (Config.ShardChannels > 0); see shard.go.
 	shard *shardExec
+	// cut is the device-wide power-loss schedule shared by every chip
+	// (see ArmPowerCut); dead marks the device unusable after a cut
+	// until Remount rebuilds the FTL from media.
+	cut  *fault.CutState
+	dead bool
 	// errsScratch is the all-nil per-page error vector ProgramGroup
 	// returns in sharded mode (chip errors are impossible there).
 	errsScratch []error
@@ -197,6 +202,7 @@ func New(cfg Config) (*SSD, error) {
 		markChipBusy: make([]sim.Micros, nChips),
 		markChanBusy: make([]sim.Micros, cfg.Channels),
 		markChipWait: make([]sim.Micros, nChips),
+		cut:          fault.NewCutState(),
 	}
 	s.tr = cfg.Trace
 	if s.tr == nil {
@@ -204,7 +210,8 @@ func New(cfg Config) (*SSD, error) {
 	}
 	s.traceOn = s.tr.Enabled()
 	for i := range s.chips {
-		opts := []nand.Option{nand.WithSeed(cfg.Seed + int64(i)), nand.WithTiming(cfg.Timing)}
+		opts := []nand.Option{nand.WithSeed(cfg.Seed + int64(i)), nand.WithTiming(cfg.Timing),
+			nand.WithPowerCut(s.cut)}
 		if cfg.Fault.Enabled() {
 			// One injector per chip, stream-indexed: chip operations are
 			// serialized per chip, so each stream's draw order — and with
@@ -226,19 +233,7 @@ func New(cfg Config) (*SSD, error) {
 		PageBytes:     cfg.Chip.PageBytes,
 		Planes:        cfg.Chip.PlaneCount(),
 	}
-	logical := int(float64(s.geo.TotalPages()) * (1 - cfg.OverProvision))
-	f, err := ftl.New(ftl.Config{
-		Geometry:        s.geo,
-		LogicalPages:    logical,
-		GCFreeBlocksLow: cfg.GCFreeBlocksLow,
-		EagerErase:      cfg.EagerErase,
-		Victim:          cfg.Victim,
-		WearAware:       cfg.WearAware,
-		NoCopyback:      cfg.NoCopyback,
-		LockBatch:       cfg.LockBatch,
-		Timing:          ftl.LockTiming{PLock: cfg.Timing.PLock, BLock: cfg.Timing.BLock},
-		Tracer:          s.tr,
-	}, s, cfg.Policy)
+	f, err := ftl.New(s.ftlConfig(), s, cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +246,24 @@ func New(cfg Config) (*SSD, error) {
 		s.errsScratch = make([]error, s.geo.Planes)
 	}
 	return s, nil
+}
+
+// ftlConfig assembles the translation-layer configuration; New and
+// Remount must build from the identical parameters or the remounted
+// device would export a different logical capacity.
+func (s *SSD) ftlConfig() ftl.Config {
+	return ftl.Config{
+		Geometry:        s.geo,
+		LogicalPages:    int(float64(s.geo.TotalPages()) * (1 - s.cfg.OverProvision)),
+		GCFreeBlocksLow: s.cfg.GCFreeBlocksLow,
+		EagerErase:      s.cfg.EagerErase,
+		Victim:          s.cfg.Victim,
+		WearAware:       s.cfg.WearAware,
+		NoCopyback:      s.cfg.NoCopyback,
+		LockBatch:       s.cfg.LockBatch,
+		Timing:          ftl.LockTiming{PLock: s.cfg.Timing.PLock, BLock: s.cfg.Timing.BLock},
+		Tracer:          s.tr,
+	}
 }
 
 // FTL exposes the underlying translation layer (stats, mappings).
@@ -691,6 +704,9 @@ func (s *SSD) FlushLocks() { s.ftl.FlushLocks() }
 // Submit runs one host request through the closed-loop model and returns
 // its completion time.
 func (s *SSD) Submit(req blockio.Request) (sim.Micros, error) {
+	if s.dead {
+		return 0, ErrPowerLost
+	}
 	start := s.window[s.wIdx]
 	done, err := s.ftl.Submit(req, start)
 	if err != nil {
