@@ -9,7 +9,7 @@
 //
 //	benchguard -baseline ci/bench_baseline.json -fresh BENCH_parallel.json
 //	           [-batching BENCH_batching.json] [-engine BENCH_engine.json]
-//	           [-threshold 0.20]
+//	           [-threshold 0.20] [-smoke-sec SECONDS]
 //
 // Guarded quantities, each against its own baseline value: serial
 // campaign throughput, 4-worker campaign throughput (both in grid-cells
@@ -23,11 +23,20 @@
 // baselines).
 //
 // From BENCH_engine.json, the event-kernel gates: a dispatch-rate floor
-// on the ladder/record path (events per second against the baseline)
-// and the 0-allocs/op canary for the steady-state loop. On a single-CPU
-// runner the parallel-speedup comparisons are skipped — the reports
-// record "skipped_single_cpu" instead of a number that would only
-// measure goroutine-scheduling noise. Pass -engine "" to skip.
+// on the ladder/record path (events per second against the baseline),
+// the 0-allocs/op canary for the steady-state loop, and the sharded
+// speedup floors — one per shard count (2/4/8), each enforced only on
+// runners with at least that many CPUs. Speedups are keyed off the
+// reports' skip notes, not a zero value: a single-CPU runner records
+// "skipped_single_cpu" and omits the numbers (that would only measure
+// goroutine-scheduling noise), and benchguard skips those floors. A
+// MULTI-CPU runner that fails to measure a gated speedup is a
+// regression, not a skip — the silent-skip-forever failure mode is the
+// thing this gate exists to prevent. Pass -engine "" to skip.
+//
+// -smoke-sec feeds the CI wall-clock smoke gate: the measured seconds of
+// the reduced default-scale secssd-bench run, compared against the
+// baseline's smoke_budget_sec with a fixed 25% allowance.
 package main
 
 import (
@@ -41,34 +50,48 @@ import (
 // BenchmarkParallelFigure14 (parallel_bench_test.go). The batching_*
 // fields additionally appear in the committed baseline, where they gate
 // BENCH_batching.json (see batchingReport).
+// Speedup is a pointer so "not measured" (field omitted, or the legacy
+// shape that wrote a literal 0 next to the skip note) never reads as a
+// measured 0×: skipping is keyed off the note and the CPU count, the
+// number itself only ever compares when it was actually measured.
 type report struct {
-	NumCPU              int     `json:"num_cpu"`
-	GridCells           int     `json:"grid_cells"`
-	SerialSec           float64 `json:"serial_sec"`
-	ParallelSec         float64 `json:"parallel_sec"`
-	Speedup             float64 `json:"speedup"`
-	SpeedupNote         string  `json:"speedup_note,omitempty"`
-	FlashOpsAllocsPerOp float64 `json:"flashops_allocs_per_op"`
+	NumCPU              int      `json:"num_cpu"`
+	GridCells           int      `json:"grid_cells"`
+	SerialSec           float64  `json:"serial_sec"`
+	ParallelSec         float64  `json:"parallel_sec"`
+	Speedup             *float64 `json:"speedup,omitempty"`
+	SpeedupNote         string   `json:"speedup_note,omitempty"`
+	FlashOpsAllocsPerOp float64  `json:"flashops_allocs_per_op"`
 	// Baseline-only: simulated-IOPS floors for the batching ablation.
 	BatchingDisabledIOPS float64 `json:"batching_disabled_iops,omitempty"`
 	BatchingEnabledIOPS  float64 `json:"batching_enabled_iops,omitempty"`
 	BatchingMinSpeedup   float64 `json:"batching_min_speedup,omitempty"`
 	// Baseline-only: event-kernel gates for BENCH_engine.json (see
 	// engineReport). EngineAllocsPerOp is expected to stay exactly 0.
-	EngineEventsPerSec      float64 `json:"engine_events_per_sec,omitempty"`
-	EngineAllocsPerOp       float64 `json:"engine_allocs_per_op"`
-	EngineMinShardedSpeedup float64 `json:"engine_min_sharded_speedup,omitempty"`
+	// The sharded floors gate per cell, each only on runners with at
+	// least that many CPUs.
+	EngineEventsPerSec       float64 `json:"engine_events_per_sec,omitempty"`
+	EngineAllocsPerOp        float64 `json:"engine_allocs_per_op"`
+	EngineMinShardedSpeedup  float64 `json:"engine_min_sharded_speedup,omitempty"`
+	EngineMinSharded4Speedup float64 `json:"engine_min_sharded_speedup_4,omitempty"`
+	EngineMinSharded8Speedup float64 `json:"engine_min_sharded_speedup_8,omitempty"`
+	// Baseline-only: wall-clock budget (seconds) for the CI smoke run of
+	// the reduced default-scale campaign, gated via -smoke-sec.
+	SmokeBudgetSec float64 `json:"smoke_budget_sec,omitempty"`
 }
 
 // engineReport mirrors the BENCH_engine.json schema written by
-// BenchmarkEventKernel (engine_bench_test.go).
+// BenchmarkEventKernel (engine_bench_test.go). The speedup pointers
+// follow the same not-measured-vs-zero discipline as report.Speedup.
 type engineReport struct {
-	NumCPU             int     `json:"num_cpu"`
-	EventsPerSecHeap   float64 `json:"events_per_sec_heap"`
-	EventsPerSecLadder float64 `json:"events_per_sec_ladder"`
-	EngineAllocsPerOp  float64 `json:"engine_allocs_per_op"`
-	ShardedSpeedup     float64 `json:"sharded_speedup"`
-	ShardedNote        string  `json:"sharded_note"`
+	NumCPU             int      `json:"num_cpu"`
+	EventsPerSecHeap   float64  `json:"events_per_sec_heap"`
+	EventsPerSecLadder float64  `json:"events_per_sec_ladder"`
+	EngineAllocsPerOp  float64  `json:"engine_allocs_per_op"`
+	ShardedSpeedup     *float64 `json:"sharded_speedup,omitempty"`
+	Sharded4Speedup    *float64 `json:"sharded4_speedup,omitempty"`
+	Sharded8Speedup    *float64 `json:"sharded8_speedup,omitempty"`
+	ShardedNote        string   `json:"sharded_note"`
 }
 
 // batchingReport mirrors the BENCH_batching.json schema written by
@@ -122,12 +145,24 @@ func compare(baseline, fresh report, threshold float64) []string {
 	check("parallel-4 cells/sec", baseline.cellsPerSec(baseline.ParallelSec), fresh.cellsPerSec(fresh.ParallelSec), false)
 	check("flash-op allocs/op", baseline.FlashOpsAllocsPerOp, fresh.FlashOpsAllocsPerOp, true)
 	// The parallel-speedup floor only means something with real
-	// parallelism: on a single-CPU runner the report records a note
-	// instead of a number, and the comparison is skipped.
-	if fresh.SpeedupNote != "" || fresh.NumCPU == 1 {
+	// parallelism: a single-CPU runner records a note instead of a
+	// number, and the comparison is skipped. A multi-CPU runner must
+	// measure it — a note or a missing number there means the gate would
+	// silently never fire again, which is itself a regression.
+	switch {
+	case fresh.NumCPU <= 1:
+		// 0 is a report that never recorded a CPU count — unknowable, so
+		// treated like a single-CPU runner.
 		fmt.Printf("%-28s skipped (single CPU)\n", "parallel speedup")
-	} else if baseline.Speedup > 1 {
-		check("parallel speedup", baseline.Speedup, fresh.Speedup, false)
+	case fresh.SpeedupNote != "" || fresh.Speedup == nil:
+		bad = append(bad, fmt.Sprintf(
+			"parallel speedup: not measured on a %d-CPU runner (note=%q)",
+			fresh.NumCPU, fresh.SpeedupNote))
+		fmt.Printf("%-28s fresh not measured on %d CPUs   REGRESSED\n", "parallel speedup", fresh.NumCPU)
+	case baseline.Speedup != nil && *baseline.Speedup > 1:
+		check("parallel speedup", *baseline.Speedup, *fresh.Speedup, false)
+	default:
+		fmt.Printf("%-28s measured %.2fx (no baseline floor)\n", "parallel speedup", *fresh.Speedup)
 	}
 	return bad
 }
@@ -156,18 +191,56 @@ func compareEngine(baseline report, fresh engineReport, threshold float64) []str
 	}
 	fmt.Printf("%-28s baseline %10.3f   fresh %10.3f   %s\n",
 		"engine allocs/op", baseline.EngineAllocsPerOp, fresh.EngineAllocsPerOp, status)
-	if fresh.ShardedNote != "" || fresh.NumCPU == 1 {
-		fmt.Printf("%-28s skipped (%s)\n", "engine sharded speedup", fresh.ShardedNote)
-	} else if min := baseline.EngineMinShardedSpeedup; min > 0 {
-		status := "ok"
-		if fresh.ShardedSpeedup < min {
-			status = "REGRESSED"
-			bad = append(bad, fmt.Sprintf("engine sharded speedup floor: need >= %.2fx, fresh %.2fx",
-				min, fresh.ShardedSpeedup))
+	// Per-cell sharded speedup floors. Each cell gates only on runners
+	// with at least that many CPUs — a smaller machine skips it honestly.
+	// On a runner big enough to gate, the number must exist: a skip note
+	// or a missing speedup there would let the floor silently never fire
+	// again, so it fails instead.
+	cell := func(name string, floor float64, cpus int, sp *float64) {
+		if floor <= 0 {
+			return
 		}
-		fmt.Printf("%-28s floor    %10.3f   fresh %10.3f   %s\n",
-			"engine sharded speedup", min, fresh.ShardedSpeedup, status)
+		if fresh.NumCPU < cpus {
+			fmt.Printf("%-28s skipped (num_cpu %d < %d)\n", name, fresh.NumCPU, cpus)
+			return
+		}
+		if fresh.ShardedNote != "" || sp == nil {
+			bad = append(bad, fmt.Sprintf("%s: not measured on a %d-CPU runner (note=%q)",
+				name, fresh.NumCPU, fresh.ShardedNote))
+			fmt.Printf("%-28s fresh not measured on %d CPUs   REGRESSED\n", name, fresh.NumCPU)
+			return
+		}
+		status := "ok"
+		if *sp < floor {
+			status = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("%s floor: need >= %.2fx, fresh %.2fx", name, floor, *sp))
+		}
+		fmt.Printf("%-28s floor    %10.3f   fresh %10.3f   %s\n", name, floor, *sp, status)
 	}
+	cell("engine sharded-2 speedup", baseline.EngineMinShardedSpeedup, 2, fresh.ShardedSpeedup)
+	cell("engine sharded-4 speedup", baseline.EngineMinSharded4Speedup, 4, fresh.Sharded4Speedup)
+	cell("engine sharded-8 speedup", baseline.EngineMinSharded8Speedup, 8, fresh.Sharded8Speedup)
+	return bad
+}
+
+// compareSmoke gates the CI wall-clock smoke: the measured seconds of
+// the reduced default-scale run against the baseline budget, with a
+// fixed 25% allowance for runner noise.
+func compareSmoke(baseline report, smokeSec float64) []string {
+	const allowance = 0.25
+	if baseline.SmokeBudgetSec <= 0 {
+		fmt.Printf("%-28s skipped (no smoke_budget_sec in baseline)\n", "smoke wall-clock")
+		return nil
+	}
+	limit := baseline.SmokeBudgetSec * (1 + allowance)
+	status := "ok"
+	var bad []string
+	if smokeSec > limit {
+		status = "REGRESSED"
+		bad = append(bad, fmt.Sprintf("smoke wall-clock: budget %.1fs (+%d%% = %.1fs), measured %.1fs",
+			baseline.SmokeBudgetSec, int(allowance*100), limit, smokeSec))
+	}
+	fmt.Printf("%-28s budget   %10.3f   fresh %10.3f   %s\n", "smoke wall-clock", limit, smokeSec, status)
 	return bad
 }
 
@@ -221,6 +294,7 @@ func main() {
 	batchingPath := flag.String("batching", "BENCH_batching.json", "freshly generated batching report ('' skips)")
 	enginePath := flag.String("engine", "BENCH_engine.json", "freshly generated event-kernel report ('' skips)")
 	threshold := flag.Float64("threshold", 0.20, "allowed regression fraction")
+	smokeSec := flag.Float64("smoke-sec", 0, "measured smoke-run wall clock in seconds (0 skips)")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)
@@ -257,6 +331,9 @@ func main() {
 			os.Exit(2)
 		}
 		bad = append(bad, compareEngine(baseline, engine, *threshold)...)
+	}
+	if *smokeSec > 0 {
+		bad = append(bad, compareSmoke(baseline, *smokeSec)...)
 	}
 	if len(bad) > 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: throughput regression beyond threshold:")

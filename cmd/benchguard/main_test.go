@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
 
 func TestCompare(t *testing.T) {
 	base := report{GridCells: 4, SerialSec: 4, ParallelSec: 1, FlashOpsAllocsPerOp: 1.0}
@@ -44,6 +49,95 @@ func TestCompareZeroAllocBaselineStillGuards(t *testing.T) {
 	fresh.FlashOpsAllocsPerOp = 1.2
 	if got := compare(base, fresh, 0.20); len(got) != 1 {
 		t.Fatalf("zero-alloc baseline did not flag alloc creep: %v", got)
+	}
+}
+
+func TestSpeedupSchemaShapes(t *testing.T) {
+	// Legacy reports wrote a literal 0 next to the skip note; current
+	// ones omit the field entirely. Both must parse, and in both the note
+	// (not the number) decides the skip.
+	var legacy, current report
+	if err := json.Unmarshal([]byte(`{"num_cpu":1,"speedup":0,"speedup_note":"skipped_single_cpu"}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Speedup == nil || *legacy.Speedup != 0 || legacy.SpeedupNote != "skipped_single_cpu" {
+		t.Fatalf("legacy shape parsed as %+v", legacy)
+	}
+	if err := json.Unmarshal([]byte(`{"num_cpu":1,"speedup_note":"skipped_single_cpu"}`), &current); err != nil {
+		t.Fatal(err)
+	}
+	if current.Speedup != nil {
+		t.Fatalf("omitted speedup parsed as %v", *current.Speedup)
+	}
+	for name, fresh := range map[string]report{"legacy": legacy, "current": current} {
+		if got := compare(report{Speedup: fp(3)}, fresh, 0.20); len(got) != 0 {
+			t.Fatalf("%s single-CPU skip flagged %v", name, got)
+		}
+	}
+}
+
+func TestCompareSpeedupGate(t *testing.T) {
+	base := report{Speedup: fp(3)}
+	cases := []struct {
+		name  string
+		fresh report
+		bad   int
+	}{
+		{"single-cpu skip", report{NumCPU: 1, SpeedupNote: "skipped_single_cpu"}, 0},
+		{"unknown-cpu skip", report{}, 0},
+		// A multi-CPU runner that fails to measure is a regression, in
+		// either schema shape — the silent-skip-forever failure mode.
+		{"multi-cpu with note", report{NumCPU: 4, Speedup: fp(0), SpeedupNote: "skipped_single_cpu"}, 1},
+		{"multi-cpu missing", report{NumCPU: 4}, 1},
+		{"multi-cpu below baseline", report{NumCPU: 4, Speedup: fp(2.0)}, 1},
+		{"multi-cpu healthy", report{NumCPU: 4, Speedup: fp(2.9)}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := compare(base, tc.fresh, 0.20); len(got) != tc.bad {
+				t.Fatalf("compare flagged %d regressions (%v), want %d", len(got), got, tc.bad)
+			}
+		})
+	}
+}
+
+func TestCompareEngineCells(t *testing.T) {
+	base := report{
+		EngineMinShardedSpeedup:  1.1,
+		EngineMinSharded4Speedup: 2.0,
+		EngineMinSharded8Speedup: 4.0,
+	}
+	cases := []struct {
+		name  string
+		fresh engineReport
+		bad   int
+	}{
+		{"single cpu skips all cells", engineReport{NumCPU: 1, ShardedNote: "skipped_single_cpu"}, 0},
+		{"4 cpus gates 2 and 4 only", engineReport{NumCPU: 4, ShardedSpeedup: fp(1.3), Sharded4Speedup: fp(2.4)}, 0},
+		{"4 cpus unmeasured", engineReport{NumCPU: 4, ShardedNote: "skipped_single_cpu"}, 2},
+		{"8 cpus healthy", engineReport{NumCPU: 8, ShardedSpeedup: fp(1.3), Sharded4Speedup: fp(2.4), Sharded8Speedup: fp(4.5)}, 0},
+		{"8 cpus below 8-shard floor", engineReport{NumCPU: 8, ShardedSpeedup: fp(1.3), Sharded4Speedup: fp(2.4), Sharded8Speedup: fp(3.2)}, 1},
+		{"8 cpus missing 8-shard cell", engineReport{NumCPU: 8, ShardedSpeedup: fp(1.3), Sharded4Speedup: fp(2.4)}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := compareEngine(base, tc.fresh, 0.20); len(got) != tc.bad {
+				t.Fatalf("compareEngine flagged %d regressions (%v), want %d", len(got), got, tc.bad)
+			}
+		})
+	}
+}
+
+func TestCompareSmoke(t *testing.T) {
+	base := report{SmokeBudgetSec: 30}
+	if got := compareSmoke(base, 35); len(got) != 0 {
+		t.Fatalf("within-allowance smoke flagged %v", got)
+	}
+	if got := compareSmoke(base, 40); len(got) != 1 {
+		t.Fatalf("over-budget smoke flagged %v, want 1", got)
+	}
+	if got := compareSmoke(report{}, 40); len(got) != 0 {
+		t.Fatalf("budget-less baseline flagged %v", got)
 	}
 }
 

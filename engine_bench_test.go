@@ -9,6 +9,7 @@ package repro
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"sync"
@@ -83,13 +84,15 @@ func BenchmarkEventKernel(b *testing.B) {
 		b.StopTimer()
 		engineBenchOnce.Do(func() { writeEngineBenchReport(b) })
 	})
-	b.Run("sharded-2", func(b *testing.B) {
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			runShardedWorkload(2)
-		}
-	})
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runShardedWorkload(shards)
+			}
+		})
+	}
 }
 
 // runShardedWorkload drains a fixed self-contained workload (no
@@ -115,19 +118,27 @@ func runShardedWorkload(shards int) uint64 {
 
 // engineBenchReport is the schema of BENCH_engine.json. Events/sec are
 // wall-clock dispatch rates on this machine; EngineAllocsPerOp is the
-// machine-independent 0-allocs canary for the record path.
-// ShardedNote records why the sharded speedup is absent ("skipped_single_cpu"
-// on one-CPU runners, where a parallel floor would only measure noise).
+// machine-independent 0-allocs canary for the record path. The sharded
+// cells (2, 4, 8 shards) report total dispatch rate and its ratio to the
+// serial ladder rate. ShardedNote records why the speedups are absent
+// ("skipped_single_cpu" on one-CPU runners, where a parallel floor would
+// only measure noise); the speedups are pointers so a skipped
+// measurement is omitted from the JSON instead of masquerading as a
+// measured 0×.
 type engineBenchReport struct {
-	GOMAXPROCS          int     `json:"gomaxprocs"`
-	NumCPU              int     `json:"num_cpu"`
-	Chains              int     `json:"chains"`
-	EventsPerSecHeap    float64 `json:"events_per_sec_heap"`
-	EventsPerSecLadder  float64 `json:"events_per_sec_ladder"`
-	EngineAllocsPerOp   float64 `json:"engine_allocs_per_op"`
-	ShardedEventsPerSec float64 `json:"sharded_events_per_sec"`
-	ShardedSpeedup      float64 `json:"sharded_speedup"`
-	ShardedNote         string  `json:"sharded_note,omitempty"`
+	GOMAXPROCS           int      `json:"gomaxprocs"`
+	NumCPU               int      `json:"num_cpu"`
+	Chains               int      `json:"chains"`
+	EventsPerSecHeap     float64  `json:"events_per_sec_heap"`
+	EventsPerSecLadder   float64  `json:"events_per_sec_ladder"`
+	EngineAllocsPerOp    float64  `json:"engine_allocs_per_op"`
+	ShardedEventsPerSec  float64  `json:"sharded_events_per_sec"`
+	ShardedSpeedup       *float64 `json:"sharded_speedup,omitempty"`
+	Sharded4EventsPerSec float64  `json:"sharded4_events_per_sec"`
+	Sharded4Speedup      *float64 `json:"sharded4_speedup,omitempty"`
+	Sharded8EventsPerSec float64  `json:"sharded8_events_per_sec"`
+	Sharded8Speedup      *float64 `json:"sharded8_speedup,omitempty"`
+	ShardedNote          string   `json:"sharded_note,omitempty"`
 }
 
 // measureSteps times n dispatches outside the b.N loop so the three
@@ -154,24 +165,33 @@ func writeEngineBenchReport(b *testing.B) {
 		EngineAllocsPerOp:  engineAllocsPerOp(),
 	}
 
-	// Sharded throughput: a drained fixed workload per round. On a
-	// single-CPU runner the parallel run can only measure scheduler
-	// noise, so the speedup is recorded as skipped (benchguard honors
-	// the note).
-	shardedRate := func() float64 {
+	// Sharded throughput: a drained fixed workload per round, one cell
+	// per shard count. On a single-CPU runner the parallel cells can only
+	// measure scheduler noise, so the speedups are recorded as skipped
+	// (benchguard honors the note and gates only the cells the runner's
+	// CPU count can support).
+	shardedRate := func(shards int) float64 {
 		//secvet:allow determinism -- benchmark measures wall-clock dispatch rate, not simulated time
 		start := time.Now()
 		var fired uint64
 		for fired < steps {
-			fired += runShardedWorkload(2)
+			fired += runShardedWorkload(shards)
 		}
 		return float64(fired) / time.Since(start).Seconds()
 	}
-	rep.ShardedEventsPerSec = shardedRate()
+	speedup := func(rate float64) *float64 {
+		s := rate / rep.EventsPerSecLadder
+		return &s
+	}
+	rep.ShardedEventsPerSec = shardedRate(2)
+	rep.Sharded4EventsPerSec = shardedRate(4)
+	rep.Sharded8EventsPerSec = shardedRate(8)
 	if rep.NumCPU == 1 {
 		rep.ShardedNote = "skipped_single_cpu"
 	} else {
-		rep.ShardedSpeedup = rep.ShardedEventsPerSec / rep.EventsPerSecLadder
+		rep.ShardedSpeedup = speedup(rep.ShardedEventsPerSec)
+		rep.Sharded4Speedup = speedup(rep.Sharded4EventsPerSec)
+		rep.Sharded8Speedup = speedup(rep.Sharded8EventsPerSec)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -181,8 +201,10 @@ func writeEngineBenchReport(b *testing.B) {
 	if err := os.WriteFile("BENCH_engine.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
-	b.Logf("BENCH_engine.json: heap %.0f ev/s, ladder %.0f ev/s, sharded %.0f ev/s, %.2f allocs/op (note=%q)",
-		rep.EventsPerSecHeap, rep.EventsPerSecLadder, rep.ShardedEventsPerSec, rep.EngineAllocsPerOp, rep.ShardedNote)
+	b.Logf("BENCH_engine.json: heap %.0f ev/s, ladder %.0f ev/s, sharded 2/4/8 %.0f/%.0f/%.0f ev/s, %.2f allocs/op (note=%q)",
+		rep.EventsPerSecHeap, rep.EventsPerSecLadder,
+		rep.ShardedEventsPerSec, rep.Sharded4EventsPerSec, rep.Sharded8EventsPerSec,
+		rep.EngineAllocsPerOp, rep.ShardedNote)
 }
 
 // engineAllocsPerOp measures the record path's steady-state allocation

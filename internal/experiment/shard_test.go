@@ -40,6 +40,38 @@ func TestShardedExecuteBitIdentical(t *testing.T) {
 	}
 }
 
+// TestShardedDefaultScaleFaultGolden pins serial ≡ sharded-2 ≡ sharded-8
+// on a reduced default-scale run with fault injection enabled: the full
+// default-scale device geometry (48 blocks/chip, 192 WLs, 16 KiB pages —
+// the CI smoke configuration) at a shortened measured write volume, with
+// the fault oracle live. This is the composition the big-run speedup
+// claim is made on, so the bit-identity gate runs on exactly this shape.
+func TestShardedDefaultScaleFaultGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config default-scale run")
+	}
+	sc := DefaultScale()
+	sc.StudyPages = 4_000
+	sc.SlowPolicyStudyPages = 0
+	sc.FaultRate = 1e-3
+	run := func(shards int) Run {
+		s := sc
+		s.ShardChannels = shards
+		r, err := Execute(workload.MailServer(), sanitize.SecSSD(), 1.0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	serial := run(0)
+	for _, shards := range []int{2, 8} {
+		if sharded := run(shards); !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("sharded-%d run diverges from serial:\nserial: %+v\nshard:  %+v",
+				shards, serial, sharded)
+		}
+	}
+}
+
 // TestShardedAuditAndTelemetryIdentical re-runs the audit gate under
 // sharding: the ledger's counters, the end-of-run Verify (zero live
 // unlocked secured copies, phase sums matching every closed window), and

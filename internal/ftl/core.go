@@ -80,9 +80,17 @@ type FTL struct {
 	// every committed program is then stamped with remount metadata
 	// (LPA, write sequence, security class) in the page's spare area.
 	metaWriter MetaWriter
+	// groupMetaWriter is non-nil when the MetaWriter also implements
+	// GroupMetaWriter: a fully-committed multi-plane stripe is then
+	// stamped with one call instead of one per page (the coordinator
+	// fast path for deferred targets).
+	groupMetaWriter GroupMetaWriter
 	// writeSeq is the device-wide monotone write sequence number behind
 	// those stamps; Restore resumes it past the highest surviving stamp.
 	writeSeq uint64
+	// stampSuppressed disables stampMeta inside commitWrite while a
+	// stripe's stamps are being issued as one group.
+	stampSuppressed bool
 
 	// pendingPages collects secured invalidations per global block between
 	// Flush calls (nil = nothing queued for the block); pendingList holds
@@ -172,6 +180,7 @@ func New(cfg Config, target Target, policy Policy) (*FTL, error) {
 	f.batchTarget, _ = target.(BatchTarget)
 	f.discardReader, _ = target.(DiscardReader)
 	f.metaWriter, _ = target.(MetaWriter)
+	f.groupMetaWriter, _ = target.(GroupMetaWriter)
 	if cfg.LockBatch.Enabled && f.batchTarget != nil {
 		f.lockBatching = true
 		f.lockq.groupIdx = make([]int32, g.TotalWLs())
@@ -410,7 +419,7 @@ func (f *FTL) storeAt(p PPA, lpa int64, secure bool, file uint64, data []byte, d
 // are stamped: quarantined and power-cut-torn pages keep no stamp,
 // which is how the remount scan tells a torn write from committed data.
 func (f *FTL) stampMeta(p PPA, lpa int64, secure bool) {
-	if f.metaWriter == nil {
+	if f.metaWriter == nil || f.stampSuppressed {
 		return
 	}
 	f.writeSeq++
@@ -580,6 +589,25 @@ func (f *FTL) writeStriped(req blockio.Request, dep sim.Micros) (sim.Micros, err
 		// visible atomically with respect to fault handling (a reentrant
 		// flush must never observe a chip-programmed page that the mapping
 		// tables still call free — bLock escalation would seal it).
+		// Coordinator fast path: a fully-successful stripe is stamped as
+		// one group — the sequence numbers are pre-assigned in stripe
+		// order, value-for-value what the per-page stamps inside
+		// commitWrite would have written, but a deferred target posts one
+		// record per stripe instead of one per page. Any per-page failure
+		// falls back to the per-page stamps.
+		allOK := true
+		for k := range stripe {
+			if errs[k] != nil {
+				allOK = false
+				break
+			}
+		}
+		if allOK && f.groupMetaWriter != nil {
+			seq0 := f.writeSeq + 1
+			f.writeSeq += uint64(len(stripe))
+			f.groupMetaWriter.WriteMetaGroup(stripe, req.LPA+int64(i), seq0, secure)
+			f.stampSuppressed = true
+		}
 		olds := f.stripeOlds[:0]
 		for k, p := range stripe {
 			lpa := req.LPA + int64(i+k)
@@ -588,6 +616,7 @@ func (f *FTL) writeStriped(req blockio.Request, dep sim.Micros) (sim.Micros, err
 				f.commitWrite(p, lpa, secure, req.FileID)
 			}
 		}
+		f.stampSuppressed = false
 		f.stripeOlds = olds
 		for k, p := range stripe {
 			lpa := req.LPA + int64(i+k)

@@ -258,6 +258,20 @@ type MetaWriter interface {
 	WriteMeta(p PPA, lpa int64, seq uint64, secure bool)
 }
 
+// GroupMetaWriter is an optional MetaWriter extension: one call stamps a
+// fully-committed multi-plane stripe — consecutive logical pages
+// lpa0..lpa0+len(pages)-1 with consecutive sequence numbers
+// seq0..seq0+len(pages)-1, one page per plane on a single chip. The
+// stamps are value-for-value what len(pages) WriteMeta calls would have
+// written; the point is the coordinator fast path: a target that defers
+// chip work can turn the stripe's stamps into a single deferred record
+// per barrier window instead of one round-trip per page. Detected with a
+// type assertion at construction, like the other extensions.
+type GroupMetaWriter interface {
+	MetaWriter
+	WriteMetaGroup(pages []PPA, lpa0 int64, seq0 uint64, secure bool)
+}
+
 // Policy is a sanitization strategy (§7 compares five of them). The FTL
 // calls Invalidate whenever a live page becomes stale; secured pages must
 // not remain readable after the call chain completes. Flush is invoked at

@@ -205,33 +205,28 @@ type PageAddr struct {
 
 func (a PageAddr) String() string { return fmt.Sprintf("pb%d/pp%d", a.Block, a.Page) }
 
-// wordline carries the per-WL operating history and the pAP flag cells.
-type wordline struct {
-	// flag[i] holds the sampled Vth values of the k flag cells backing
-	// page i of this WL; nil means never programmed (enabled).
-	flags [][]float64
-	// lockDay[i] is the simulated day the flag was programmed (for
-	// retention decay of the flag cells).
-	lockDay []float64
-	// disturbs counts pLock pulses applied while data cells were
-	// inhibited.
-	disturbs int
-	// reads counts disturb events from reads of neighbouring wordlines.
-	reads int
-	// programDay is when the data cells were programmed (sim days).
-	programDay float64
-	programmed bool
-}
-
-// block is one erase unit.
+// block is one erase unit. The per-wordline operating history and the
+// per-page pAP flags are stored as parallel arrays (SoA layout) rather
+// than an array of wordline structs: the read path touches exactly one
+// field of up to three wordlines per operation (disturb bookkeeping), so
+// packing each field contiguously keeps the hot cache lines dense.
 type block struct {
-	pages      [][]byte // payload per page; nil = free
-	pageBits   []int    // logical payload length in bytes (tracks partial writes)
-	wls        []wordline
-	writePtr   int // next page to program (append-only discipline)
-	peCycles   int
-	erasedDay  float64 // when the block was last erased (for open interval)
-	everErased bool
+	pages    [][]byte // payload per page; nil = free
+	pageBits []int    // logical payload length in bytes (tracks partial writes)
+	// flags[page] holds the sampled Vth values of the k pAP flag cells
+	// backing the page; nil means never programmed (enabled). flagDay is
+	// the simulated day the flag was programmed (retention decay).
+	flags   [][]float64
+	flagDay []float64
+	// Per-wordline history, indexed by wordline:
+	wlDisturbs   []int32   // pLock pulses applied while data cells were inhibited
+	wlReads      []int32   // disturb events from reads of neighbouring WLs
+	wlProgDay    []float64 // when the data cells were programmed (sim days)
+	wlProgrammed []bool
+	writePtr     int // next page to program (append-only discipline)
+	peCycles     int
+	erasedDay    float64 // when the block was last erased (for open interval)
+	everErased   bool
 	// sslCenter > 0 means bLock programmed the SSL to that center Vth.
 	sslCenter  float64
 	sslLockDay float64
@@ -266,11 +261,12 @@ type Chip struct {
 	eccLimit     float64 // per-page RBER limit when injecting
 
 	// faults, when set, decides per-operation failures and injected read
-	// bit errors (see internal/fault). inCopyback suppresses fault read
-	// injection on the internal read of Copyback: the on-chip data move
-	// bypasses the ECC transfer path this model represents.
-	faults     *fault.Injector
-	inCopyback bool
+	// bit errors (see internal/fault). noInject suppresses fault read
+	// injection on paths that bypass the ECC transfer path this model
+	// represents: the internal read of Copyback (an on-chip data move)
+	// and ForensicDump (the attacker's raw reader).
+	faults   *fault.Injector
+	noInject bool
 
 	// cut, when set, is the device-wide power-loss schedule (see
 	// WithPowerCut); mutating ops check it at pulse start.
@@ -383,11 +379,12 @@ func New(geo Geometry, opts ...Option) (*Chip, error) {
 		blk.pages = make([][]byte, ppb)
 		blk.pageBits = make([]int, ppb)
 		blk.meta = make([]OOBMeta, ppb)
-		blk.wls = make([]wordline, geo.WLsPerBlock)
-		for w := range blk.wls {
-			blk.wls[w].flags = make([][]float64, geo.PagesPerWL())
-			blk.wls[w].lockDay = make([]float64, geo.PagesPerWL())
-		}
+		blk.flags = make([][]float64, ppb)
+		blk.flagDay = make([]float64, ppb)
+		blk.wlDisturbs = make([]int32, geo.WLsPerBlock)
+		blk.wlReads = make([]int32, geo.WLsPerBlock)
+		blk.wlProgDay = make([]float64, geo.WLsPerBlock)
+		blk.wlProgrammed = make([]bool, geo.WLsPerBlock)
 	}
 	for _, o := range opts {
 		o(c)

@@ -149,7 +149,7 @@ func TestPLockWLLocksSelectedSlots(t *testing.T) {
 	for i, p := range payloads {
 		mustProgram(t, c, PageAddr{Block: 0, Page: i}, p)
 	}
-	before := c.blocks[0].wls[0].disturbs
+	before := c.blocks[0].wlDisturbs[0]
 	lat, err := c.PLockWL(0, 0, []int{0, 2}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +158,7 @@ func TestPLockWLLocksSelectedSlots(t *testing.T) {
 		t.Fatalf("batched pulse latency %v, want one tpLock (%v)", lat, DefaultTiming().PLock)
 	}
 	// One pulse = one program disturb, however many groups it committed.
-	if got := c.blocks[0].wls[0].disturbs; got != before+1 {
+	if got := c.blocks[0].wlDisturbs[0]; got != before+1 {
 		t.Fatalf("disturbs rose by %d, want 1", got-before)
 	}
 	for i := range payloads {
@@ -181,7 +181,7 @@ func TestPLockWLIdempotentIsChargedNoop(t *testing.T) {
 	if _, err := c.PLockWL(0, 0, []int{0}, 0); err != nil {
 		t.Fatal(err)
 	}
-	d := c.blocks[0].wls[0].disturbs
+	d := c.blocks[0].wlDisturbs[0]
 	lat, err := c.PLockWL(0, 0, []int{0}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +189,7 @@ func TestPLockWLIdempotentIsChargedNoop(t *testing.T) {
 	if lat != DefaultTiming().PLock {
 		t.Fatalf("charged no-op latency %v, want tpLock", lat)
 	}
-	if c.blocks[0].wls[0].disturbs != d {
+	if c.blocks[0].wlDisturbs[0] != d {
 		t.Fatal("no-op pulse must not disturb the wordline again")
 	}
 }

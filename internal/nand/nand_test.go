@@ -476,7 +476,7 @@ func TestChipSeedDeterminism(t *testing.T) {
 		c := newTestChip(t, WithSeed(42))
 		mustProgram(t, c, PageAddr{0, 0}, []byte("x"))
 		mustPLock(t, c, PageAddr{0, 0})
-		return c.blocks[0].wls[0].flags
+		return c.blocks[0].flags[:c.geo.PagesPerWL()]
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -606,7 +606,7 @@ func TestReadDisturbAccumulates(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		mustRead(t, c, PageAddr{0, 3}) // WL1
 	}
-	if got := c.blocks[0].wls[0].reads; got < 5000 {
+	if got := c.blocks[0].wlReads[0]; got < 5000 {
 		t.Fatalf("neighbour WL accumulated %d read disturbs, want >= 5000", got)
 	}
 	// The disturb raises RBER via the model; a fresh block still reads

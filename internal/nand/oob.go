@@ -76,8 +76,7 @@ func (c *Chip) ProbePage(a PageAddr, now sim.Micros) (PageProbe, error) {
 	blk := &c.blocks[a.Block]
 	pr := PageProbe{Programmed: a.Page < blk.writePtr}
 	day := c.nowDays(now)
-	wl, slot := c.wlOf(a.Page)
-	if c.blockLockedAt(blk, day) || c.pageLockedAt(&blk.wls[wl], slot, day) {
+	if c.blockLockedAt(blk, day) || c.pageLockedAt(blk, a.Page, day) {
 		pr.Locked = true
 		return pr, nil
 	}

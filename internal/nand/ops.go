@@ -65,8 +65,7 @@ func (c *Chip) Read(a PageAddr, now sim.Micros) (ReadResult, error) {
 	}
 	// pAP check (Fig. 7(a)): the flag is read from the spare area
 	// concurrently with the data, decided by the k-cell majority circuit.
-	wl, slot := c.wlOf(a.Page)
-	if c.pageLockedAt(&blk.wls[wl], slot, day) {
+	if c.pageLockedAt(blk, a.Page, day) {
 		res.Data = c.zeroScratch(c.zeroLenFor(blk, a.Page))
 		return res, ErrPageLocked
 	}
@@ -75,10 +74,10 @@ func (c *Chip) Read(a PageAddr, now sim.Micros) (ReadResult, error) {
 	// voltage (read disturb, §2.1 footnote 3).
 	wlIdx, _ := c.wlOf(a.Page)
 	if wlIdx > 0 {
-		blk.wls[wlIdx-1].reads++
+		blk.wlReads[wlIdx-1]++
 	}
-	if wlIdx+1 < len(blk.wls) {
-		blk.wls[wlIdx+1].reads++
+	if wlIdx+1 < len(blk.wlReads) {
+		blk.wlReads[wlIdx+1]++
 	}
 
 	if blk.pages[a.Page] == nil {
@@ -97,7 +96,7 @@ func (c *Chip) Read(a PageAddr, now sim.Micros) (ReadResult, error) {
 			return res, err
 		}
 	}
-	if c.faults != nil && !c.inCopyback && len(data) > 0 {
+	if c.faults != nil && !c.noInject && len(data) > 0 {
 		nerr, uncorrectable := c.faults.ReadErrors(len(data)*8, blk.peCycles, c.geo.EnduranceCycles)
 		if uncorrectable {
 			// Model the failed transfer: the host sees mangled bytes.
@@ -141,12 +140,12 @@ func (c *Chip) blockLockedAt(blk *block, day float64) bool {
 
 // pageLockedAt evaluates the pAP flag via the k-cell majority circuit,
 // applying flag-cell retention decay since the lock.
-func (c *Chip) pageLockedAt(wl *wordline, slot int, day float64) bool {
-	cells := wl.flags[slot]
+func (c *Chip) pageLockedAt(blk *block, page int, day float64) bool {
+	cells := blk.flags[page]
 	if cells == nil {
 		return false
 	}
-	elapsed := day - wl.lockDay[slot]
+	elapsed := day - blk.flagDay[page]
 	if elapsed < 0 {
 		elapsed = 0
 	}
@@ -164,17 +163,16 @@ func (c *Chip) pageLockedAt(wl *wordline, slot int, day float64) bool {
 // ECC limit for the page.
 func (c *Chip) injectReadErrors(blk *block, a PageAddr, data []byte, day float64) (int, error) {
 	wl, _ := c.wlOf(a.Page)
-	w := &blk.wls[wl]
 	cond := vth.Condition{
 		PECycles:        blk.peCycles,
-		RetentionDays:   maxf(0, day-w.programDay),
-		ReadDisturbs:    w.reads,
-		ProgramDisturbs: w.disturbs,
+		RetentionDays:   maxf(0, day-blk.wlProgDay[wl]),
+		ReadDisturbs:    int(blk.wlReads[wl]),
+		ProgramDisturbs: int(blk.wlDisturbs[wl]),
 		DisturbV:        c.plockV,
 		DisturbT:        c.plockT,
 	}
 	if blk.everErased {
-		cond.OpenIntervalDays = maxf(0, w.programDay-blk.erasedDay)
+		cond.OpenIntervalDays = maxf(0, blk.wlProgDay[wl]-blk.erasedDay)
 	}
 	rber := c.model.PageRBER(c.PageKindOf(a.Page), cond)
 	bits := len(data) * 8
@@ -255,10 +253,9 @@ func (c *Chip) Program(a PageAddr, data []byte, now sim.Micros) (sim.Micros, err
 	blk.writePtr++
 
 	wl, slot := c.wlOf(a.Page)
-	w := &blk.wls[wl]
-	if slot == 0 || !w.programmed {
-		w.programDay = c.nowDays(now)
-		w.programmed = true
+	if slot == 0 || !blk.wlProgrammed[wl] {
+		blk.wlProgDay[wl] = c.nowDays(now)
+		blk.wlProgrammed[wl] = true
 	}
 
 	// A power cut mid-pulse tears the write: the page is consumed and
@@ -311,20 +308,17 @@ func (c *Chip) Erase(blockIdx int, now sim.Micros) (sim.Micros, error) {
 		blk.pages[i] = nil
 		blk.pageBits[i] = 0
 		blk.meta[i] = OOBMeta{}
-	}
-	for w := range blk.wls {
-		wl := &blk.wls[w]
-		for s := range wl.flags {
-			if wl.flags[s] != nil {
-				c.flagPool = append(c.flagPool, wl.flags[s])
-			}
-			wl.flags[s] = nil
-			wl.lockDay[s] = 0
+		if blk.flags[i] != nil {
+			c.flagPool = append(c.flagPool, blk.flags[i])
+			blk.flags[i] = nil
 		}
-		wl.disturbs = 0
-		wl.reads = 0
-		wl.programmed = false
-		wl.programDay = 0
+		blk.flagDay[i] = 0
+	}
+	for w := range blk.wlDisturbs {
+		blk.wlDisturbs[w] = 0
+		blk.wlReads[w] = 0
+		blk.wlProgrammed[w] = false
+		blk.wlProgDay[w] = 0
 	}
 	blk.writePtr = 0
 	blk.peCycles++
@@ -345,36 +339,52 @@ func (c *Chip) PLock(a PageAddr, now sim.Micros) (sim.Micros, error) {
 	}
 	c.opCount[OpPLock]++
 	blk := &c.blocks[a.Block]
-	wl, slot := c.wlOf(a.Page)
-	w := &blk.wls[wl]
+	wl, _ := c.wlOf(a.Page)
 	// A cut mid-pulse leaves the flag cells short of the majority
 	// threshold: the page stays readable, the WL took the disturb.
 	if c.strike(fault.CutPLock) {
-		if w.flags[slot] == nil {
-			w.disturbs++
+		if blk.flags[a.Page] == nil {
+			blk.wlDisturbs[wl]++
 		}
 		panic(PowerLoss{Op: OpPLock, Addr: a, At: now})
 	}
-	if w.flags[slot] == nil {
+	if blk.flags[a.Page] == nil {
 		// A failed one-shot flag program leaves the page readable (the
 		// majority circuit still sees the flag enabled) but its pulse
 		// disturbed the WL all the same. pLock cannot be retried on the
 		// same flag cells — the FTL escalates to bLock.
 		if c.faults != nil && c.faults.FailPLock(blk.peCycles, c.geo.EnduranceCycles) {
-			w.disturbs++
+			blk.wlDisturbs[wl]++
 			return c.timing.PLock, ErrPLockFailed
 		}
 		cells := c.takeFlags()
 		for i := range cells {
 			cells[i] = c.flagModel.SampleCellVth(c.plockV, c.plockT, 0, blk.peCycles, c.rng)
 		}
-		w.flags[slot] = cells
-		w.lockDay[slot] = c.nowDays(now)
+		blk.flags[a.Page] = cells
+		blk.flagDay[a.Page] = c.nowDays(now)
 		// The high program voltage on the WL disturbs the inhibited data
 		// cells (Fig. 9(b)).
-		w.disturbs++
+		blk.wlDisturbs[wl]++
 	}
 	return c.timing.PLock, nil
+}
+
+// ApplyPLockFail applies a pre-decided pLock failure without consuming
+// any fault-stream draws: the coordinator drew the verdict (sharded
+// fault mode, see internal/ssd) and the chip replays only its state
+// effects — the op count and the wordline's program disturb.
+func (c *Chip) ApplyPLockFail(a PageAddr) error {
+	if err := c.checkAddr(a); err != nil {
+		return err
+	}
+	c.opCount[OpPLock]++
+	blk := &c.blocks[a.Block]
+	if blk.flags[a.Page] == nil {
+		wl, _ := c.wlOf(a.Page)
+		blk.wlDisturbs[wl]++
+	}
+	return nil
 }
 
 // PLockWL disables several pages of one wordline with a single SBPI
@@ -405,10 +415,10 @@ func (c *Chip) PLockWL(blockIdx, wl int, slots []int, now sim.Micros) (sim.Micro
 	}
 	c.opCount[OpPLockWL]++
 	blk := &c.blocks[blockIdx]
-	w := &blk.wls[wl]
+	base := wl * bits
 	need := false
 	for _, s := range slots {
-		if w.flags[s] == nil {
+		if blk.flags[base+s] == nil {
 			need = true
 			break
 		}
@@ -418,9 +428,9 @@ func (c *Chip) PLockWL(blockIdx, wl int, slots []int, now sim.Micros) (sim.Micro
 	// is left unprogrammed and readable.
 	if c.strike(fault.CutPLockBatch) {
 		if need {
-			w.disturbs++
+			blk.wlDisturbs[wl]++
 		}
-		panic(PowerLoss{Op: OpPLockWL, Addr: PageAddr{Block: blockIdx, Page: wl * c.geo.PagesPerWL()}, At: now})
+		panic(PowerLoss{Op: OpPLockWL, Addr: PageAddr{Block: blockIdx, Page: base}, At: now})
 	}
 	if !need {
 		return c.timing.PLock, nil
@@ -428,24 +438,53 @@ func (c *Chip) PLockWL(blockIdx, wl int, slots []int, now sim.Micros) (sim.Micro
 	// One fault draw per pulse: the whole batch shares the one-shot
 	// program cycle.
 	if c.faults != nil && c.faults.FailPLock(blk.peCycles, c.geo.EnduranceCycles) {
-		w.disturbs++
+		blk.wlDisturbs[wl]++
 		return c.timing.PLock, ErrPLockFailed
 	}
 	for _, s := range slots {
-		if w.flags[s] != nil {
+		if blk.flags[base+s] != nil {
 			continue
 		}
 		cells := c.takeFlags()
 		for i := range cells {
 			cells[i] = c.flagModel.SampleCellVth(c.plockV, c.plockT, 0, blk.peCycles, c.rng)
 		}
-		w.flags[s] = cells
-		w.lockDay[s] = c.nowDays(now)
+		blk.flags[base+s] = cells
+		blk.flagDay[base+s] = c.nowDays(now)
 	}
 	// A single pulse stresses the inhibited data cells once, however many
 	// flag groups it programs (Fig. 9(b)).
-	w.disturbs++
+	blk.wlDisturbs[wl]++
 	return c.timing.PLock, nil
+}
+
+// ApplyPLockWLFail applies a pre-decided batched-pLock failure without
+// consuming fault-stream draws (sharded fault mode): the all-or-none
+// pulse left every requested flag unprogrammed, charging only the op
+// count and — when the pulse actually fired — the WL disturb.
+func (c *Chip) ApplyPLockWLFail(blockIdx, wl int, slots []int) error {
+	if blockIdx < 0 || blockIdx >= c.geo.Blocks {
+		return fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	if wl < 0 || wl >= c.geo.WLsPerBlock {
+		return fmt.Errorf("%w: wordline %d", ErrBadAddress, wl)
+	}
+	bits := c.geo.PagesPerWL()
+	for _, s := range slots {
+		if s < 0 || s >= bits {
+			return fmt.Errorf("%w: WL slot %d", ErrBadAddress, s)
+		}
+	}
+	c.opCount[OpPLockWL]++
+	blk := &c.blocks[blockIdx]
+	base := wl * bits
+	for _, s := range slots {
+		if blk.flags[base+s] == nil {
+			blk.wlDisturbs[wl]++
+			break
+		}
+	}
+	return nil
 }
 
 // checkPlanes validates a multi-plane address vector: at most one page
@@ -575,7 +614,7 @@ func (c *Chip) Scrub(a PageAddr, now sim.Micros) (sim.Micros, error) {
 		}
 		blk.writePtr = wlEnd
 	}
-	blk.wls[wl].disturbs += 3 // scrubbing stresses neighbouring WLs too
+	blk.wlDisturbs[wl] += 3 // scrubbing stresses neighbouring WLs too
 	return c.timing.Scrub, nil
 }
 
@@ -589,9 +628,9 @@ func (c *Chip) Copyback(src, dst PageAddr, now sim.Micros) (sim.Micros, error) {
 	if err := c.checkAddr(src); err != nil {
 		return 0, err
 	}
-	c.inCopyback = true
+	c.noInject = true
 	res, err := c.Read(src, now)
-	c.inCopyback = false
+	c.noInject = false
 	switch err {
 	case nil, ErrPageLocked, ErrBlockLocked:
 		// Locked sources yield zeros — allowed, harmless.
@@ -615,9 +654,62 @@ func (c *Chip) IsPageLocked(a PageAddr, now sim.Micros) (bool, error) {
 	if err := c.checkAddr(a); err != nil {
 		return false, err
 	}
-	blk := &c.blocks[a.Block]
-	wl, slot := c.wlOf(a.Page)
-	return c.pageLockedAt(&blk.wls[wl], slot, c.nowDays(now)), nil
+	return c.pageLockedAt(&c.blocks[a.Block], a.Page, c.nowDays(now)), nil
+}
+
+// ApplyBLockFail applies a pre-decided bLock failure (sharded fault
+// mode): a failed SSL program changes nothing beyond the op count.
+func (c *Chip) ApplyBLockFail(blockIdx int) error {
+	if blockIdx < 0 || blockIdx >= c.geo.Blocks {
+		return fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	c.opCount[OpBLock]++
+	return nil
+}
+
+// ApplyEraseFail applies a pre-decided erase failure (sharded fault
+// mode): the block burns its tBERS but keeps data, flags, SSL state and
+// its P/E count — only the op count advances.
+func (c *Chip) ApplyEraseFail(blockIdx int) error {
+	if blockIdx < 0 || blockIdx >= c.geo.Blocks {
+		return fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	c.opCount[OpErase]++
+	return nil
+}
+
+// CorruptStoredTail runs the injector's partial-program corruption over a
+// page's stored payload in place. The sharded coordinator uses it on the
+// rare failed-copyback path: the verdict and the corruption draws come
+// from the coordinator's injector — the same stream, in the same order,
+// the serial chip would have consumed — while the bytes land on the chip.
+func (c *Chip) CorruptStoredTail(a PageAddr, inj *fault.Injector) error {
+	if err := c.checkAddr(a); err != nil {
+		return err
+	}
+	inj.CorruptTail(c.blocks[a.Block].pages[a.Page])
+	return nil
+}
+
+// PageLen reports the stored payload length of a page (0 for erased or
+// zero-length pages). The sharded fault oracle mirrors it to gate read
+// error draws.
+func (c *Chip) PageLen(a PageAddr) int {
+	return len(c.blocks[a.Block].pages[a.Page])
+}
+
+// FlagProgrammed reports whether the page's pAP flag cells have been
+// programmed (successfully pulsed, whether or not the majority circuit
+// currently reads them as disabled).
+func (c *Chip) FlagProgrammed(a PageAddr) bool {
+	return c.blocks[a.Block].flags[a.Page] != nil
+}
+
+// SSLProgrammed reports whether the block's SSL cells were bLock-
+// programmed since the last erase (distinct from IsBlockLocked, which
+// evaluates the retention-decayed read outcome).
+func (c *Chip) SSLProgrammed(blockIdx int) bool {
+	return c.blocks[blockIdx].sslCenter != 0
 }
 
 // IsBlockLocked reports the current bAP state of a block.
@@ -644,8 +736,17 @@ func (c *Chip) WritePointer(blockIdx int) int {
 // data-out path yields — locked pages come back as zero-filled, unlocked
 // ones leak their contents. The dump never errors: the attacker always
 // gets bytes, just not necessarily useful ones.
+//
+// The dump bypasses the controller's read path entirely, so it draws no
+// decisions from the controller-side fault injector (the transfer-error
+// model covers the controller↔chip bus, not the attacker's reader): the
+// dump is a pure function of media state, identical in serial and
+// sharded fault modes, and it never perturbs the fault schedule.
 func (c *Chip) ForensicDump(blockIdx int, now sim.Micros) [][]byte {
 	out := make([][]byte, c.geo.PagesPerBlock())
+	prev := c.noInject
+	c.noInject = true
+	defer func() { c.noInject = prev }()
 	for p := range out {
 		res, err := c.Read(PageAddr{Block: blockIdx, Page: p}, now)
 		switch err {

@@ -37,11 +37,24 @@ type ShardedEngine struct {
 	windowEnd Micros
 	// staged and sendSeq are indexed by *source* shard: during a window
 	// each is touched only by that shard's goroutine, so no locking.
+	// The staged slices and mergeBuf follow arena discipline: reset to
+	// [:0] each barrier (keeping their backing arrays), with dispatched
+	// entries zeroed so closure/payload references don't pin the heap.
+	// Steady state stages and merges at zero allocations per send.
 	staged   [][]stagedSend
 	sendSeq  []uint64
 	xclamped []uint64
 	mergeBuf []stagedSend
 	panics   []any // per-shard panic capture, re-raised at the barrier
+
+	// Persistent worker pool, live only inside Run: one goroutine per
+	// shard, fed window barriers over work[i]. Spawning per window costs a
+	// goroutine create/destroy pair per shard per window — with the tight
+	// windows a small lookahead produces, that overhead dominates; the
+	// pool pays it once per Run instead.
+	work     []chan Micros
+	windowWG sync.WaitGroup // barrier: all shards done with this window
+	workerWG sync.WaitGroup // teardown: all worker goroutines exited
 }
 
 // stagedSend is one cross-shard event awaiting the merge barrier.
@@ -131,6 +144,10 @@ func (se *ShardedEngine) Run() { se.run(true) }
 func (se *ShardedEngine) RunSerial() { se.run(false) }
 
 func (se *ShardedEngine) run(parallel bool) {
+	if parallel {
+		se.startWorkers()
+		defer se.stopWorkers()
+	}
 	for {
 		w, have := Micros(0), false
 		for _, sh := range se.shards {
@@ -146,16 +163,11 @@ func (se *ShardedEngine) run(parallel bool) {
 		end := w + se.lookahead
 		se.windowEnd = end
 		if parallel {
-			var wg sync.WaitGroup
-			for i, sh := range se.shards {
-				wg.Add(1)
-				go func(i int, sh *Engine) {
-					defer wg.Done()
-					defer func() { se.panics[i] = recover() }()
-					sh.RunUntil(end)
-				}(i, sh)
+			se.windowWG.Add(len(se.work))
+			for _, ch := range se.work {
+				ch <- end
 			}
-			wg.Wait()
+			se.windowWG.Wait()
 			for i, p := range se.panics {
 				if p != nil {
 					panic(fmt.Sprintf("sim: shard %d panicked: %v", i, p))
@@ -168,6 +180,41 @@ func (se *ShardedEngine) run(parallel bool) {
 		}
 		se.merge()
 	}
+}
+
+// startWorkers launches the persistent window workers, one per shard.
+// Each waits on its channel for the next barrier, runs its shard up to
+// it, and signals the window WaitGroup; a recovered panic is parked in
+// panics[i] for the coordinator to re-raise after the barrier.
+func (se *ShardedEngine) startWorkers() {
+	se.work = make([]chan Micros, len(se.shards))
+	for i := range se.work {
+		se.work[i] = make(chan Micros)
+	}
+	se.workerWG.Add(len(se.shards))
+	for i, sh := range se.shards {
+		go func(i int, sh *Engine, in <-chan Micros) {
+			defer se.workerWG.Done()
+			for end := range in {
+				func() {
+					defer se.windowWG.Done()
+					defer func() { se.panics[i] = recover() }()
+					sh.RunUntil(end)
+				}()
+			}
+		}(i, sh, se.work[i])
+	}
+}
+
+// stopWorkers retires the worker pool and waits for every goroutine to
+// exit, so an abandoned ShardedEngine (a benchmark iteration, a test
+// shutdown) leaks nothing.
+func (se *ShardedEngine) stopWorkers() {
+	for _, ch := range se.work {
+		close(ch)
+	}
+	se.workerWG.Wait()
+	se.work = nil
 }
 
 // merge applies every staged cross-shard send in the deterministic

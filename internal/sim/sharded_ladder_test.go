@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These tests mirror the serial ladder-queue edge tests (ladder_test.go)
+// through the sharded window/merge protocol: RunUntil deadlines arrive
+// as conservative-lookahead barriers rather than caller-chosen instants,
+// and cross-shard merges inject equal-timestamp events between windows.
+// The primary assertion everywhere is bit-identity (Run ≡ RunSerial);
+// the internal queue-state checks prove the schedule actually pushed the
+// ladder through the path under test instead of quietly staying in the
+// easy append/pop regime.
+
+// shardedLadderRun drives `build` against a fresh ShardedEngine in both
+// execution modes and requires identical per-shard dispatch logs,
+// clocks, and fired counts. It returns the serial-mode engine for
+// internal-state assertions.
+func shardedLadderRun(t *testing.T, n int, lookahead Micros, build func(se *ShardedEngine, logs [][]firing)) *ShardedEngine {
+	t.Helper()
+	run := func(parallel bool) ([][]firing, *ShardedEngine) {
+		se := NewSharded(n, lookahead)
+		logs := make([][]firing, n)
+		build(se, logs)
+		if parallel {
+			se.Run()
+		} else {
+			se.RunSerial()
+		}
+		return logs, se
+	}
+	serialLogs, serialSE := run(false)
+	parallelLogs, parallelSE := run(true)
+	if !reflect.DeepEqual(serialLogs, parallelLogs) {
+		t.Fatal("dispatch logs diverge between RunSerial and Run")
+	}
+	for i := 0; i < n; i++ {
+		s, p := serialSE.Shard(i), parallelSE.Shard(i)
+		if s.Now() != p.Now() || s.Fired() != p.Fired() {
+			t.Fatalf("shard %d: clock/fired diverge: serial (%v,%d) parallel (%v,%d)",
+				i, s.Now(), s.Fired(), p.Now(), p.Fired())
+		}
+	}
+	// Per-shard time must be monotone under barrier-driven dispatch.
+	for i, log := range serialLogs {
+		for j := 1; j < len(log); j++ {
+			if log[j].at < log[j-1].at {
+				t.Fatalf("shard %d: time ran backwards at dispatch %d: %v after %v",
+					i, j, log[j], log[j-1])
+			}
+		}
+	}
+	return serialSE
+}
+
+// TestShardedLadderReEpoch seeds every shard with a wide far-future mass
+// (landing in the overflow store, re-epoching on first dispatch) and has
+// handlers hop work across shards and schedule far-ahead children, so
+// the rung is rebuilt repeatedly while barriers slice RunUntil deadlines
+// through the middle of epochs.
+func TestShardedLadderReEpoch(t *testing.T) {
+	const n = 3
+	se := shardedLadderRun(t, n, 64, func(se *ShardedEngine, logs [][]firing) {
+		for i := 0; i < n; i++ {
+			shard := i
+			eng := se.Shard(shard)
+			eng.Register(shardKindHop, func(e *Engine, r Record) {
+				logs[shard] = append(logs[shard], firing{e.Now(), int(r.Aux)})
+				switch {
+				case r.Aux <= 0:
+				case r.Aux%4 == 0:
+					// Cross-shard hop, honoring the lookahead contract and
+					// landing well past the target's near run.
+					se.Send(shard, (shard+1)%n, e.Now()+64+Micros(1000*(r.Aux%7)), Record{
+						Kind: shardKindHop, Aux: r.Aux - 1,
+					})
+				case r.Aux%4 == 1:
+					// Far local child: overflows the current epoch, forcing a
+					// later re-epoch.
+					e.AfterRecord(Micros(50_000+137*(r.Aux%11)), Record{Kind: shardKindHop, Aux: r.Aux - 2})
+				default:
+					e.AfterRecord(Micros(9+r.Aux%13), Record{Kind: shardKindHop, Aux: r.Aux - 1})
+				}
+			})
+			// Wide seed batch: spans 0..~96k so the first epoch's bucket
+			// width is ~750 and barrier deadlines (every 64) land inside
+			// buckets, not on their edges.
+			for c := 0; c < 200; c++ {
+				eng.AtRecord(Micros(c*487+shard), Record{Kind: shardKindHop, Aux: int64(20 + (c+shard)%10)})
+			}
+			// All seeds predate the first pop, so they must be sitting in
+			// the overflow store awaiting the first re-epoch.
+			if got := len(eng.queue.over); got != 200 {
+				t.Fatalf("shard %d: %d events in overflow before run, want 200", shard, got)
+			}
+		}
+	})
+	for i := 0; i < n; i++ {
+		q := &se.Shard(i).queue
+		if q.heaped {
+			t.Fatalf("shard %d: ladder demoted to heap; schedule no longer tests the ladder", i)
+		}
+	}
+	if se.CrossClamped() != 0 {
+		t.Fatalf("CrossClamped = %d, want 0", se.CrossClamped())
+	}
+}
+
+// TestShardedLadderRungBoundaryFIFO masses equal-timestamp clusters onto
+// instants that fall exactly on the target shard's bucket edges, fed
+// through both local scheduling and cross-shard merges. Same-instant
+// dispatch order is (arrival seq) by construction of the merge;
+// bit-identity between Run and RunSerial plus per-shard monotone time
+// (both asserted by the helper) is the gate — the serial-engine FIFO
+// property itself is pinned by TestLadderFIFOAcrossRungBoundaries.
+func TestShardedLadderRungBoundaryFIFO(t *testing.T) {
+	const n = 2
+	shardedLadderRun(t, n, 100, func(se *ShardedEngine, logs [][]firing) {
+		for i := 0; i < n; i++ {
+			shard := i
+			eng := se.Shard(shard)
+			eng.Register(shardKindHop, func(e *Engine, r Record) {
+				logs[shard] = append(logs[shard], firing{e.Now(), int(r.Aux)})
+				if r.Aux >= 1000 {
+					// Echo back to the peer at the same instant the peer
+					// already has local events scheduled: the merge must
+					// order these deterministically behind them.
+					se.Send(shard, 1-shard, e.Now()+100, Record{Kind: shardKindHop, Aux: r.Aux - 1000})
+				}
+			})
+			// A far batch over exactly ladderBuckets instants, width 1:
+			// every instant is its own bucket edge once the epoch forms.
+			// Each instant gets a FIFO cluster of 4 locally scheduled ids.
+			id := shard * 100_000
+			for b := 0; b < ladderBuckets; b++ {
+				at := Micros(10_000 + b)
+				for k := 0; k < 4; k++ {
+					aux := int64(id)
+					if k == 0 && b%16 == 0 {
+						aux += 1000 // this one echoes cross-shard
+					}
+					eng.AtRecord(at, Record{Kind: shardKindHop, Aux: aux})
+					id++
+				}
+			}
+		}
+	})
+}
+
+// TestShardedLadderDemotion reproduces the pathological single-instant
+// massing of TestLadderDemotesOnPathologicalSchedule inside a sharded
+// run: one shard's handler masses >ladderSpillSize events onto one far
+// instant per round while the other shard runs a normal workload. The
+// massing shard must demote to the heap mid-run, the other must not, and
+// the merged schedule must stay bit-identical to serial.
+func TestShardedLadderDemotion(t *testing.T) {
+	const massKind OpKind = shardKindHop + 1
+	se := shardedLadderRun(t, 2, 50, func(se *ShardedEngine, logs [][]firing) {
+		// Shard 0: the masser. Each round event floods the next far
+		// instant with an oversized equal-time batch.
+		eng0 := se.Shard(0)
+		eng0.Register(shardKindHop, func(e *Engine, r Record) {
+			logs[0] = append(logs[0], firing{e.Now(), int(r.Aux)})
+		})
+		eng0.Register(massKind, func(e *Engine, r Record) {
+			logs[0] = append(logs[0], firing{e.Now(), -int(r.Aux)})
+			at := e.Now() + 1_000_000
+			for i := 0; i < ladderSpillSize+1; i++ {
+				e.AtRecord(at, Record{Kind: shardKindHop, Aux: int64(i)})
+			}
+			if r.Aux > 1 {
+				e.AtRecord(at, Record{Kind: massKind, Aux: r.Aux - 1})
+			}
+		})
+		eng0.AtRecord(10, Record{Kind: massKind, Aux: int64(ladderMaxSpills)})
+
+		// Shard 1: ordinary traffic with cross-shard hops into shard 0,
+		// landing between the massed instants.
+		eng1 := se.Shard(1)
+		eng1.Register(shardKindHop, func(e *Engine, r Record) {
+			logs[1] = append(logs[1], firing{e.Now(), int(r.Aux)})
+			if r.Aux > 0 {
+				if r.Aux%5 == 0 {
+					se.Send(1, 0, e.Now()+50+Micros(r.Aux), Record{Kind: shardKindHop, Aux: 0})
+				}
+				e.AfterRecord(Micros(40_000+r.Aux%17), Record{Kind: shardKindHop, Aux: r.Aux - 1})
+			}
+		})
+		for c := 0; c < 30; c++ {
+			eng1.AtRecord(Micros(c*11), Record{Kind: shardKindHop, Aux: int64(25 + c%5)})
+		}
+	})
+	if !se.Shard(0).queue.heaped {
+		t.Fatalf("massing shard did not demote (spills=%d)", se.Shard(0).queue.spills)
+	}
+	if se.Shard(1).queue.heaped {
+		t.Fatal("well-behaved shard demoted to heap")
+	}
+}

@@ -44,6 +44,39 @@ func (s *SSD) WriteMeta(p ftl.PPA, lpa int64, seq uint64, secure bool) {
 	}
 }
 
+// WriteMetaGroup implements ftl.GroupMetaWriter: the stamps of one
+// fully-committed multi-plane stripe (consecutive LPAs and sequence
+// numbers, one chip) in a single call. Serially it is just the loop of
+// stamps; in sharded mode the whole stripe becomes ONE deferred record
+// on the owning chip's lane — the coordinator fast path that replaces
+// per-page stamp round-trips per barrier window.
+func (s *SSD) WriteMetaGroup(pages []ftl.PPA, lpa0 int64, seq0 uint64, secure bool) {
+	if s.shard != nil {
+		chip, _ := s.addr(pages[0])
+		ids := s.shard.slots.Get()
+		for _, p := range pages {
+			_, a := s.addr(p)
+			ids = append(ids, s.shard.pack(a))
+		}
+		s.shard.post(chip, sim.Record{
+			Kind:   opStampMetaGroup,
+			Block2: int32(uint32(seq0 >> 32)), Page2: int32(uint32(seq0)),
+			Aux:   lpa0<<1 | boolBit(secure),
+			Slots: ids,
+		})
+		return
+	}
+	for i, p := range pages {
+		chip, a := s.addr(p)
+		err := s.chips[chip].StampOOB(a, nand.OOBMeta{
+			LPA: lpa0 + int64(i), Seq: seq0 + uint64(i), Secure: secure,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("ssd: OOB stamp at %v: %v", a, err))
+		}
+	}
+}
+
 func boolBit(b bool) int64 {
 	if b {
 		return 1
@@ -120,6 +153,14 @@ func (s *SSD) CapturePowerLoss(fn func() error) (loss *nand.PowerLoss, err error
 // opened before the cut close when the recovery pass destroys the data.
 func (s *SSD) Remount(at sim.Micros) error {
 	s.Drain()
+	if s.oracle != nil {
+		// Resynchronize the fault oracle's draw-gating mirror from the
+		// settled media before the scan: the mirror is maintained
+		// incrementally and should already agree, but remount is the
+		// natural re-anchoring point — a real controller rebuilds all
+		// RAM state here.
+		s.oracle.rebuild(s.chips)
+	}
 	if at < s.makespan {
 		at = s.makespan
 	}

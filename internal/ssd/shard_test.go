@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/blockio"
+	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/sanitize"
 )
@@ -140,15 +141,130 @@ func TestShardedBitIdentical(t *testing.T) {
 	}
 }
 
-// TestShardedRejectsFaultInjection: deferral cannot honor the recovery
-// ladder's synchronous error feedback, so the combination is refused.
-func TestShardedRejectsFaultInjection(t *testing.T) {
+// faultyConfig is the shared fault configuration of the sharded fault
+// goldens: every verdict kind fires often enough to exercise the whole
+// recovery ladder, and the read BER sits near the ECC limit so the
+// retry loop and uncorrectable accounting both trigger.
+func faultyConfig() Config {
 	cfg := smallConfig(sanitize.SecSSD())
-	cfg.ShardChannels = 2
-	cfg.Fault.ProgramFail = 1e-3
-	if _, err := New(cfg); err == nil {
-		t.Fatal("sharded device with fault injection accepted")
+	cfg.Fault = fault.Config{
+		ProgramFail: 0.006, EraseFail: 0.003,
+		PLockFail: 0.03, BLockFail: 0.03,
+		ReadBER:    fault.DefaultECC().LimitRBER() * 0.9,
+		WearWeight: 3, WearExponent: 2,
+		Seed: 11,
 	}
+	return cfg
+}
+
+// TestShardedFaultBitIdentical is the fault-mode golden gate: with
+// injection enabled, sharded runs draw their verdicts from the
+// coordinator's oracle and must still match serial bit for bit — the
+// report (including read retries/failures), every FTL recovery counter,
+// the fault census, logical contents and the forensic chip state.
+func TestShardedFaultBitIdentical(t *testing.T) {
+	configs := map[string]func() Config{
+		"base": faultyConfig,
+		"batched-multiplane": func() Config {
+			cfg := faultyConfig()
+			cfg.Planes = 2
+			cfg.LockBatch = ftl.LockBatchConfig{Enabled: true, Deadline: 2000, Threshold: 48}
+			return cfg
+		},
+	}
+	for name, mk := range configs {
+		t.Run(name, func(t *testing.T) {
+			serialRep, serial := shardWorkload(t, mk())
+			serialStats := serial.FTL().Stats()
+			serialFaults := serial.FaultCounts()
+			if serialFaults.OpFails() == 0 {
+				t.Fatal("fault config injected no operation failures; golden exercises nothing")
+			}
+			serialFP := fingerprint(t, serial)
+
+			for _, lanes := range []int{1, 2, 8} {
+				cfg := mk()
+				cfg.ShardChannels = lanes
+				rep, dev := shardWorkload(t, cfg)
+				if !dev.Sharded() {
+					t.Fatalf("lanes=%d: sharded mode not active", lanes)
+				}
+				if !reflect.DeepEqual(serialRep, rep) {
+					t.Fatalf("lanes=%d: reports diverge:\nserial: %+v\nshard:  %+v", lanes, serialRep, rep)
+				}
+				if stats := dev.FTL().Stats(); !reflect.DeepEqual(serialStats, stats) {
+					t.Fatalf("lanes=%d: FTL stats diverge:\nserial: %+v\nshard:  %+v", lanes, serialStats, stats)
+				}
+				if counts := dev.FaultCounts(); counts != serialFaults {
+					t.Fatalf("lanes=%d: fault censuses diverge:\nserial: %+v\nshard:  %+v", lanes, serialFaults, counts)
+				}
+				// Logical contents agree page by page. Reads draw from the
+				// fault stream in both modes, so errors must agree too.
+				for lpa := int64(0); lpa < int64(serial.LogicalPages()); lpa += 37 {
+					a, errA := serial.ReadLogical(lpa)
+					b, errB := dev.ReadLogical(lpa)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("lanes=%d: logical page %d errors diverge: serial %v, shard %v", lanes, lpa, errA, errB)
+					}
+					if !reflect.DeepEqual(a, b) {
+						t.Fatalf("lanes=%d: logical page %d differs", lanes, lpa)
+					}
+				}
+				if fp := fingerprint(t, dev); !reflect.DeepEqual(serialFP, fp) {
+					t.Fatalf("lanes=%d: forensic chip state diverges from serial", lanes)
+				}
+				dev.Close()
+			}
+		})
+	}
+}
+
+// TestShardedFaultRemount drives a faulty sharded workload, remounts the
+// healthy device (the boot-time media scan plus ftl.Restore), and checks
+// the device still matches a serial run that did the same — the oracle's
+// mirror must survive the FTL being rebuilt from media.
+func TestShardedFaultRemount(t *testing.T) {
+	run := func(lanes int) (Report, *SSD) {
+		cfg := faultyConfig()
+		cfg.ShardChannels = lanes
+		_, s := shardWorkload(t, cfg)
+		if err := s.Remount(0); err != nil {
+			t.Fatal(err)
+		}
+		// Post-remount traffic exercises the rebuilt FTL and, in sharded
+		// mode, the re-anchored oracle mirror.
+		rng := rand.New(rand.NewSource(5))
+		logical := int64(s.LogicalPages())
+		for i := 0; i < 200; i++ {
+			lpa := rng.Int63n(logical - 4)
+			if i%3 == 0 {
+				s.MustSubmit(blockio.Request{Op: blockio.OpRead, LPA: lpa, Pages: 2})
+			} else {
+				s.MustSubmit(blockio.Request{Op: blockio.OpWrite, LPA: lpa, Pages: 2, FileID: 3})
+			}
+		}
+		s.FlushLocks()
+		return s.Report(), s
+	}
+	serialRep, serial := run(0)
+	serialStats := serial.FTL().Stats()
+	serialFaults := serial.FaultCounts()
+	serialFP := fingerprint(t, serial)
+
+	rep, dev := run(2)
+	if !reflect.DeepEqual(serialRep, rep) {
+		t.Fatalf("post-remount reports diverge:\nserial: %+v\nshard:  %+v", serialRep, rep)
+	}
+	if stats := dev.FTL().Stats(); !reflect.DeepEqual(serialStats, stats) {
+		t.Fatalf("post-remount FTL stats diverge:\nserial: %+v\nshard:  %+v", serialStats, stats)
+	}
+	if counts := dev.FaultCounts(); counts != serialFaults {
+		t.Fatalf("post-remount fault censuses diverge:\nserial: %+v\nshard:  %+v", serialFaults, counts)
+	}
+	if fp := fingerprint(t, dev); !reflect.DeepEqual(serialFP, fp) {
+		t.Fatal("post-remount forensic chip state diverges from serial")
+	}
+	dev.Close()
 }
 
 // TestShardedCloseIsIdempotent ensures Close/Drain degrade to no-ops on

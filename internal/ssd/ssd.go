@@ -63,13 +63,16 @@ type Config struct {
 	// into a single tpLock pulse.
 	LockBatch ftl.LockBatchConfig
 	// ShardChannels enables deferred channel-sharded chip-op execution:
-	// chip mutations run on this many parallel FIFO lanes (typically the
-	// channel count) while the coordinator keeps computing the timing
-	// model, with flush barriers wherever chip state is consumed. Zero
-	// keeps the historical fully-serial execution. Sharded runs are
-	// bit-identical to serial ones (see shard.go) but require fault
-	// injection to be disabled: fault outcomes feed back into the FTL's
-	// recovery ladder synchronously, which deferral cannot honor.
+	// chip mutations run on this many parallel FIFO lanes (chips of one
+	// channel grouped onto the same lane) while the coordinator keeps
+	// computing the timing model, with flush barriers wherever chip
+	// state is consumed. Zero keeps the historical fully-serial
+	// execution. Sharded runs are bit-identical to serial ones (see
+	// shard.go), including with fault injection enabled: fault verdicts
+	// are then drawn on the coordinator by a per-chip oracle (oracle.go)
+	// that keeps each chip's splitmix64 stream draw-for-draw identical
+	// to the serial schedule while feeding the recovery ladder
+	// synchronously.
 	ShardChannels int
 	// Seed drives the chips' RNGs.
 	Seed int64
@@ -169,6 +172,10 @@ type SSD struct {
 	// shard is non-nil when deferred channel-sharded execution is active
 	// (Config.ShardChannels > 0); see shard.go.
 	shard *shardExec
+	// oracle is non-nil in sharded fault mode (ShardChannels > 0 and
+	// Fault enabled): the coordinator-side injector streams and their
+	// draw-gating mirror of chip state; see oracle.go.
+	oracle *faultOracle
 	// cut is the device-wide power-loss schedule shared by every chip
 	// (see ArmPowerCut); dead marks the device unusable after a cut
 	// until Remount rebuilds the FTL from media.
@@ -212,11 +219,13 @@ func New(cfg Config) (*SSD, error) {
 	for i := range s.chips {
 		opts := []nand.Option{nand.WithSeed(cfg.Seed + int64(i)), nand.WithTiming(cfg.Timing),
 			nand.WithPowerCut(s.cut)}
-		if cfg.Fault.Enabled() {
+		if cfg.Fault.Enabled() && cfg.ShardChannels <= 0 {
 			// One injector per chip, stream-indexed: chip operations are
 			// serialized per chip, so each stream's draw order — and with
 			// it the whole fault schedule — is a pure function of the
-			// seed and the workload.
+			// seed and the workload. In sharded mode the same streams
+			// live on the coordinator's fault oracle instead (the chips
+			// run draw-free and replay pre-decided verdicts).
 			opts = append(opts, nand.WithFaults(fault.New(cfg.Fault, uint64(i))))
 		}
 		chip, err := nand.New(cfg.Chip, opts...)
@@ -239,11 +248,11 @@ func New(cfg Config) (*SSD, error) {
 	}
 	s.ftl = f
 	if cfg.ShardChannels > 0 {
-		if cfg.Fault.Enabled() {
-			return nil, fmt.Errorf("ssd: sharded execution (ShardChannels=%d) requires fault injection disabled: recovery feedback is synchronous", cfg.ShardChannels)
-		}
 		s.shard = newShardExec(s, cfg.ShardChannels)
 		s.errsScratch = make([]error, s.geo.Planes)
+		if cfg.Fault.Enabled() {
+			s.oracle = newFaultOracle(cfg, s.geo)
+		}
 	}
 	return s, nil
 }
@@ -325,7 +334,7 @@ func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 		// deferred ops must land before we read it synchronously.
 		s.shard.flushChip(chip)
 	}
-	res, err := s.chips[chip].Read(a, dep)
+	res, err := s.chipRead(chip, a, dep)
 	cellStart, cellDone := s.chipTL[chip].Reserve(dep, s.cfg.Timing.Read)
 	if s.traceOn {
 		s.emitChip(trace.OpRead, chip, p, dep, cellStart, cellDone)
@@ -333,7 +342,7 @@ func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 	for attempt := 1; err != nil && errors.Is(err, nand.ErrUncorrectable) &&
 		attempt < maxReadAttempts; attempt++ {
 		s.readRetries++
-		res, err = s.chips[chip].Read(a, cellDone)
+		res, err = s.chipRead(chip, a, cellDone)
 		retryStart, retryDone := s.chipTL[chip].Reserve(cellDone, s.cfg.Timing.Read)
 		if s.traceOn {
 			s.emitChip(trace.OpReadRetry, chip, p, cellDone, retryStart, retryDone)
@@ -361,6 +370,19 @@ func (s *SSD) Read(p ftl.PPA, dep sim.Micros) ([]byte, sim.Micros) {
 	return data, busDone
 }
 
+// chipRead is a synchronous chip read with the sharded fault oracle's
+// transfer-error overlay: the chip runs draw-free in sharded fault mode,
+// so the oracle draws the serial read-error schedule against the actual
+// payload bytes. In serial mode (oracle nil) the chip draws internally
+// and the overlay is a no-op.
+func (s *SSD) chipRead(chip int, a nand.PageAddr, now sim.Micros) (nand.ReadResult, error) {
+	res, err := s.chips[chip].Read(a, now)
+	if s.oracle != nil && err == nil {
+		err = s.oracle.readPayload(chip, a, res.Data)
+	}
+	return res, err
+}
+
 // Program implements ftl.Target: page transfer on the bus, then tPROG on
 // the chip. An injected program failure still burned the bus and the full
 // tPROG (the chip reported status FAIL only at the end), so the timeline
@@ -375,6 +397,12 @@ func (s *SSD) Program(p ftl.PPA, data []byte, dep sim.Micros) (sim.Micros, error
 		var copied []byte
 		if data != nil {
 			copied = append(s.shard.bufs.Get(), data...)
+		}
+		if s.oracle != nil {
+			// Verdict drawn at the post site; a failure corrupts the
+			// pooled copy's tail before it ships, so the chip stores the
+			// exact bytes the serial corrupt-after-store would leave.
+			err = s.oracle.program(chip, a, copied)
 		}
 		s.shard.post(chip, sim.Record{
 			Kind: opProgram, Block: int32(a.Block), Page: int32(a.Page),
@@ -412,10 +440,24 @@ func (s *SSD) Copyback(src, dst ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 	}
 	var err error
 	if s.shard != nil {
-		s.shard.post(chipS, sim.Record{
-			Kind: opCopyback, Block: int32(aSrc.Block), Page: int32(aSrc.Page),
-			Block2: int32(aDst.Block), Page2: int32(aDst.Page), Aux: int64(dep),
-		})
+		if s.oracle != nil && s.oracle.copyback(chipS, aSrc, aDst) {
+			// Rare failed-copyback path: run the move synchronously so
+			// the corruption draws land right after the verdict draw, in
+			// the serial stream order, against the stored bytes.
+			s.shard.flushChip(chipS)
+			if _, cbErr := s.chips[chipS].Copyback(aSrc, aDst, dep); cbErr != nil {
+				panic(fmt.Sprintf("ssd: copyback failed: %v", cbErr))
+			}
+			if cErr := s.chips[chipS].CorruptStoredTail(aDst, s.oracle.inj[chipS]); cErr != nil {
+				panic(fmt.Sprintf("ssd: copyback corrupt failed: %v", cErr))
+			}
+			err = nand.ErrProgramFailed
+		} else {
+			s.shard.post(chipS, sim.Record{
+				Kind: opCopyback, Block: int32(aSrc.Block), Page: int32(aSrc.Page),
+				Block2: int32(aDst.Block), Page2: int32(aDst.Page), Aux: int64(dep),
+			})
+		}
 	} else {
 		_, err = s.chips[chipS].Copyback(aSrc, aDst, dep)
 		if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
@@ -437,7 +479,12 @@ func (s *SSD) Erase(block int, dep sim.Micros) (sim.Micros, error) {
 	chip := s.geo.ChipOfBlock(block)
 	var err error
 	if s.shard != nil {
-		s.shard.post(chip, sim.Record{Kind: opErase, Block: int32(s.geo.BlockInChip(block)), Aux: int64(dep)})
+		var fail int32
+		if s.oracle != nil && s.oracle.erase(chip, s.geo.BlockInChip(block)) {
+			fail = 1
+			err = nand.ErrEraseFailed
+		}
+		s.shard.post(chip, sim.Record{Kind: opErase, Block: int32(s.geo.BlockInChip(block)), Page2: fail, Aux: int64(dep)})
 	} else {
 		_, err = s.chips[chip].Erase(s.geo.BlockInChip(block), dep)
 		if err != nil && !errors.Is(err, nand.ErrEraseFailed) {
@@ -459,7 +506,12 @@ func (s *SSD) PLock(p ftl.PPA, dep sim.Micros) (sim.Micros, error) {
 	chip, a := s.addr(p)
 	var err error
 	if s.shard != nil {
-		s.shard.post(chip, sim.Record{Kind: opPLock, Block: int32(a.Block), Page: int32(a.Page), Aux: int64(dep)})
+		var fail int32
+		if s.oracle != nil && s.oracle.plock(chip, a) {
+			fail = 1
+			err = nand.ErrPLockFailed
+		}
+		s.shard.post(chip, sim.Record{Kind: opPLock, Block: int32(a.Block), Page: int32(a.Page), Page2: fail, Aux: int64(dep)})
 	} else {
 		_, err = s.chips[chip].PLock(a, dep)
 		if err != nil && !errors.Is(err, nand.ErrPLockFailed) {
@@ -478,7 +530,12 @@ func (s *SSD) BLock(block int, dep sim.Micros) (sim.Micros, error) {
 	chip := s.geo.ChipOfBlock(block)
 	var err error
 	if s.shard != nil {
-		s.shard.post(chip, sim.Record{Kind: opBLock, Block: int32(s.geo.BlockInChip(block)), Aux: int64(dep)})
+		var fail int32
+		if s.oracle != nil && s.oracle.block(chip, s.geo.BlockInChip(block)) {
+			fail = 1
+			err = nand.ErrBLockFailed
+		}
+		s.shard.post(chip, sim.Record{Kind: opBLock, Block: int32(s.geo.BlockInChip(block)), Page2: fail, Aux: int64(dep)})
 	} else {
 		_, err = s.chips[chip].BLock(s.geo.BlockInChip(block), dep)
 		if err != nil && !errors.Is(err, nand.ErrBLockFailed) {
@@ -523,9 +580,14 @@ func (s *SSD) PLockWL(block, wl int, pages []ftl.PPA, dep sim.Micros) (sim.Micro
 		for _, p := range pages {
 			vec = append(vec, int32(s.geo.PageInBlock(p)%s.geo.PagesPerWL))
 		}
+		var fail int32
+		if s.oracle != nil && s.oracle.plockWL(chip, s.geo.BlockInChip(block), wl, vec, s.geo.PagesPerWL) {
+			fail = 1
+			err = nand.ErrPLockFailed
+		}
 		s.shard.post(chip, sim.Record{
 			Kind: opPLockWL, Block: int32(s.geo.BlockInChip(block)), Page: int32(wl),
-			Aux: int64(dep), Slots: vec,
+			Page2: fail, Aux: int64(dep), Slots: vec,
 		})
 	} else {
 		slots := s.slotScratch[:0]
@@ -570,12 +632,25 @@ func (s *SSD) ProgramGroup(pages []ftl.PPA, datas [][]byte, dep sim.Micros) (sim
 	}
 	if deferred {
 		vec := s.shard.slots.Get()
+		addrs := s.addrScratch[:0]
 		for _, p := range pages {
 			_, a := s.addr(p)
 			vec = append(vec, s.shard.pack(a))
+			addrs = append(addrs, a)
+		}
+		s.addrScratch = addrs
+		errs = s.errsScratch[:len(pages)]
+		for i := range errs {
+			errs[i] = nil
+		}
+		if s.oracle != nil {
+			// Per-page verdicts in plane order, exactly ProgramMulti's
+			// draw order. The lane replay needs no verdicts: a deferred
+			// group carries only nil payloads, and corrupting a
+			// zero-length stored page is a no-op.
+			s.oracle.programGroup(chip, addrs, errs)
 		}
 		s.shard.post(chip, sim.Record{Kind: opProgramMulti, Aux: int64(dep), Slots: vec})
-		errs = s.errsScratch[:len(pages)]
 	} else {
 		addrs := s.addrScratch[:0]
 		for _, p := range pages {
@@ -591,6 +666,16 @@ func (s *SSD) ProgramGroup(pages []ftl.PPA, datas [][]byte, dep sim.Micros) (sim
 		for i, err := range errs {
 			if err != nil && !errors.Is(err, nand.ErrProgramFailed) {
 				panic(fmt.Sprintf("ssd: FTL violated flash discipline at %v: %v", addrs[i], err))
+			}
+		}
+		if s.oracle != nil {
+			// Payload fallback behind a lane flush: the chip programmed
+			// draw-free, so draw each page's verdict now (and corrupt its
+			// stored tail on failure) in the serial per-page order.
+			for i, a := range addrs {
+				if e := s.oracle.programStored(chip, a, s.chips[chip]); e != nil {
+					errs[i] = e
+				}
 			}
 		}
 	}
@@ -631,15 +716,30 @@ func (s *SSD) ProgramGroup(pages []ftl.PPA, datas [][]byte, dep sim.Micros) (sim
 func (s *SSD) ReadGroup(pages []ftl.PPA, dep sim.Micros) sim.Micros {
 	chip := s.geo.ChipOf(pages[0])
 	var errs []error
+	var groupAttempts []int
+	var groupFailed uint64
 	if s.shard != nil {
 		vec := s.shard.slots.Get()
+		addrs := s.addrScratch[:0]
 		for _, p := range pages {
 			_, a := s.addr(p)
 			vec = append(vec, s.shard.pack(a))
+			addrs = append(addrs, a)
+		}
+		s.addrScratch = addrs
+		if s.oracle != nil {
+			// The oracle replays the serial draw order (per-page reads,
+			// then per-page retry loops); the lane replay learns each
+			// page's attempt count from the slot vector's high bits.
+			groupAttempts, groupFailed = s.oracle.readGroup(chip, addrs)
+			for i, n := range groupAttempts {
+				vec[i] |= int32(n-1) << attemptShift
+			}
 		}
 		s.shard.post(chip, sim.Record{Kind: opReadMulti, Aux: int64(dep), Slots: vec})
-		// errs stays nil: read faults are impossible with injection off,
-		// so the retry loop below sees no work — exactly the serial path.
+		// errs stays nil: chip-side read faults are impossible (chips run
+		// draw-free in sharded mode), so the serial retry loop below sees
+		// no work; the sharded retry loop keys off groupAttempts instead.
 	} else {
 		addrs := s.addrScratch[:0]
 		for _, p := range pages {
@@ -676,6 +776,22 @@ func (s *SSD) ReadGroup(pages []ftl.PPA, dep sim.Micros) sim.Micros {
 			cellDone = retryDone
 		}
 		if err != nil && errors.Is(err, nand.ErrUncorrectable) {
+			s.readFailures++
+		}
+	}
+	for i, n := range groupAttempts {
+		// Sharded fault mode: replay the retry timing the oracle decided,
+		// page by page in plane order — the serial loop's reservations and
+		// trace events, bit for bit.
+		for k := 1; k < n; k++ {
+			s.readRetries++
+			retryStart, retryDone := s.chipTL[chip].Reserve(cellDone, s.cfg.Timing.Read)
+			if s.traceOn {
+				s.emitChip(trace.OpReadRetry, chip, pages[i], cellDone, retryStart, retryDone)
+			}
+			cellDone = retryDone
+		}
+		if groupFailed&(1<<uint(i)) != 0 {
 			s.readFailures++
 		}
 	}
@@ -757,7 +873,7 @@ func (s *SSD) ReadLogical(lpa int64) ([]byte, error) {
 	}
 	s.Drain()
 	chip, a := s.addr(p)
-	res, err := s.chips[chip].Read(a, s.makespan)
+	res, err := s.chipRead(chip, a, s.makespan)
 	if err != nil {
 		return nil, err
 	}
@@ -897,6 +1013,11 @@ func deltaStats(a, b ftl.Stats) ftl.Stats {
 // golden determinism tests read this).
 func (s *SSD) FaultCounts() fault.Counts {
 	s.Drain()
+	if s.oracle != nil {
+		// Sharded fault mode: the streams live on the coordinator's
+		// oracle; the chips are draw-free and count nothing.
+		return s.oracle.counts()
+	}
 	var c fault.Counts
 	for _, chip := range s.chips {
 		c.Add(chip.FaultCounts())

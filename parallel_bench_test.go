@@ -26,18 +26,20 @@ var parallelBenchOnce sync.Once
 // exceed the CPU count recorded next to it.
 // On a single-CPU machine the 4-worker campaign cannot beat serial —
 // the "speedup" would only measure goroutine-scheduling overhead — so
-// Speedup is recorded as 0 with SpeedupNote "skipped_single_cpu", and
-// benchguard skips its parallel-speedup comparison.
+// Speedup is omitted with SpeedupNote "skipped_single_cpu", and
+// benchguard skips its parallel-speedup comparison. (Speedup is a
+// pointer so a skipped measurement disappears from the JSON instead of
+// masquerading as a measured 0×.)
 type parallelBenchReport struct {
-	GOMAXPROCS          int     `json:"gomaxprocs"`
-	NumCPU              int     `json:"num_cpu"`
-	Workers             int     `json:"workers"`
-	GridCells           int     `json:"grid_cells"`
-	SerialSec           float64 `json:"serial_sec"`
-	ParallelSec         float64 `json:"parallel_sec"`
-	Speedup             float64 `json:"speedup"`
-	SpeedupNote         string  `json:"speedup_note,omitempty"`
-	FlashOpsAllocsPerOp float64 `json:"flashops_allocs_per_op"`
+	GOMAXPROCS          int      `json:"gomaxprocs"`
+	NumCPU              int      `json:"num_cpu"`
+	Workers             int      `json:"workers"`
+	GridCells           int      `json:"grid_cells"`
+	SerialSec           float64  `json:"serial_sec"`
+	ParallelSec         float64  `json:"parallel_sec"`
+	Speedup             *float64 `json:"speedup,omitempty"`
+	SpeedupNote         string   `json:"speedup_note,omitempty"`
+	FlashOpsAllocsPerOp float64  `json:"flashops_allocs_per_op"`
 }
 
 func BenchmarkParallelFigure14(b *testing.B) {
@@ -82,8 +84,9 @@ func writeParallelBenchReport(b *testing.B, profiles []workload.Profile) {
 	if rep.NumCPU == 1 {
 		rep.SpeedupNote = "skipped_single_cpu"
 	} else {
-		rep.Speedup = rep.SerialSec / rep.ParallelSec
-		b.ReportMetric(rep.Speedup, "speedup")
+		speedup := rep.SerialSec / rep.ParallelSec
+		rep.Speedup = &speedup
+		b.ReportMetric(speedup, "speedup")
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -98,7 +101,7 @@ func writeParallelBenchReport(b *testing.B, profiles []workload.Profile) {
 			rep.SerialSec, rep.ParallelSec, rep.SpeedupNote, rep.FlashOpsAllocsPerOp)
 	} else {
 		b.Logf("BENCH_parallel.json: serial %.2fs, 4 workers %.2fs, speedup %.2fx on %d CPU(s), flash ops %.1f allocs/op",
-			rep.SerialSec, rep.ParallelSec, rep.Speedup, rep.NumCPU, rep.FlashOpsAllocsPerOp)
+			rep.SerialSec, rep.ParallelSec, *rep.Speedup, rep.NumCPU, rep.FlashOpsAllocsPerOp)
 	}
 }
 
